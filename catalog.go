@@ -1,0 +1,537 @@
+package lcp
+
+import (
+	"fmt"
+	"math"
+
+	"lcp/internal/core"
+	"lcp/internal/graph"
+	"lcp/internal/graphalg"
+	"lcp/internal/schemes"
+)
+
+// The experiment catalog: one entry per row of Table 1(a) and 1(b). Each
+// entry can generate yes-instances (and, where meaningful, no-instances)
+// of a target size, so the same table drives unit tests, the benchmark
+// suite, and cmd/lcpbench's regeneration of the paper's table.
+
+// Experiment is one catalogued row.
+type Experiment struct {
+	// ID is the DESIGN.md experiment id, e.g. "T1a-07".
+	ID string
+	// Row is the paper's row text, e.g. "bipartite graph".
+	Row string
+	// Family is the paper's graph family, e.g. "general".
+	Family string
+	// Bound is the paper's proof size, e.g. "Θ(1)".
+	Bound string
+	// Scheme is the implementation.
+	Scheme Scheme
+	// MakeYes generates a yes-instance with roughly n nodes.
+	MakeYes func(n int, seed int64) *Instance
+	// MakeNo generates a no-instance, or nil if the row has no natural
+	// no-instances at this size.
+	MakeNo func(n int, seed int64) *Instance
+	// BoundBits evaluates the paper's bound numerically (bits per node,
+	// up to the implementation's constant factor) for shape checks.
+	BoundBits func(n int) float64
+	// MinN is the smallest instance size the generators support.
+	MinN int
+}
+
+func oddUp(n int) int {
+	if n%2 == 0 {
+		return n + 1
+	}
+	return n
+}
+
+func evenUp(n int) int {
+	if n%2 == 1 {
+		return n + 1
+	}
+	return n
+}
+
+// spiderOf returns an asymmetric tree on ≈n nodes: a center with at
+// least three legs of pairwise distinct lengths (1, 2, 3, …; any
+// leftover nodes extend the longest leg so lengths stay distinct). The
+// smallest asymmetric tree has 7 nodes, so n is clamped up to 7.
+func spiderOf(n int) *graph.Graph {
+	if n < 7 {
+		n = 7
+	}
+	// Choose m ≥ 3 full legs 1..m with 1+Σ ≤ n, leftover extends leg m.
+	m := 3
+	for 1+(m+1)*(m+2)/2 <= n {
+		m++
+	}
+	legs := make([]int, m)
+	total := 1
+	for i := range legs {
+		legs[i] = i + 1
+		total += legs[i]
+	}
+	legs[m-1] += n - total
+	b := graph.NewBuilder(graph.Undirected)
+	center := 1
+	b.AddNode(center)
+	next := 2
+	for _, length := range legs {
+		prev := center
+		for i := 0; i < length; i++ {
+			b.AddEdge(prev, next)
+			prev = next
+			next++
+		}
+	}
+	return b.Graph()
+}
+
+// oddWheelTail is a χ>3 graph on ≈n nodes: an odd wheel (χ = 4) with a
+// path tail.
+func oddWheelTail(n int) *graph.Graph {
+	if n < 8 {
+		n = 8
+	}
+	w := graph.Wheel(5) // 6 nodes, χ = 4
+	b := graph.NewBuilder(graph.Undirected)
+	for _, e := range w.Edges() {
+		b.AddEdge(e.U, e.V)
+	}
+	prev := 2 // rim node
+	for v := 7; v <= n; v++ {
+		b.AddEdge(prev, v)
+		prev = v
+	}
+	return b.Graph()
+}
+
+// greedyMISInstance marks a maximal independent set.
+func greedyMISInstance(g *graph.Graph) *Instance {
+	in := core.NewInstance(g)
+	marked := map[int]bool{}
+	blocked := map[int]bool{}
+	for _, v := range g.Nodes() {
+		if blocked[v] {
+			continue
+		}
+		marked[v] = true
+		in.SetNodeLabel(v, "1")
+		blocked[v] = true
+		for _, u := range g.Neighbors(v) {
+			blocked[u] = true
+		}
+	}
+	return in
+}
+
+// Catalog returns all Table 1 experiments.
+func Catalog() []Experiment {
+	// Θ(log n) rows: the implemented certificates (root id + parent id +
+	// distance + width headers + up to two counters) cost a small
+	// multiple of log n; growth-shape tests pin the slope, this bound
+	// pins the constant.
+	logn := func(n int) float64 { return 12*math.Log2(float64(n)+1) + 40 }
+	constB := func(c float64) func(int) float64 { return func(int) float64 { return c } }
+
+	var exps []Experiment
+
+	// ---- Table 1(a): graph properties ----
+
+	exps = append(exps, Experiment{
+		ID: "T1a-01", Row: "Eulerian graph", Family: "connected", Bound: "0",
+		Scheme: EulerianScheme(), MinN: 3,
+		MakeYes:   func(n int, seed int64) *Instance { return NewInstance(Cycle(n)) },
+		MakeNo:    func(n int, seed int64) *Instance { return NewInstance(Path(n)) },
+		BoundBits: constB(0),
+	})
+	exps = append(exps, Experiment{
+		ID: "T1a-02", Row: "line graph", Family: "general", Bound: "0",
+		Scheme: LineGraphScheme(), MinN: 4,
+		MakeYes: func(n int, seed int64) *Instance {
+			return NewInstance(LineGraphOf(RandomTree(n+1, seed)))
+		},
+		MakeNo: func(n int, seed int64) *Instance {
+			claw := Path(n).WithEdges([]Edge{{U: n / 2, V: n + 1}, {U: n / 2, V: n + 2}}, nil)
+			return NewInstance(claw)
+		},
+		BoundBits: constB(0),
+	})
+	exps = append(exps, Experiment{
+		ID: "T1a-03", Row: "s-t reachability", Family: "undirected", Bound: "Θ(1)",
+		Scheme: ReachabilityScheme(), MinN: 4,
+		MakeYes: func(n int, seed int64) *Instance {
+			g := RandomConnected(n, 2.0/float64(n), seed)
+			return NewInstance(g).SetNodeLabel(1, LabelS).SetNodeLabel(n, LabelT)
+		},
+		MakeNo: func(n int, seed int64) *Instance {
+			g := DisjointUnion(RandomConnected(n/2, 0.3, seed), RandomConnected(n/2, 0.3, seed+1).ShiftIDs(n))
+			return NewInstance(g).SetNodeLabel(1, LabelS).SetNodeLabel(n+1, LabelT)
+		},
+		BoundBits: constB(1),
+	})
+	exps = append(exps, Experiment{
+		ID: "T1a-04", Row: "s-t unreachability", Family: "undirected", Bound: "Θ(1)",
+		Scheme: UnreachabilityScheme(), MinN: 4,
+		MakeYes: func(n int, seed int64) *Instance {
+			g := DisjointUnion(RandomConnected(n/2, 0.3, seed), RandomConnected(n/2, 0.3, seed+1).ShiftIDs(n))
+			return NewInstance(g).SetNodeLabel(1, LabelS).SetNodeLabel(n+1, LabelT)
+		},
+		MakeNo: func(n int, seed int64) *Instance {
+			return NewInstance(RandomConnected(n, 0.2, seed)).SetNodeLabel(1, LabelS).SetNodeLabel(n, LabelT)
+		},
+		BoundBits: constB(1),
+	})
+	exps = append(exps, Experiment{
+		ID: "T1a-05", Row: "s-t unreachability", Family: "directed", Bound: "Θ(1)",
+		Scheme: UnreachabilityScheme(), MinN: 4,
+		MakeYes: func(n int, seed int64) *Instance {
+			// A directed path 1→2→…→n: n cannot reach 1.
+			b := NewDirectedBuilder()
+			for i := 1; i < n; i++ {
+				b.AddEdge(i, i+1)
+			}
+			return NewInstance(b.Graph()).SetNodeLabel(n, LabelS).SetNodeLabel(1, LabelT)
+		},
+		MakeNo: func(n int, seed int64) *Instance {
+			b := NewDirectedBuilder()
+			for i := 1; i < n; i++ {
+				b.AddEdge(i, i+1)
+			}
+			return NewInstance(b.Graph()).SetNodeLabel(1, LabelS).SetNodeLabel(n, LabelT)
+		},
+		BoundBits: constB(1),
+	})
+	exps = append(exps, Experiment{
+		ID: "T1a-06", Row: "s-t connectivity = k", Family: "planar", Bound: "Θ(1)",
+		Scheme: STConnectivityPlanarScheme(), MinN: 12,
+		MakeYes: func(n int, seed int64) *Instance {
+			cols := n / 4
+			if cols < 3 {
+				cols = 3
+			}
+			g := Grid(4, cols)
+			in := NewInstance(g).SetNodeLabel(1, LabelS).SetNodeLabel(g.N(), LabelT)
+			in.Global = Global{GlobalK: 2}
+			return in
+		},
+		MakeNo: func(n int, seed int64) *Instance {
+			cols := n / 4
+			if cols < 3 {
+				cols = 3
+			}
+			g := Grid(4, cols)
+			in := NewInstance(g).SetNodeLabel(1, LabelS).SetNodeLabel(g.N(), LabelT)
+			in.Global = Global{GlobalK: 3}
+			return in
+		},
+		BoundBits: constB(16),
+	})
+	exps = append(exps, Experiment{
+		ID: "T1a-07", Row: "bipartite graph", Family: "general", Bound: "Θ(1)",
+		Scheme: BipartiteScheme(), MinN: 4,
+		MakeYes: func(n int, seed int64) *Instance {
+			return NewInstance(RandomBipartite(n/2, n-n/2, 0.3, seed))
+		},
+		MakeNo:    func(n int, seed int64) *Instance { return NewInstance(Cycle(oddUp(n))) },
+		BoundBits: constB(1),
+	})
+	exps = append(exps, Experiment{
+		ID: "T1a-08", Row: "even n(G)", Family: "cycles", Bound: "Θ(1)",
+		Scheme: EvenCycleScheme(), MinN: 4,
+		MakeYes:   func(n int, seed int64) *Instance { return NewInstance(Cycle(evenUp(n))) },
+		MakeNo:    func(n int, seed int64) *Instance { return NewInstance(Cycle(oddUp(n))) },
+		BoundBits: constB(1),
+	})
+	exps = append(exps, Experiment{
+		ID: "T1a-09", Row: "s-t connectivity = k", Family: "general", Bound: "O(log k)",
+		Scheme: STConnectivityScheme(), MinN: 9,
+		MakeYes: func(n int, seed int64) *Instance {
+			cols := n / 3
+			if cols < 3 {
+				cols = 3
+			}
+			g := Grid(3, cols)
+			// Middle of first column to middle of last column: κ = 3.
+			in := NewInstance(g).SetNodeLabel(cols+1, LabelS).SetNodeLabel(2*cols, LabelT)
+			in.Global = Global{GlobalK: 3}
+			return in
+		},
+		MakeNo: func(n int, seed int64) *Instance {
+			cols := n / 3
+			if cols < 3 {
+				cols = 3
+			}
+			g := Grid(3, cols)
+			in := NewInstance(g).SetNodeLabel(cols+1, LabelS).SetNodeLabel(2*cols, LabelT)
+			in.Global = Global{GlobalK: 2}
+			return in
+		},
+		BoundBits: constB(16),
+	})
+	exps = append(exps, Experiment{
+		ID: "T1a-10", Row: "chromatic number ≤ k", Family: "general", Bound: "O(log k)",
+		Scheme: ColorableScheme(), MinN: 4,
+		MakeYes: func(n int, seed int64) *Instance {
+			in := NewInstance(Cycle(oddUp(n))) // χ = 3
+			in.Global = Global{GlobalK: 3}
+			return in
+		},
+		MakeNo: func(n int, seed int64) *Instance {
+			in := NewInstance(oddWheelTail(n)) // χ = 4
+			in.Global = Global{GlobalK: 3}
+			return in
+		},
+		BoundBits: constB(2),
+	})
+	exps = append(exps, Experiment{
+		ID: "T1a-11", Row: "coLCP(0) properties", Family: "connected", Bound: "O(log n)",
+		Scheme: ComplementScheme("eulerian", EulerianScheme().Verifier()), MinN: 3,
+		MakeYes:   func(n int, seed int64) *Instance { return NewInstance(Path(n)) },
+		MakeNo:    func(n int, seed int64) *Instance { return NewInstance(Cycle(n)) },
+		BoundBits: logn,
+	})
+	exps = append(exps, Experiment{
+		ID: "T1a-12", Row: "monadic Σ¹₁ properties", Family: "connected", Bound: "O(log n)",
+		Scheme: schemes.ThreeColorableSigma11(func(g *graph.Graph) map[int]int {
+			return graphalg.KColor(g, 3)
+		}), MinN: 4,
+		MakeYes:   func(n int, seed int64) *Instance { return NewInstance(Cycle(oddUp(n))) },
+		MakeNo:    func(n int, seed int64) *Instance { return NewInstance(oddWheelTail(n)) },
+		BoundBits: logn,
+	})
+	exps = append(exps, Experiment{
+		ID: "T1a-13", Row: "odd n(G)", Family: "cycles", Bound: "Θ(log n)",
+		Scheme: OddNScheme(), MinN: 3,
+		MakeYes:   func(n int, seed int64) *Instance { return NewInstance(Cycle(oddUp(n))) },
+		MakeNo:    func(n int, seed int64) *Instance { return NewInstance(Cycle(evenUp(n))) },
+		BoundBits: logn,
+	})
+	exps = append(exps, Experiment{
+		ID: "T1a-14", Row: "chromatic number > 2", Family: "connected", Bound: "Θ(log n)",
+		Scheme: NonBipartiteScheme(), MinN: 3,
+		MakeYes:   func(n int, seed int64) *Instance { return NewInstance(Cycle(oddUp(n))) },
+		MakeNo:    func(n int, seed int64) *Instance { return NewInstance(Cycle(evenUp(n))) },
+		BoundBits: logn,
+	})
+	exps = append(exps, Experiment{
+		ID: "T1a-15", Row: "fixpoint-free symmetry", Family: "trees", Bound: "Θ(n)",
+		Scheme: FixpointFreeScheme(), MinN: 4,
+		MakeYes:   func(n int, seed int64) *Instance { return NewInstance(Path(evenUp(n))) },
+		MakeNo:    func(n int, seed int64) *Instance { return NewInstance(spiderOf(n)) },
+		BoundBits: func(n int) float64 { return float64(2*n) + 64 },
+	})
+	exps = append(exps, Experiment{
+		ID: "T1a-16", Row: "symmetric graph", Family: "connected", Bound: "Θ(n²)",
+		Scheme: SymmetricScheme(), MinN: 4,
+		MakeYes:   func(n int, seed int64) *Instance { return NewInstance(Cycle(n)) },
+		MakeNo:    func(n int, seed int64) *Instance { return NewInstance(spiderOf(n)) },
+		BoundBits: func(n int) float64 { return float64(n*n) + 64*float64(n) + 128 },
+	})
+	exps = append(exps, Experiment{
+		ID: "T1a-17", Row: "chromatic number > 3", Family: "connected", Bound: "Ω(n²/log n), O(n²)",
+		Scheme: NonThreeColorableScheme(), MinN: 8,
+		MakeYes:   func(n int, seed int64) *Instance { return NewInstance(oddWheelTail(n)) },
+		MakeNo:    func(n int, seed int64) *Instance { return NewInstance(Cycle(oddUp(n))) },
+		BoundBits: func(n int) float64 { return float64(n*n) + 64*float64(n) + 128 },
+	})
+	exps = append(exps, Experiment{
+		ID: "T1a-18", Row: "computable properties", Family: "connected", Bound: "O(n²)",
+		Scheme: UniversalScheme("even-m", func(g *Graph) bool { return g.M()%2 == 0 }), MinN: 4,
+		MakeYes:   func(n int, seed int64) *Instance { return NewInstance(Cycle(evenUp(n))) },
+		MakeNo:    func(n int, seed int64) *Instance { return NewInstance(Cycle(oddUp(n))) },
+		BoundBits: func(n int) float64 { return float64(n*n) + 64*float64(n) + 128 },
+	})
+
+	// ---- Table 1(b): solutions of graph problems ----
+
+	exps = append(exps, Experiment{
+		ID: "T1b-01", Row: "maximal matching", Family: "general", Bound: "0",
+		Scheme: MaximalMatchingScheme(), MinN: 4,
+		MakeYes: func(n int, seed int64) *Instance {
+			g := RandomConnected(n, 0.1, seed)
+			in := NewInstance(g)
+			for e := range graphalg.GreedyMaximalMatching(g) {
+				in.MarkEdge(e.U, e.V)
+			}
+			return in
+		},
+		MakeNo: func(n int, seed int64) *Instance {
+			return NewInstance(RandomConnected(n, 0.1, seed)) // empty matching is not maximal
+		},
+		BoundBits: constB(0),
+	})
+	exps = append(exps, Experiment{
+		ID: "T1b-02", Row: "LCL problems (MIS)", Family: "general", Bound: "0",
+		Scheme: schemes.MISLCL(), MinN: 4,
+		MakeYes: func(n int, seed int64) *Instance {
+			return greedyMISInstance(RandomConnected(n, 0.1, seed))
+		},
+		MakeNo: func(n int, seed int64) *Instance {
+			return NewInstance(RandomConnected(n, 0.1, seed)) // empty set is not maximal
+		},
+		BoundBits: constB(0),
+	})
+	exps = append(exps, Experiment{
+		ID: "T1b-03", Row: "LD problems (colouring)", Family: "connected", Bound: "0",
+		Scheme: schemes.ColoringLCL(), MinN: 4,
+		MakeYes: func(n int, seed int64) *Instance {
+			g := RandomConnected(n, 0.1, seed)
+			col, _ := graphalg.GreedyColoring(g)
+			in := NewInstance(g)
+			for v, c := range col {
+				in.SetNodeLabel(v, fmt.Sprintf("c%d", c))
+			}
+			return in
+		},
+		BoundBits: constB(0),
+	})
+	exps = append(exps, Experiment{
+		ID: "T1b-04", Row: "maximum matching", Family: "bipartite", Bound: "Θ(1)",
+		Scheme: MaximumMatchingBipartiteScheme(), MinN: 4,
+		MakeYes: func(n int, seed int64) *Instance {
+			g := RandomBipartite(n/2, n-n/2, 0.3, seed)
+			var left []int
+			for v := 1; v <= n/2; v++ {
+				left = append(left, v)
+			}
+			m, _ := graphalg.HopcroftKarp(g, left)
+			in := NewInstance(g)
+			for e := range m {
+				in.MarkEdge(e.U, e.V)
+			}
+			return in
+		},
+		MakeNo: func(n int, seed int64) *Instance {
+			return NewInstance(CompleteBipartite(n/2, n-n/2)) // empty matching not maximum
+		},
+		BoundBits: constB(1),
+	})
+	exps = append(exps, Experiment{
+		ID: "T1b-05", Row: "max-weight matching", Family: "bipartite", Bound: "O(log W)",
+		Scheme: MaxWeightMatchingScheme(), MinN: 4,
+		MakeYes: func(n int, seed int64) *Instance {
+			const W = 1000
+			g := RandomBipartite(n/2, n-n/2, 0.4, seed)
+			var left []int
+			for v := 1; v <= n/2; v++ {
+				left = append(left, v)
+			}
+			w := graphalg.Weights{}
+			rng := seed
+			for _, e := range g.Edges() {
+				rng = rng*6364136223846793005 + 1442695040888963407
+				w[e] = (rng >> 33) % (W + 1)
+				if w[e] < 0 {
+					w[e] = -w[e]
+				}
+			}
+			m := graphalg.MaxWeightMatching(g, left, w)
+			in := NewInstance(g)
+			in.Weights = map[Edge]int64{}
+			for e, wt := range w {
+				in.Weights[e] = wt
+			}
+			for e := range m {
+				in.MarkEdge(e.U, e.V)
+			}
+			in.Global = Global{GlobalW: W}
+			return in
+		},
+		BoundBits: constB(11),
+	})
+	exps = append(exps, Experiment{
+		ID: "T1b-06", Row: "coLCP(0) problems", Family: "connected", Bound: "O(log n)",
+		Scheme: ComplementScheme("maximal-matching", MaximalMatchingScheme().Verifier()), MinN: 4,
+		MakeYes: func(n int, seed int64) *Instance {
+			// Empty matching on a connected graph: not maximal, so the
+			// complement holds.
+			return NewInstance(RandomConnected(n, 0.15, seed))
+		},
+		BoundBits: logn,
+	})
+	exps = append(exps, Experiment{
+		ID: "T1b-07", Row: "leader election", Family: "connected", Bound: "Θ(log n)",
+		Scheme: LeaderElectionScheme(), MinN: 3,
+		MakeYes: func(n int, seed int64) *Instance {
+			return NewInstance(RandomConnected(n, 0.1, seed)).SetNodeLabel(1+int(seed)%n, LabelLeader)
+		},
+		MakeNo: func(n int, seed int64) *Instance {
+			return NewInstance(RandomConnected(n, 0.1, seed)).
+				SetNodeLabel(1, LabelLeader).SetNodeLabel(2, LabelLeader)
+		},
+		BoundBits: logn,
+	})
+	exps = append(exps, Experiment{
+		ID: "T1b-08", Row: "spanning tree", Family: "connected", Bound: "Θ(log n)",
+		Scheme: SpanningTreeScheme(), MinN: 3,
+		MakeYes: func(n int, seed int64) *Instance {
+			g := RandomConnected(n, 0.15, seed)
+			parent, _ := graphalg.SpanningTree(g, 1)
+			in := NewInstance(g)
+			for v, p := range parent {
+				if v != p {
+					in.MarkEdge(v, p)
+				}
+			}
+			return in
+		},
+		MakeNo: func(n int, seed int64) *Instance {
+			g := Cycle(n)
+			in := NewInstance(g)
+			for _, e := range g.Edges() {
+				in.MarkEdge(e.U, e.V) // the full cycle is not a tree
+			}
+			return in
+		},
+		BoundBits: logn,
+	})
+	exps = append(exps, Experiment{
+		ID: "T1b-09", Row: "maximum matching", Family: "cycles", Bound: "Θ(log n)",
+		Scheme: MaxMatchingCycleScheme(), MinN: 4,
+		MakeYes: func(n int, seed int64) *Instance {
+			m := evenUp(n)
+			g := Cycle(m)
+			in := NewInstance(g)
+			for i := 1; i+1 <= m; i += 2 {
+				in.MarkEdge(i, i+1)
+			}
+			return in
+		},
+		MakeNo: func(n int, seed int64) *Instance {
+			g := Cycle(evenUp(n))
+			in := NewInstance(g)
+			in.MarkEdge(1, 2)
+			return in
+		},
+		BoundBits: logn,
+	})
+	exps = append(exps, Experiment{
+		ID: "T1b-10", Row: "Hamiltonian cycle", Family: "connected", Bound: "Θ(log n)",
+		Scheme: HamiltonianCycleScheme(), MinN: 3,
+		MakeYes: func(n int, seed int64) *Instance {
+			g := Cycle(n)
+			in := NewInstance(g)
+			for _, e := range g.Edges() {
+				in.MarkEdge(e.U, e.V)
+			}
+			return in
+		},
+		MakeNo: func(n int, seed int64) *Instance {
+			g := Cycle(n)
+			in := NewInstance(g)
+			in.MarkEdge(1, 2)
+			return in
+		},
+		BoundBits: logn,
+	})
+	exps = append(exps, Experiment{
+		ID: "T1b-11", Row: "NLD#n problems (universal)", Family: "connected", Bound: "unlimited (O(n²))",
+		Scheme: UniversalScheme("connected", func(g *Graph) bool { return graphalg.Connected(g) }), MinN: 3,
+		MakeYes:   func(n int, seed int64) *Instance { return NewInstance(RandomConnected(n, 0.1, seed)) },
+		BoundBits: func(n int) float64 { return float64(n*n) + 64*float64(n) + 128 },
+	})
+
+	return exps
+}

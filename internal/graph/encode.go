@@ -1,0 +1,206 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+
+	"lcp/internal/bitstr"
+)
+
+// Binary encodings of whole graphs. The O(n²)-bit certificate of §6 ("we
+// can encode the structure of G and the unique node identifiers in O(n²)
+// bits") and the Θ(n)-bit tree certificate of §6.2 are implemented here.
+
+const (
+	encN       = 24 // bits for the node count
+	encIDWidth = 6  // bits holding the per-identifier width
+)
+
+// Encode serializes g — identifiers and structure — into a bit string of
+// O(n² + n·log(maxID)) bits. The encoding is canonical for labelled
+// graphs: Equal graphs encode identically.
+func Encode(g *Graph) bitstr.String {
+	var w bitstr.Writer
+	n := g.N()
+	w.WriteBit(g.Directed())
+	w.WriteUint(uint64(n), encN)
+	idw := bitstr.WidthFor(uint64(g.MaxID()))
+	w.WriteUint(uint64(idw), encIDWidth)
+	for _, id := range g.Nodes() {
+		w.WriteUint(uint64(id), idw)
+	}
+	nodes := g.Nodes()
+	if g.Directed() {
+		for _, u := range nodes {
+			for _, v := range nodes {
+				w.WriteBit(u != v && g.HasEdge(u, v))
+			}
+		}
+	} else {
+		for i, u := range nodes {
+			for _, v := range nodes[i+1:] {
+				w.WriteBit(g.HasEdge(u, v))
+			}
+		}
+	}
+	return w.String()
+}
+
+// Decode reverses Encode. It returns an error on any malformed input:
+// verifiers must reject adversarial certificates gracefully.
+func Decode(s bitstr.String) (*Graph, error) {
+	r := bitstr.NewReader(s)
+	directed := r.ReadBit()
+	n := int(r.ReadUint(encN))
+	idw := int(r.ReadUint(encIDWidth))
+	if r.Err() || idw > 64 {
+		return nil, fmt.Errorf("graph: malformed encoding header")
+	}
+	ids := make([]int, n)
+	for i := range ids {
+		ids[i] = int(r.ReadUint(idw))
+	}
+	if r.Err() {
+		return nil, fmt.Errorf("graph: truncated identifier table")
+	}
+	kind := Undirected
+	if directed {
+		kind = Directed
+	}
+	b := NewBuilder(kind)
+	for i, id := range ids {
+		if id <= 0 {
+			return nil, fmt.Errorf("graph: non-positive identifier %d in encoding", id)
+		}
+		if i > 0 && ids[i-1] >= id {
+			return nil, fmt.Errorf("graph: identifier table not strictly ascending")
+		}
+		b.AddNode(id)
+	}
+	if directed {
+		for _, u := range ids {
+			for _, v := range ids {
+				bit := r.ReadBit()
+				if bit && u == v {
+					return nil, fmt.Errorf("graph: self-loop bit set for node %d", u)
+				}
+				if bit {
+					b.AddEdge(u, v)
+				}
+			}
+		}
+	} else {
+		for i, u := range ids {
+			for _, v := range ids[i+1:] {
+				if r.ReadBit() {
+					b.AddEdge(u, v)
+				}
+			}
+		}
+	}
+	if r.Err() {
+		return nil, fmt.Errorf("graph: truncated adjacency matrix")
+	}
+	if !r.AtEnd() {
+		return nil, fmt.Errorf("graph: %d trailing bits in encoding", r.Remaining())
+	}
+	return b.Graph(), nil
+}
+
+// TreeEncoding is the Θ(n)-bit structural certificate of a rooted tree
+// used by the fixpoint-free symmetry scheme (§6.2). Shape holds a balanced
+// parentheses walk (2n bits); Preorder maps each node identifier to its
+// DFS preorder index, which is how individual proof labels point into the
+// shared structure.
+type TreeEncoding struct {
+	Shape    bitstr.String
+	Preorder map[int]int
+}
+
+// EncodeTree serializes the tree g rooted at root. Children are visited in
+// ascending identifier order, so the encoding is deterministic. It panics
+// if g is not a tree containing root (callers validate with graphalg).
+func EncodeTree(g *Graph, root int) TreeEncoding {
+	if g.M() != g.N()-1 {
+		panic(fmt.Sprintf("graph: EncodeTree on non-tree (n=%d, m=%d)", g.N(), g.M()))
+	}
+	var w bitstr.Writer
+	pre := make(map[int]int, g.N())
+	next := 0
+	var dfs func(v, parent int)
+	dfs = func(v, parent int) {
+		pre[v] = next
+		next++
+		w.WriteBit(true) // open
+		for _, u := range g.Neighbors(v) {
+			if u != parent {
+				dfs(u, v)
+			}
+		}
+		w.WriteBit(false) // close
+	}
+	dfs(root, 0)
+	if next != g.N() {
+		panic("graph: EncodeTree on disconnected forest")
+	}
+	return TreeEncoding{Shape: w.String(), Preorder: pre}
+}
+
+// DecodeTreeShape rebuilds an abstract tree from a balanced-parentheses
+// walk. The result maps each preorder index to the preorder indices of its
+// children; index 0 is the root. It returns an error on malformed walks.
+func DecodeTreeShape(shape bitstr.String) (children [][]int, err error) {
+	r := bitstr.NewReader(shape)
+	if shape.Len() == 0 || shape.Len()%2 != 0 {
+		return nil, fmt.Errorf("graph: parentheses walk of odd or zero length %d", shape.Len())
+	}
+	n := shape.Len() / 2
+	children = make([][]int, n)
+	var stack []int
+	next := 0
+	for i := 0; i < shape.Len(); i++ {
+		if r.ReadBit() {
+			if next >= n {
+				return nil, fmt.Errorf("graph: too many opens in parentheses walk")
+			}
+			if len(stack) > 0 {
+				p := stack[len(stack)-1]
+				children[p] = append(children[p], next)
+			} else if next != 0 {
+				return nil, fmt.Errorf("graph: forest walk (second root at %d)", next)
+			}
+			stack = append(stack, next)
+			next++
+		} else {
+			if len(stack) == 0 {
+				return nil, fmt.Errorf("graph: unbalanced close at bit %d", i)
+			}
+			stack = stack[:len(stack)-1]
+		}
+	}
+	if len(stack) != 0 {
+		return nil, fmt.Errorf("graph: %d unclosed parentheses", len(stack))
+	}
+	if next != n {
+		return nil, fmt.Errorf("graph: walk encodes %d nodes, want %d", next, n)
+	}
+	return children, nil
+}
+
+// TreeShapeNeighbors converts a DecodeTreeShape result into, for each
+// preorder index, the sorted set of neighbouring preorder indices
+// (parent and children). Local verifiers compare this against the indices
+// claimed by their actual neighbours.
+func TreeShapeNeighbors(children [][]int) [][]int {
+	nbrs := make([][]int, len(children))
+	for p, cs := range children {
+		for _, c := range cs {
+			nbrs[p] = append(nbrs[p], c)
+			nbrs[c] = append(nbrs[c], p)
+		}
+	}
+	for i := range nbrs {
+		sort.Ints(nbrs[i])
+	}
+	return nbrs
+}

@@ -1,0 +1,10 @@
+package graph
+
+import "lcp/internal/bitstr"
+
+// Test-only bridges to the bitstr package, keeping the main tests free of
+// extra imports.
+
+func FromBitsHelper(bits []byte) bitstr.String { return bitstr.FromBits(bits) }
+
+func ParseHelper(s string) bitstr.String { return bitstr.Parse(s) }

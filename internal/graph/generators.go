@@ -1,0 +1,304 @@
+package graph
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Generators for the graph families used throughout the paper's catalogue:
+// cycles, paths, trees, bipartite graphs, planar grids, and random graphs.
+// All generators are deterministic given their arguments (random ones take
+// an explicit seed), so experiments are reproducible.
+
+// Path returns the path 1–2–…–n.
+func Path(n int) *Graph {
+	if n < 1 {
+		panic(fmt.Sprintf("graph: Path(%d)", n))
+	}
+	b := NewBuilder(Undirected)
+	b.AddNode(1)
+	for i := 2; i <= n; i++ {
+		b.AddEdge(i-1, i)
+	}
+	return b.Graph()
+}
+
+// Cycle returns the cycle 1–2–…–n–1. It requires n ≥ 3 (simple graphs).
+func Cycle(n int) *Graph {
+	if n < 3 {
+		panic(fmt.Sprintf("graph: Cycle(%d): need n ≥ 3", n))
+	}
+	b := NewBuilder(Undirected)
+	for i := 1; i <= n; i++ {
+		b.AddEdge(i, i%n+1)
+	}
+	return b.Graph()
+}
+
+// CycleOf returns the cycle visiting the given identifiers in order.
+func CycleOf(ids ...int) *Graph {
+	if len(ids) < 3 {
+		panic("graph: CycleOf needs ≥ 3 nodes")
+	}
+	b := NewBuilder(Undirected)
+	for i := range ids {
+		b.AddEdge(ids[i], ids[(i+1)%len(ids)])
+	}
+	return b.Graph()
+}
+
+// Complete returns the complete graph K_n on identifiers 1..n.
+func Complete(n int) *Graph {
+	b := NewBuilder(Undirected)
+	for i := 1; i <= n; i++ {
+		b.AddNode(i)
+		for j := i + 1; j <= n; j++ {
+			b.AddEdge(i, j)
+		}
+	}
+	return b.Graph()
+}
+
+// CompleteBipartite returns K_{a,b} with left part 1..a and right part
+// a+1..a+b.
+func CompleteBipartite(a, b int) *Graph {
+	bld := NewBuilder(Undirected)
+	for i := 1; i <= a; i++ {
+		bld.AddNode(i)
+	}
+	for j := a + 1; j <= a+b; j++ {
+		bld.AddNode(j)
+	}
+	for i := 1; i <= a; i++ {
+		for j := a + 1; j <= a+b; j++ {
+			bld.AddEdge(i, j)
+		}
+	}
+	return bld.Graph()
+}
+
+// Star returns the star K_{1,n}: center 1 with leaves 2..n+1.
+func Star(n int) *Graph {
+	b := NewBuilder(Undirected)
+	b.AddNode(1)
+	for i := 2; i <= n+1; i++ {
+		b.AddEdge(1, i)
+	}
+	return b.Graph()
+}
+
+// Wheel returns the wheel W_n: an n-cycle 2..n+1 plus a hub 1 adjacent to
+// every cycle node. Requires n ≥ 3.
+func Wheel(n int) *Graph {
+	if n < 3 {
+		panic(fmt.Sprintf("graph: Wheel(%d)", n))
+	}
+	b := NewBuilder(Undirected)
+	for i := 0; i < n; i++ {
+		u := 2 + i
+		v := 2 + (i+1)%n
+		b.AddEdge(u, v)
+		b.AddEdge(1, u)
+	}
+	return b.Graph()
+}
+
+// Grid returns the rows×cols planar grid; node (r, c) has identifier
+// r*cols + c + 1 for 0-based r, c. Grids are our stand-in planar family
+// for the planar connectivity scheme (§4.2).
+func Grid(rows, cols int) *Graph {
+	if rows < 1 || cols < 1 {
+		panic(fmt.Sprintf("graph: Grid(%d,%d)", rows, cols))
+	}
+	b := NewBuilder(Undirected)
+	id := func(r, c int) int { return r*cols + c + 1 }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			b.AddNode(id(r, c))
+			if r+1 < rows {
+				b.AddEdge(id(r, c), id(r+1, c))
+			}
+			if c+1 < cols {
+				b.AddEdge(id(r, c), id(r, c+1))
+			}
+		}
+	}
+	return b.Graph()
+}
+
+// Hypercube returns the d-dimensional hypercube Q_d on 2^d nodes with
+// identifiers 1..2^d (node i+1 corresponds to bit pattern i).
+func Hypercube(d int) *Graph {
+	if d < 0 || d > 20 {
+		panic(fmt.Sprintf("graph: Hypercube(%d)", d))
+	}
+	b := NewBuilder(Undirected)
+	n := 1 << uint(d)
+	b.AddNode(1)
+	for i := 0; i < n; i++ {
+		for bit := 0; bit < d; bit++ {
+			j := i ^ (1 << uint(bit))
+			if i < j {
+				b.AddEdge(i+1, j+1)
+			}
+		}
+	}
+	return b.Graph()
+}
+
+// Petersen returns the Petersen graph (outer cycle 1..5, inner pentagram
+// 6..10). It is 3-regular, non-planar, non-bipartite and symmetric — a
+// useful all-purpose test subject.
+func Petersen() *Graph {
+	b := NewBuilder(Undirected)
+	for i := 0; i < 5; i++ {
+		b.AddEdge(1+i, 1+(i+1)%5) // outer cycle
+		b.AddEdge(6+i, 6+(i+2)%5) // inner pentagram
+		b.AddEdge(1+i, 6+i)       // spokes
+	}
+	return b.Graph()
+}
+
+// RandomTree returns a uniformly random labelled tree on 1..n via a random
+// Prüfer sequence.
+func RandomTree(n int, seed int64) *Graph {
+	if n < 1 {
+		panic(fmt.Sprintf("graph: RandomTree(%d)", n))
+	}
+	b := NewBuilder(Undirected)
+	if n == 1 {
+		b.AddNode(1)
+		return b.Graph()
+	}
+	if n == 2 {
+		b.AddEdge(1, 2)
+		return b.Graph()
+	}
+	rng := rand.New(rand.NewSource(seed))
+	prufer := make([]int, n-2)
+	for i := range prufer {
+		prufer[i] = rng.Intn(n) + 1
+	}
+	degree := make([]int, n+1)
+	for i := 1; i <= n; i++ {
+		degree[i] = 1
+	}
+	for _, v := range prufer {
+		degree[v]++
+	}
+	// Standard Prüfer decoding with a pointer-and-leaf scan.
+	ptr := 1
+	for degree[ptr] != 1 {
+		ptr++
+	}
+	leaf := ptr
+	for _, v := range prufer {
+		b.AddEdge(leaf, v)
+		degree[v]--
+		if degree[v] == 1 && v < ptr {
+			leaf = v
+		} else {
+			ptr++
+			for degree[ptr] != 1 {
+				ptr++
+			}
+			leaf = ptr
+		}
+	}
+	b.AddEdge(leaf, n)
+	return b.Graph()
+}
+
+// RandomGNP returns an Erdős–Rényi G(n, p) graph on 1..n.
+func RandomGNP(n int, p float64, seed int64) *Graph {
+	rng := rand.New(rand.NewSource(seed))
+	b := NewBuilder(Undirected)
+	for i := 1; i <= n; i++ {
+		b.AddNode(i)
+	}
+	for i := 1; i <= n; i++ {
+		for j := i + 1; j <= n; j++ {
+			if rng.Float64() < p {
+				b.AddEdge(i, j)
+			}
+		}
+	}
+	return b.Graph()
+}
+
+// RandomConnected returns a connected random graph on 1..n: a random
+// spanning tree plus each remaining edge independently with probability p.
+func RandomConnected(n int, p float64, seed int64) *Graph {
+	tree := RandomTree(n, seed)
+	rng := rand.New(rand.NewSource(seed + 1))
+	b := NewBuilder(Undirected)
+	for _, id := range tree.Nodes() {
+		b.AddNode(id)
+	}
+	for _, e := range tree.Edges() {
+		b.AddEdge(e.U, e.V)
+	}
+	for i := 1; i <= n; i++ {
+		for j := i + 1; j <= n; j++ {
+			if !tree.HasEdge(i, j) && rng.Float64() < p {
+				b.AddEdge(i, j)
+			}
+		}
+	}
+	return b.Graph()
+}
+
+// RandomBipartite returns a random bipartite graph with left part 1..a,
+// right part a+1..a+b, and each cross edge present with probability p.
+func RandomBipartite(a, b int, p float64, seed int64) *Graph {
+	rng := rand.New(rand.NewSource(seed))
+	bld := NewBuilder(Undirected)
+	for i := 1; i <= a+b; i++ {
+		bld.AddNode(i)
+	}
+	for i := 1; i <= a; i++ {
+		for j := a + 1; j <= a+b; j++ {
+			if rng.Float64() < p {
+				bld.AddEdge(i, j)
+			}
+		}
+	}
+	return bld.Graph()
+}
+
+// LineGraphOf returns the line graph L(g): one node per edge of g, with
+// two nodes adjacent iff the corresponding edges share an endpoint. Node
+// identifiers are 1..m in the order of g.Edges().
+func LineGraphOf(g *Graph) *Graph {
+	edges := g.Edges()
+	b := NewBuilder(Undirected)
+	for i := range edges {
+		b.AddNode(i + 1)
+	}
+	for i := range edges {
+		for j := i + 1; j < len(edges); j++ {
+			a, c := edges[i], edges[j]
+			if a.U == c.U || a.U == c.V || a.V == c.U || a.V == c.V {
+				b.AddEdge(i+1, j+1)
+			}
+		}
+	}
+	return b.Graph()
+}
+
+// RandomPermutationIDs returns a relabeling of g by a random permutation
+// of fresh identifiers in 1..max(4n, maxID). Used by isomorphism-
+// invariance property tests.
+func RandomPermutationIDs(g *Graph, seed int64) *Graph {
+	rng := rand.New(rand.NewSource(seed))
+	space := 4 * g.N()
+	if g.MaxID() > space {
+		space = g.MaxID()
+	}
+	perm := rng.Perm(space)
+	m := make(map[int]int, g.N())
+	for i, id := range g.Nodes() {
+		m[id] = perm[i] + 1
+	}
+	return g.Relabel(m)
+}

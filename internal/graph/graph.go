@@ -1,0 +1,434 @@
+// Package graph implements the simple graphs on which locally checkable
+// proofs operate (Göös & Suomela, PODC 2011, §2).
+//
+// Graphs are immutable once built: a Builder accumulates nodes and edges
+// and Graph() freezes them. Nodes are identified with small natural
+// numbers, V(G) ⊆ {1, 2, ..., poly(n)}, exactly as the paper assumes; the
+// identifier space being larger than n is essential for several
+// constructions (e.g. the cycles C(a,b) of §5.3 use identifiers up to
+// ~2n²). Immutability makes graphs safe to share across the
+// goroutine-per-node verifier runtime without locks.
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Kind distinguishes undirected from directed graphs.
+type Kind int
+
+const (
+	// Undirected graphs are the default throughout the paper.
+	Undirected Kind = iota + 1
+	// Directed graphs appear in the s–t unreachability scheme (§4.1).
+	Directed
+)
+
+// Edge is a graph edge. For undirected graphs it is normalized so that
+// U < V; for directed graphs it is the ordered pair (U, V).
+type Edge struct {
+	U, V int
+}
+
+// NormEdge returns the normalized undirected edge key for (u, v).
+func NormEdge(u, v int) Edge {
+	if u > v {
+		u, v = v, u
+	}
+	return Edge{U: u, V: v}
+}
+
+// Graph is an immutable simple graph. The zero value is an empty
+// undirected graph.
+type Graph struct {
+	kind Kind
+	ids  []int       // node identifiers, ascending
+	idx  map[int]int // identifier -> position in ids
+	out  [][]int     // out[i] = identifiers adjacent from ids[i], ascending
+	in   [][]int     // directed only: in[i] = identifiers adjacent to ids[i]
+	m    int         // number of edges
+}
+
+// Builder accumulates a graph. The zero value builds an undirected graph;
+// use NewBuilder to choose the kind. Builders are not safe for concurrent
+// use.
+type Builder struct {
+	kind  Kind
+	nodes map[int]bool
+	edges map[Edge]bool
+}
+
+// NewBuilder returns a Builder for a graph of the given kind.
+func NewBuilder(kind Kind) *Builder {
+	if kind != Directed {
+		kind = Undirected
+	}
+	return &Builder{kind: kind, nodes: make(map[int]bool), edges: make(map[Edge]bool)}
+}
+
+// AddNode ensures node id exists. Identifiers must be positive: the paper
+// identifies nodes with small natural numbers.
+func (b *Builder) AddNode(id int) *Builder {
+	if id <= 0 {
+		panic(fmt.Sprintf("graph: node identifier %d is not positive", id))
+	}
+	if b.nodes == nil {
+		b.nodes = make(map[int]bool)
+		b.edges = make(map[Edge]bool)
+	}
+	b.nodes[id] = true
+	return b
+}
+
+// AddEdge adds an edge (adding missing endpoints). Self-loops are
+// rejected: the paper's graphs are simple. Duplicate edges are idempotent.
+func (b *Builder) AddEdge(u, v int) *Builder {
+	if u == v {
+		panic(fmt.Sprintf("graph: self-loop at node %d", u))
+	}
+	b.AddNode(u)
+	b.AddNode(v)
+	e := Edge{U: u, V: v}
+	if b.kind != Directed {
+		e = NormEdge(u, v)
+	}
+	b.edges[e] = true
+	return b
+}
+
+// AddPath adds edges along the given node sequence.
+func (b *Builder) AddPath(ids ...int) *Builder {
+	for i := 1; i < len(ids); i++ {
+		b.AddEdge(ids[i-1], ids[i])
+	}
+	return b
+}
+
+// Graph freezes the builder into an immutable Graph. The builder may be
+// reused afterwards; the Graph does not alias its storage.
+func (b *Builder) Graph() *Graph {
+	kind := b.kind
+	if kind != Directed {
+		kind = Undirected
+	}
+	ids := make([]int, 0, len(b.nodes))
+	for id := range b.nodes {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	idx := make(map[int]int, len(ids))
+	for i, id := range ids {
+		idx[id] = i
+	}
+	out := make([][]int, len(ids))
+	var in [][]int
+	if kind == Directed {
+		in = make([][]int, len(ids))
+	}
+	for e := range b.edges {
+		out[idx[e.U]] = append(out[idx[e.U]], e.V)
+		if kind == Directed {
+			in[idx[e.V]] = append(in[idx[e.V]], e.U)
+		} else {
+			out[idx[e.V]] = append(out[idx[e.V]], e.U)
+		}
+	}
+	for i := range out {
+		sort.Ints(out[i])
+	}
+	for i := range in {
+		sort.Ints(in[i])
+	}
+	return &Graph{kind: kind, ids: ids, idx: idx, out: out, in: in, m: len(b.edges)}
+}
+
+// Kind returns whether the graph is directed or undirected.
+func (g *Graph) Kind() Kind {
+	if g.kind == 0 {
+		return Undirected
+	}
+	return g.kind
+}
+
+// Directed reports whether the graph is directed.
+func (g *Graph) Directed() bool { return g.kind == Directed }
+
+// N returns the number of nodes, n(G).
+func (g *Graph) N() int { return len(g.ids) }
+
+// M returns the number of edges.
+func (g *Graph) M() int { return g.m }
+
+// Nodes returns the node identifiers in ascending order. The caller must
+// not modify the returned slice.
+func (g *Graph) Nodes() []int { return g.ids }
+
+// Has reports whether node id exists.
+func (g *Graph) Has(id int) bool {
+	_, ok := g.idx[id]
+	return ok
+}
+
+// Neighbors returns the neighbours of id in ascending order (out-neighbours
+// for directed graphs). The caller must not modify the returned slice.
+func (g *Graph) Neighbors(id int) []int {
+	i, ok := g.idx[id]
+	if !ok {
+		panic(fmt.Sprintf("graph: unknown node %d", id))
+	}
+	return g.out[i]
+}
+
+// InNeighbors returns the in-neighbours of id for a directed graph, and
+// Neighbors(id) for an undirected one.
+func (g *Graph) InNeighbors(id int) []int {
+	if g.kind != Directed {
+		return g.Neighbors(id)
+	}
+	i, ok := g.idx[id]
+	if !ok {
+		panic(fmt.Sprintf("graph: unknown node %d", id))
+	}
+	return g.in[i]
+}
+
+// Degree returns the degree of id (out-degree for directed graphs).
+func (g *Graph) Degree(id int) int { return len(g.Neighbors(id)) }
+
+// HasEdge reports whether the edge (u, v) exists. For undirected graphs
+// the order of u and v is irrelevant. Unknown endpoints simply yield
+// false: verifiers probe views with arbitrary identifiers.
+func (g *Graph) HasEdge(u, v int) bool {
+	i, ok := g.idx[u]
+	if !ok {
+		return false
+	}
+	adj := g.out[i]
+	j := sort.SearchInts(adj, v)
+	return j < len(adj) && adj[j] == v
+}
+
+// Edges returns all edges. For undirected graphs each edge appears once,
+// normalized; for directed graphs each arc appears once. The result is
+// sorted for determinism.
+func (g *Graph) Edges() []Edge {
+	edges := make([]Edge, 0, g.m)
+	for i, u := range g.ids {
+		for _, v := range g.out[i] {
+			if g.kind == Directed || u < v {
+				edges = append(edges, Edge{U: u, V: v})
+			}
+		}
+	}
+	sort.Slice(edges, func(a, b int) bool {
+		if edges[a].U != edges[b].U {
+			return edges[a].U < edges[b].U
+		}
+		return edges[a].V < edges[b].V
+	})
+	return edges
+}
+
+// MaxID returns the largest node identifier, or 0 for the empty graph.
+func (g *Graph) MaxID() int {
+	if len(g.ids) == 0 {
+		return 0
+	}
+	return g.ids[len(g.ids)-1]
+}
+
+// Index returns the position of id in Nodes(), for dense indexing.
+func (g *Graph) Index(id int) int {
+	i, ok := g.idx[id]
+	if !ok {
+		panic(fmt.Sprintf("graph: unknown node %d", id))
+	}
+	return i
+}
+
+// Induced returns the subgraph induced by keep: its nodes are the known
+// identifiers in keep and its edges are all edges of g with both endpoints
+// kept. This is the G[v,r] operation of §2.1 when keep is a ball.
+func (g *Graph) Induced(keep []int) *Graph {
+	b := NewBuilder(g.Kind())
+	in := make(map[int]bool, len(keep))
+	for _, id := range keep {
+		if g.Has(id) {
+			in[id] = true
+			b.AddNode(id)
+		}
+	}
+	for id := range in {
+		for _, v := range g.Neighbors(id) {
+			if in[v] {
+				b.AddEdge(id, v)
+			}
+		}
+	}
+	return b.Graph()
+}
+
+// BallAround returns the set of nodes within distance radius of center
+// (V[v,r] in the paper) along with their distances from the center.
+// Distances follow undirected reachability even in directed graphs,
+// because the LOCAL model's communication graph is the underlying
+// undirected graph.
+func (g *Graph) BallAround(center int, radius int) (nodes []int, dist map[int]int) {
+	if !g.Has(center) {
+		panic(fmt.Sprintf("graph: unknown node %d", center))
+	}
+	dist = map[int]int{center: 0}
+	frontier := []int{center}
+	nodes = []int{center}
+	for d := 1; d <= radius && len(frontier) > 0; d++ {
+		var next []int
+		for _, u := range frontier {
+			for _, v := range g.Neighbors(u) {
+				if _, seen := dist[v]; !seen {
+					dist[v] = d
+					next = append(next, v)
+					nodes = append(nodes, v)
+				}
+			}
+			if g.kind == Directed {
+				for _, v := range g.InNeighbors(u) {
+					if _, seen := dist[v]; !seen {
+						dist[v] = d
+						next = append(next, v)
+						nodes = append(nodes, v)
+					}
+				}
+			}
+		}
+		frontier = next
+	}
+	sort.Ints(nodes)
+	return nodes, dist
+}
+
+// Relabel returns a copy of g with every node id replaced by m[id]. The
+// mapping must be defined and injective on V(G), with positive images.
+// Relabeling realizes the paper's notion that properties are closed under
+// re-assigning identifiers.
+func (g *Graph) Relabel(m map[int]int) *Graph {
+	b := NewBuilder(g.Kind())
+	seen := make(map[int]bool, len(g.ids))
+	for _, id := range g.ids {
+		nid, ok := m[id]
+		if !ok {
+			panic(fmt.Sprintf("graph: relabel mapping missing node %d", id))
+		}
+		if seen[nid] {
+			panic(fmt.Sprintf("graph: relabel mapping not injective at %d", nid))
+		}
+		seen[nid] = true
+		b.AddNode(nid)
+	}
+	for _, e := range g.Edges() {
+		b.AddEdge(m[e.U], m[e.V])
+	}
+	return b.Graph()
+}
+
+// ShiftIDs returns a copy of g with every identifier increased by delta.
+// This is the C(G, i) "shifted identifiers" operation of §6.1.
+func (g *Graph) ShiftIDs(delta int) *Graph {
+	m := make(map[int]int, len(g.ids))
+	for _, id := range g.ids {
+		m[id] = id + delta
+	}
+	return g.Relabel(m)
+}
+
+// DisjointUnion returns the disjoint union of g and h. Node identifier
+// sets must already be disjoint; the paper's constructions always arrange
+// this explicitly (e.g. via ShiftIDs).
+func DisjointUnion(g, h *Graph) *Graph {
+	if g.Kind() != h.Kind() {
+		panic("graph: disjoint union of mixed kinds")
+	}
+	b := NewBuilder(g.Kind())
+	for _, id := range g.Nodes() {
+		b.AddNode(id)
+	}
+	for _, id := range h.Nodes() {
+		if g.Has(id) {
+			panic(fmt.Sprintf("graph: identifier %d present in both union operands", id))
+		}
+		b.AddNode(id)
+	}
+	for _, e := range g.Edges() {
+		b.AddEdge(e.U, e.V)
+	}
+	for _, e := range h.Edges() {
+		b.AddEdge(e.U, e.V)
+	}
+	return b.Graph()
+}
+
+// WithEdges returns a copy of g with the given extra edges added and the
+// given edges removed (removals applied after additions). It is used by
+// gluing constructions that cut and re-join cycles.
+func (g *Graph) WithEdges(add []Edge, remove []Edge) *Graph {
+	b := NewBuilder(g.Kind())
+	for _, id := range g.Nodes() {
+		b.AddNode(id)
+	}
+	removed := make(map[Edge]bool, len(remove))
+	for _, e := range remove {
+		if g.kind != Directed {
+			e = NormEdge(e.U, e.V)
+		}
+		removed[e] = true
+	}
+	for _, e := range g.Edges() {
+		if !removed[e] {
+			b.AddEdge(e.U, e.V)
+		}
+	}
+	for _, e := range add {
+		key := e
+		if g.kind != Directed {
+			key = NormEdge(e.U, e.V)
+		}
+		if !removed[key] {
+			b.AddEdge(e.U, e.V)
+		}
+	}
+	return b.Graph()
+}
+
+// Equal reports whether g and h are identical labelled graphs: same kind,
+// same identifier set, same edge set. (Not isomorphism; see graphalg.)
+func Equal(g, h *Graph) bool {
+	if g.Kind() != h.Kind() || g.N() != h.N() || g.M() != h.M() {
+		return false
+	}
+	for i, id := range g.ids {
+		if h.ids[i] != id {
+			return false
+		}
+	}
+	for i, adj := range g.out {
+		hadj := h.out[h.idx[g.ids[i]]]
+		if len(adj) != len(hadj) {
+			return false
+		}
+		for j := range adj {
+			if adj[j] != hadj[j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// String renders a compact description, e.g. "undirected n=4 m=3".
+func (g *Graph) String() string {
+	kind := "undirected"
+	if g.kind == Directed {
+		kind = "directed"
+	}
+	return fmt.Sprintf("%s n=%d m=%d", kind, g.N(), g.M())
+}

@@ -1,0 +1,386 @@
+package graph
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+)
+
+func TestBuilderBasics(t *testing.T) {
+	g := NewBuilder(Undirected).AddEdge(1, 2).AddEdge(2, 3).AddNode(7).Graph()
+	if g.N() != 4 {
+		t.Errorf("N = %d, want 4", g.N())
+	}
+	if g.M() != 2 {
+		t.Errorf("M = %d, want 2", g.M())
+	}
+	if !g.HasEdge(2, 1) {
+		t.Error("undirected edge (2,1) missing")
+	}
+	if g.HasEdge(1, 3) {
+		t.Error("phantom edge (1,3)")
+	}
+	if g.Degree(7) != 0 {
+		t.Errorf("Degree(7) = %d", g.Degree(7))
+	}
+	if got := g.Nodes(); !reflect.DeepEqual(got, []int{1, 2, 3, 7}) {
+		t.Errorf("Nodes = %v", got)
+	}
+}
+
+func TestBuilderDuplicateEdgeIdempotent(t *testing.T) {
+	g := NewBuilder(Undirected).AddEdge(1, 2).AddEdge(2, 1).AddEdge(1, 2).Graph()
+	if g.M() != 1 {
+		t.Errorf("M = %d, want 1", g.M())
+	}
+	if len(g.Neighbors(1)) != 1 {
+		t.Errorf("Neighbors(1) = %v", g.Neighbors(1))
+	}
+}
+
+func TestSelfLoopPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("AddEdge(3,3) did not panic")
+		}
+	}()
+	NewBuilder(Undirected).AddEdge(3, 3)
+}
+
+func TestNonPositiveIDPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("AddNode(0) did not panic")
+		}
+	}()
+	NewBuilder(Undirected).AddNode(0)
+}
+
+func TestDirectedEdges(t *testing.T) {
+	g := NewBuilder(Directed).AddEdge(1, 2).AddEdge(3, 2).Graph()
+	if !g.HasEdge(1, 2) || g.HasEdge(2, 1) {
+		t.Error("directed edge orientation wrong")
+	}
+	if got := g.InNeighbors(2); !reflect.DeepEqual(got, []int{1, 3}) {
+		t.Errorf("InNeighbors(2) = %v", got)
+	}
+	if got := g.Neighbors(2); len(got) != 0 {
+		t.Errorf("out-Neighbors(2) = %v", got)
+	}
+}
+
+func TestEdgesSortedAndNormalized(t *testing.T) {
+	g := NewBuilder(Undirected).AddEdge(5, 2).AddEdge(3, 1).Graph()
+	want := []Edge{{1, 3}, {2, 5}}
+	if got := g.Edges(); !reflect.DeepEqual(got, want) {
+		t.Errorf("Edges = %v, want %v", got, want)
+	}
+}
+
+func TestInduced(t *testing.T) {
+	g := Cycle(6)
+	h := g.Induced([]int{1, 2, 3, 5})
+	if h.N() != 4 || h.M() != 2 {
+		t.Errorf("induced: n=%d m=%d, want 4, 2", h.N(), h.M())
+	}
+	if !h.HasEdge(1, 2) || !h.HasEdge(2, 3) || h.HasEdge(3, 5) {
+		t.Error("induced edges wrong")
+	}
+	// Unknown ids in keep are ignored.
+	h2 := g.Induced([]int{1, 99})
+	if h2.N() != 1 {
+		t.Errorf("induced with unknown id: n=%d", h2.N())
+	}
+}
+
+func TestBallAround(t *testing.T) {
+	g := Path(7) // 1-2-3-4-5-6-7
+	nodes, dist := g.BallAround(4, 2)
+	if !reflect.DeepEqual(nodes, []int{2, 3, 4, 5, 6}) {
+		t.Errorf("ball nodes = %v", nodes)
+	}
+	if dist[4] != 0 || dist[3] != 1 || dist[2] != 2 {
+		t.Errorf("dist = %v", dist)
+	}
+	nodes, _ = g.BallAround(1, 0)
+	if !reflect.DeepEqual(nodes, []int{1}) {
+		t.Errorf("radius-0 ball = %v", nodes)
+	}
+}
+
+func TestBallAroundDirectedUsesUnderlyingGraph(t *testing.T) {
+	// 1 -> 2 -> 3: the ball around 3 must still include 1 at distance 2,
+	// because LOCAL-model communication is bidirectional.
+	g := NewBuilder(Directed).AddEdge(1, 2).AddEdge(2, 3).Graph()
+	nodes, dist := g.BallAround(3, 2)
+	if !reflect.DeepEqual(nodes, []int{1, 2, 3}) {
+		t.Errorf("ball = %v", nodes)
+	}
+	if dist[1] != 2 {
+		t.Errorf("dist[1] = %d", dist[1])
+	}
+}
+
+func TestRelabelAndShift(t *testing.T) {
+	g := Cycle(4)
+	h := g.ShiftIDs(10)
+	if !reflect.DeepEqual(h.Nodes(), []int{11, 12, 13, 14}) {
+		t.Errorf("shifted nodes = %v", h.Nodes())
+	}
+	if !h.HasEdge(11, 14) {
+		t.Error("shifted edge (11,14) missing")
+	}
+	// Relabel with a non-injective map panics.
+	defer func() {
+		if recover() == nil {
+			t.Error("non-injective relabel did not panic")
+		}
+	}()
+	g.Relabel(map[int]int{1: 5, 2: 5, 3: 6, 4: 7})
+}
+
+func TestDisjointUnion(t *testing.T) {
+	g := Cycle(3)
+	h := Cycle(3).ShiftIDs(10)
+	u := DisjointUnion(g, h)
+	if u.N() != 6 || u.M() != 6 {
+		t.Errorf("union: n=%d m=%d", u.N(), u.M())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("overlapping union did not panic")
+		}
+	}()
+	DisjointUnion(g, Cycle(3))
+}
+
+func TestWithEdges(t *testing.T) {
+	g := Cycle(4) // 1-2-3-4-1
+	h := g.WithEdges([]Edge{{1, 3}}, []Edge{{4, 1}})
+	if h.HasEdge(1, 4) {
+		t.Error("removed edge still present")
+	}
+	if !h.HasEdge(1, 3) {
+		t.Error("added edge missing")
+	}
+	if h.N() != 4 || h.M() != 4 {
+		t.Errorf("n=%d m=%d", h.N(), h.M())
+	}
+}
+
+func TestEqual(t *testing.T) {
+	if !Equal(Cycle(5), Cycle(5)) {
+		t.Error("identical cycles not Equal")
+	}
+	if Equal(Cycle(5), Path(5)) {
+		t.Error("cycle Equal path")
+	}
+	if Equal(Cycle(5), Cycle(5).ShiftIDs(1)) {
+		t.Error("shifted cycle Equal original")
+	}
+}
+
+func TestGenerators(t *testing.T) {
+	cases := []struct {
+		name string
+		g    *Graph
+		n, m int
+	}{
+		{"Path(5)", Path(5), 5, 4},
+		{"Path(1)", Path(1), 1, 0},
+		{"Cycle(3)", Cycle(3), 3, 3},
+		{"Cycle(8)", Cycle(8), 8, 8},
+		{"Complete(5)", Complete(5), 5, 10},
+		{"CompleteBipartite(3,4)", CompleteBipartite(3, 4), 7, 12},
+		{"Star(6)", Star(6), 7, 6},
+		{"Wheel(5)", Wheel(5), 6, 10},
+		{"Grid(3,4)", Grid(3, 4), 12, 17},
+		{"Hypercube(3)", Hypercube(3), 8, 12},
+		{"Petersen", Petersen(), 10, 15},
+	}
+	for _, c := range cases {
+		if c.g.N() != c.n || c.g.M() != c.m {
+			t.Errorf("%s: n=%d m=%d, want n=%d m=%d", c.name, c.g.N(), c.g.M(), c.n, c.m)
+		}
+	}
+}
+
+func TestPetersenIsCubic(t *testing.T) {
+	g := Petersen()
+	for _, v := range g.Nodes() {
+		if g.Degree(v) != 3 {
+			t.Errorf("Petersen degree(%d) = %d", v, g.Degree(v))
+		}
+	}
+}
+
+func TestRandomTreeIsTree(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		for _, n := range []int{1, 2, 3, 7, 20, 50} {
+			g := RandomTree(n, seed)
+			if g.N() != n || g.M() != n-1 {
+				t.Fatalf("RandomTree(%d, %d): n=%d m=%d", n, seed, g.N(), g.M())
+			}
+			// Connectivity: ball of radius n covers everything.
+			nodes, _ := g.BallAround(1, n)
+			if len(nodes) != n {
+				t.Fatalf("RandomTree(%d, %d) disconnected", n, seed)
+			}
+		}
+	}
+}
+
+func TestRandomConnectedIsConnected(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		g := RandomConnected(30, 0.05, seed)
+		nodes, _ := g.BallAround(1, 30)
+		if len(nodes) != 30 {
+			t.Fatalf("seed %d: disconnected", seed)
+		}
+	}
+}
+
+func TestRandomBipartiteHasNoOddCycles(t *testing.T) {
+	g := RandomBipartite(8, 9, 0.5, 3)
+	for i := 1; i <= 8; i++ {
+		for j := i + 1; j <= 8; j++ {
+			if g.HasEdge(i, j) {
+				t.Fatalf("left-left edge (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestLineGraphOf(t *testing.T) {
+	// L(K_{1,3}) = K_3.
+	lg := LineGraphOf(Star(3))
+	if lg.N() != 3 || lg.M() != 3 {
+		t.Errorf("L(K_{1,3}): n=%d m=%d, want 3,3", lg.N(), lg.M())
+	}
+	// L(P_4) = P_3.
+	lp := LineGraphOf(Path(4))
+	if lp.N() != 3 || lp.M() != 2 {
+		t.Errorf("L(P_4): n=%d m=%d, want 3,2", lp.N(), lp.M())
+	}
+	// L(C_n) = C_n.
+	lc := LineGraphOf(Cycle(7))
+	if lc.N() != 7 || lc.M() != 7 {
+		t.Errorf("L(C_7): n=%d m=%d, want 7,7", lc.N(), lc.M())
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	graphs := []*Graph{
+		Path(1),
+		Cycle(5),
+		Petersen(),
+		Grid(3, 3),
+		RandomGNP(12, 0.3, 7),
+		Cycle(4).ShiftIDs(100),
+		NewBuilder(Directed).AddEdge(1, 2).AddEdge(2, 3).AddEdge(3, 1).Graph(),
+	}
+	for _, g := range graphs {
+		enc := Encode(g)
+		h, err := Decode(enc)
+		if err != nil {
+			t.Fatalf("Decode(%v): %v", g, err)
+		}
+		if !Equal(g, h) {
+			t.Errorf("round trip changed %v into %v", g, h)
+		}
+	}
+}
+
+func TestEncodeIsCanonical(t *testing.T) {
+	a := NewBuilder(Undirected).AddEdge(1, 2).AddEdge(2, 3).Graph()
+	b := NewBuilder(Undirected).AddEdge(3, 2).AddEdge(2, 1).Graph()
+	if !Encode(a).Equal(Encode(b)) {
+		t.Error("identical graphs encode differently")
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	enc := Encode(Cycle(5))
+	// Truncations must error, not crash.
+	for _, n := range []int{0, 1, 10, enc.Len() - 1} {
+		if _, err := Decode(enc.Truncate(n)); err == nil {
+			t.Errorf("Decode of %d-bit truncation succeeded", n)
+		}
+	}
+	// Trailing garbage must error.
+	padded := enc.Concat(FromBitsHelper([]byte{1}))
+	if _, err := Decode(padded); err == nil {
+		t.Error("Decode with trailing bits succeeded")
+	}
+}
+
+func TestEncodeDecodeQuickRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for i := 0; i < 30; i++ {
+		n := 1 + rng.Intn(15)
+		g := RandomGNP(n, rng.Float64(), rng.Int63())
+		h, err := Decode(Encode(g))
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		if !Equal(g, h) {
+			t.Fatalf("round trip failed for %v", g)
+		}
+	}
+}
+
+func TestEncodeTreeAndShape(t *testing.T) {
+	g := NewBuilder(Undirected).AddEdge(1, 2).AddEdge(1, 3).AddEdge(3, 4).AddEdge(3, 5).Graph()
+	enc := EncodeTree(g, 1)
+	if enc.Shape.Len() != 2*g.N() {
+		t.Errorf("shape length %d, want %d", enc.Shape.Len(), 2*g.N())
+	}
+	if enc.Preorder[1] != 0 {
+		t.Errorf("root preorder = %d", enc.Preorder[1])
+	}
+	children, err := DecodeTreeShape(enc.Shape)
+	if err != nil {
+		t.Fatalf("DecodeTreeShape: %v", err)
+	}
+	nbrs := TreeShapeNeighbors(children)
+	// Verify decoded neighbourhood structure matches the tree under the
+	// preorder mapping.
+	for _, v := range g.Nodes() {
+		var want []int
+		for _, u := range g.Neighbors(v) {
+			want = append(want, enc.Preorder[u])
+		}
+		sort.Ints(want)
+		got := nbrs[enc.Preorder[v]]
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("node %d: decoded nbrs %v, want %v", v, got, want)
+		}
+	}
+}
+
+func TestDecodeTreeShapeRejectsMalformed(t *testing.T) {
+	bad := []string{"", "1", "10 10", "0", "01", "1101"}
+	for _, s := range bad {
+		if _, err := DecodeTreeShape(ParseHelper(s)); err == nil {
+			t.Errorf("DecodeTreeShape(%q) succeeded", s)
+		}
+	}
+	// A valid single-node walk.
+	if _, err := DecodeTreeShape(ParseHelper("10")); err != nil {
+		t.Errorf("DecodeTreeShape(\"10\"): %v", err)
+	}
+}
+
+func TestRandomPermutationIDsPreservesStructure(t *testing.T) {
+	g := Petersen()
+	h := RandomPermutationIDs(g, 5)
+	if h.N() != g.N() || h.M() != g.M() {
+		t.Fatalf("permutation changed size: %v vs %v", h, g)
+	}
+	for _, v := range h.Nodes() {
+		if h.Degree(v) != 3 {
+			t.Errorf("degree(%d) = %d after relabel", v, h.Degree(v))
+		}
+	}
+}

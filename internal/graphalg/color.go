@@ -1,0 +1,220 @@
+package graphalg
+
+import (
+	"sort"
+
+	"lcp/internal/graph"
+)
+
+// Graph colouring provers. The chromatic-number schemes (§2.2, §5, §6.3)
+// need: a proper k-colouring finder (certificate for χ ≤ k), the exact
+// chromatic number on small graphs (ground truth for χ > k properties),
+// and a 3-colouring solver fast enough for the §6.3 gadget graphs, which
+// are large but heavily constraint-propagated. KColor therefore runs a
+// DSATUR-ordered backtracking search with forward checking.
+
+// IsProperColoring reports whether color assigns every node of g one of
+// the values 0..k−1 with no monochromatic edge.
+func IsProperColoring(g *graph.Graph, k int, color map[int]int) bool {
+	for _, v := range g.Nodes() {
+		c, ok := color[v]
+		if !ok || c < 0 || c >= k {
+			return false
+		}
+	}
+	for _, e := range g.Edges() {
+		if color[e.U] == color[e.V] {
+			return false
+		}
+	}
+	return true
+}
+
+// KColor finds a proper k-colouring of g, or returns nil if none exists.
+// The search is exact (exponential in the worst case); the gadget graphs
+// of §6.3 are essentially forced, so propagation does almost all the work
+// there.
+func KColor(g *graph.Graph, k int) map[int]int {
+	return KColorWithSeeds(g, k, nil)
+}
+
+// KColorWithSeeds is KColor with some colours fixed in advance. Seeds let
+// the §6.3 experiments steer which (x, y) ∈ A a gadget colouring encodes.
+// It returns nil if no proper completion exists (or a seed is out of
+// range).
+func KColorWithSeeds(g *graph.Graph, k int, seeds map[int]int) map[int]int {
+	if k <= 0 {
+		if g.N() == 0 {
+			return map[int]int{}
+		}
+		return nil
+	}
+	nodes := g.Nodes()
+	n := len(nodes)
+	idx := make(map[int]int, n)
+	for i, v := range nodes {
+		idx[v] = i
+	}
+	// domain[i] is a bitmask of allowed colours for node i.
+	full := uint64(1)<<uint(k) - 1
+	domain := make([]uint64, n)
+	for i := range domain {
+		domain[i] = full
+	}
+	for v, c := range seeds {
+		if !g.Has(v) {
+			continue
+		}
+		if c < 0 || c >= k {
+			return nil
+		}
+		domain[idx[v]] = 1 << uint(c)
+	}
+	color := make([]int, n)
+	for i := range color {
+		color[i] = -1
+	}
+	assigned := 0
+
+	type change struct {
+		node int
+		old  uint64
+	}
+	var trail []change
+	prune := func(i int, allowed uint64) bool {
+		if domain[i]&allowed == domain[i] {
+			return true
+		}
+		trail = append(trail, change{i, domain[i]})
+		domain[i] &= allowed
+		return domain[i] != 0
+	}
+
+	popcount := func(x uint64) int {
+		c := 0
+		for x != 0 {
+			x &= x - 1
+			c++
+		}
+		return c
+	}
+
+	var solve func() bool
+	solve = func() bool {
+		if assigned == n {
+			return true
+		}
+		// DSATUR-ish: pick the unassigned node with the smallest domain,
+		// tie-broken by degree.
+		best, bestSize := -1, k+1
+		for i := range domain {
+			if color[i] >= 0 {
+				continue
+			}
+			s := popcount(domain[i])
+			if s < bestSize || (s == bestSize && best >= 0 && g.Degree(nodes[i]) > g.Degree(nodes[best])) {
+				best, bestSize = i, s
+			}
+		}
+		for c := 0; c < k; c++ {
+			if domain[best]&(1<<uint(c)) == 0 {
+				continue
+			}
+			mark := len(trail)
+			color[best] = c
+			assigned++
+			ok := prune(best, 1<<uint(c))
+			if ok {
+				for _, u := range g.Neighbors(nodes[best]) {
+					j := idx[u]
+					if color[j] == -1 && !prune(j, ^uint64(1<<uint(c))) {
+						ok = false
+						break
+					}
+				}
+			}
+			if ok && solve() {
+				return true
+			}
+			for len(trail) > mark {
+				ch := trail[len(trail)-1]
+				trail = trail[:len(trail)-1]
+				domain[ch.node] = ch.old
+			}
+			color[best] = -1
+			assigned--
+		}
+		return false
+	}
+	// Unit-propagate the seeds before searching.
+	for i := range domain {
+		if popcount(domain[i]) == 1 && color[i] == -1 {
+			c := 0
+			for domain[i]&(1<<uint(c)) == 0 {
+				c++
+			}
+			color[i] = c
+			assigned++
+			for _, u := range g.Neighbors(nodes[i]) {
+				j := idx[u]
+				if color[j] == -1 && !prune(j, ^uint64(1<<uint(c))) {
+					return nil
+				}
+			}
+		}
+	}
+	if !solve() {
+		return nil
+	}
+	out := make(map[int]int, n)
+	for i, v := range nodes {
+		out[v] = color[i]
+	}
+	return out
+}
+
+// ChromaticNumber returns χ(g) by trying k = 1, 2, … (exact; small graphs
+// only). The empty graph has χ = 0.
+func ChromaticNumber(g *graph.Graph) int {
+	if g.N() == 0 {
+		return 0
+	}
+	for k := 1; ; k++ {
+		if KColor(g, k) != nil {
+			return k
+		}
+	}
+}
+
+// GreedyColoring colours g greedily in descending-degree order and
+// returns the colouring plus the number of colours used. It is the cheap
+// prover for χ ≤ k when k is generous (e.g. k = Δ+1).
+func GreedyColoring(g *graph.Graph) (map[int]int, int) {
+	nodes := append([]int{}, g.Nodes()...)
+	sort.Slice(nodes, func(i, j int) bool {
+		di, dj := g.Degree(nodes[i]), g.Degree(nodes[j])
+		if di != dj {
+			return di > dj
+		}
+		return nodes[i] < nodes[j]
+	})
+	color := make(map[int]int, len(nodes))
+	used := 0
+	for _, v := range nodes {
+		taken := make(map[int]bool)
+		for _, u := range g.Neighbors(v) {
+			if c, ok := color[u]; ok {
+				taken[c] = true
+			}
+		}
+		c := 0
+		for taken[c] {
+			c++
+		}
+		color[v] = c
+		if c+1 > used {
+			used = c + 1
+		}
+	}
+	return color, used
+}

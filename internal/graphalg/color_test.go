@@ -1,0 +1,121 @@
+package graphalg
+
+import (
+	"math/rand"
+	"testing"
+
+	"lcp/internal/graph"
+)
+
+func TestKColorKnownChromaticNumbers(t *testing.T) {
+	cases := []struct {
+		name string
+		g    *graph.Graph
+		chi  int
+	}{
+		{"P5", graph.Path(5), 2},
+		{"C6", graph.Cycle(6), 2},
+		{"C7", graph.Cycle(7), 3},
+		{"K4", graph.Complete(4), 4},
+		{"K33", graph.CompleteBipartite(3, 3), 2},
+		{"Petersen", graph.Petersen(), 3},
+		{"Wheel5", graph.Wheel(5), 4}, // odd wheel
+		{"Wheel6", graph.Wheel(6), 3}, // even wheel
+		{"Q4", graph.Hypercube(4), 2},
+		{"K1", graph.Path(1), 1},
+	}
+	for _, c := range cases {
+		if got := ChromaticNumber(c.g); got != c.chi {
+			t.Errorf("χ(%s) = %d, want %d", c.name, got, c.chi)
+		}
+		// KColor at χ succeeds and is proper; at χ−1 it fails.
+		col := KColor(c.g, c.chi)
+		if col == nil {
+			t.Errorf("%s: no %d-colouring found", c.name, c.chi)
+		} else if !IsProperColoring(c.g, c.chi, col) {
+			t.Errorf("%s: improper colouring", c.name)
+		}
+		if c.chi > 1 && KColor(c.g, c.chi-1) != nil {
+			t.Errorf("%s: coloured with %d < χ", c.name, c.chi-1)
+		}
+	}
+}
+
+func TestKColorWithSeeds(t *testing.T) {
+	g := graph.Cycle(6)
+	col := KColorWithSeeds(g, 2, map[int]int{1: 1})
+	if col == nil {
+		t.Fatal("seeded colouring failed")
+	}
+	if col[1] != 1 {
+		t.Fatalf("seed ignored: col[1] = %d", col[1])
+	}
+	if !IsProperColoring(g, 2, col) {
+		t.Fatal("improper seeded colouring")
+	}
+	// Conflicting seeds on adjacent nodes are infeasible.
+	if KColorWithSeeds(g, 2, map[int]int{1: 0, 2: 0}) != nil {
+		t.Error("conflicting seeds satisfied")
+	}
+	// Out-of-range seed.
+	if KColorWithSeeds(g, 2, map[int]int{1: 5}) != nil {
+		t.Error("out-of-range seed satisfied")
+	}
+}
+
+func TestIsProperColoringRejects(t *testing.T) {
+	g := graph.Path(3)
+	if IsProperColoring(g, 2, map[int]int{1: 0, 2: 1}) {
+		t.Error("partial colouring accepted")
+	}
+	if IsProperColoring(g, 2, map[int]int{1: 0, 2: 0, 3: 1}) {
+		t.Error("monochromatic edge accepted")
+	}
+	if IsProperColoring(g, 2, map[int]int{1: 0, 2: 3, 3: 0}) {
+		t.Error("colour ≥ k accepted")
+	}
+}
+
+func TestGreedyColoringProper(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for i := 0; i < 15; i++ {
+		g := graph.RandomGNP(30, 0.2, rng.Int63())
+		col, k := GreedyColoring(g)
+		if !IsProperColoring(g, k, col) {
+			t.Fatalf("greedy colouring improper on trial %d", i)
+		}
+		// Greedy never exceeds Δ+1.
+		maxDeg := 0
+		for _, v := range g.Nodes() {
+			if g.Degree(v) > maxDeg {
+				maxDeg = g.Degree(v)
+			}
+		}
+		if k > maxDeg+1 {
+			t.Fatalf("greedy used %d > Δ+1 = %d colours", k, maxDeg+1)
+		}
+	}
+}
+
+func TestChromaticAgreesWithBipartition(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	for i := 0; i < 15; i++ {
+		g := graph.RandomConnected(12, 0.2, rng.Int63())
+		_, _, bip := Bipartition(g)
+		chi := ChromaticNumber(g)
+		if bip != (chi <= 2) {
+			t.Fatalf("trial %d: bipartite=%v but χ=%d", i, bip, chi)
+		}
+	}
+}
+
+func TestKColorLargeSparse(t *testing.T) {
+	// A moderately large forced instance: 3-colouring a 200-node odd
+	// cycle with chords removed is easy; this guards against pathological
+	// slowdowns in propagation.
+	g := graph.Cycle(201)
+	col := KColor(g, 3)
+	if col == nil || !IsProperColoring(g, 3, col) {
+		t.Fatal("failed to 3-colour C201")
+	}
+}

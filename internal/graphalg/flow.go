@@ -1,0 +1,276 @@
+package graphalg
+
+import (
+	"fmt"
+	"sort"
+
+	"lcp/internal/graph"
+)
+
+// Menger machinery for the s–t vertex-connectivity scheme (§4.2): compute
+// a maximum set of internally vertex-disjoint s–t paths together with a
+// matching minimum vertex cut, then make each path locally minimal
+// (no shortcuts within a path), which is what lets a radius-1 verifier
+// orient the paths with distances mod 3.
+
+// DisjointPathsResult packages the §4.2 prover output.
+type DisjointPathsResult struct {
+	// Paths are internally vertex-disjoint s–t paths, each starting with s
+	// and ending with t, shortcut to local minimality.
+	Paths [][]int
+	// Cut is a minimum s–t vertex cut; |Cut| == len(Paths) and each path
+	// crosses the cut exactly once.
+	Cut []int
+	// S is the set of nodes reachable from s in G − Cut (including s);
+	// T is the remainder V − S − Cut (including t).
+	S, T map[int]bool
+}
+
+// Connectivity returns k = |Paths|, the s–t vertex connectivity.
+func (r *DisjointPathsResult) Connectivity() int { return len(r.Paths) }
+
+// DisjointPaths computes the result above for non-adjacent s, t in an
+// undirected graph. It errors if s and t are adjacent or equal (vertex
+// connectivity is then undefined/unbounded, and the paper's scheme
+// requires the S∪C∪T partition which cannot exist).
+func DisjointPaths(g *graph.Graph, s, t int) (*DisjointPathsResult, error) {
+	if s == t {
+		return nil, fmt.Errorf("graphalg: s = t = %d", s)
+	}
+	if g.HasEdge(s, t) {
+		return nil, fmt.Errorf("graphalg: s and t are adjacent; vertex connectivity undefined")
+	}
+	// Unit-capacity max-flow with node splitting: node v becomes v_in →
+	// v_out with capacity 1 (except s, t). Undirected edge {u, v} becomes
+	// u_out → v_in and v_out → u_in.
+	nodes := g.Nodes()
+	index := make(map[int]int, len(nodes))
+	for i, v := range nodes {
+		index[v] = i
+	}
+	inOf := func(v int) int { return 2 * index[v] }
+	outOf := func(v int) int { return 2*index[v] + 1 }
+	nv := 2 * len(nodes)
+
+	type edge struct {
+		to, rev int
+		cap     int
+		flow    int
+	}
+	adj := make([][]edge, nv)
+	addEdge := func(u, v, c int) {
+		adj[u] = append(adj[u], edge{to: v, rev: len(adj[v]), cap: c})
+		adj[v] = append(adj[v], edge{to: u, rev: len(adj[u]) - 1, cap: 0})
+	}
+	// Vertex capacities carry the unit bound; transit (edge) arcs are
+	// effectively infinite so that every min cut consists of splitter
+	// arcs only, i.e. is a vertex cut.
+	const bigCap = 1 << 30
+	for _, v := range nodes {
+		c := 1
+		if v == s || v == t {
+			c = bigCap
+		}
+		addEdge(inOf(v), outOf(v), c)
+	}
+	for _, e := range g.Edges() {
+		addEdge(outOf(e.U), inOf(e.V), bigCap)
+		addEdge(outOf(e.V), inOf(e.U), bigCap)
+	}
+	src, sink := outOf(s), inOf(t)
+
+	// Edmonds–Karp: k ≤ n augmentations of unit value.
+	parentEdge := make([]int, nv)
+	parentNode := make([]int, nv)
+	bfsAugment := func() bool {
+		for i := range parentNode {
+			parentNode[i] = -1
+		}
+		parentNode[src] = src
+		queue := []int{src}
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			for i, e := range adj[u] {
+				if e.cap > 0 && parentNode[e.to] == -1 {
+					parentNode[e.to] = u
+					parentEdge[e.to] = i
+					if e.to == sink {
+						return true
+					}
+					queue = append(queue, e.to)
+				}
+			}
+		}
+		return false
+	}
+	flow := 0
+	for bfsAugment() {
+		v := sink
+		for v != src {
+			u := parentNode[v]
+			e := &adj[u][parentEdge[v]]
+			e.cap--
+			e.flow++
+			rev := &adj[v][e.rev]
+			rev.cap++
+			rev.flow--
+			v = u
+		}
+		flow++
+		if flow > g.N() {
+			return nil, fmt.Errorf("graphalg: flow exceeded n; internal error")
+		}
+	}
+
+	// Min vertex cut: v is cut iff v_in is residual-reachable from src but
+	// v_out is not (the saturated splitter edge crosses the residual cut).
+	reach := make([]bool, nv)
+	reach[src] = true
+	queue := []int{src}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, e := range adj[u] {
+			if e.cap > 0 && !reach[e.to] {
+				reach[e.to] = true
+				queue = append(queue, e.to)
+			}
+		}
+	}
+	var cut []int
+	for _, v := range nodes {
+		if v != s && v != t && reach[inOf(v)] && !reach[outOf(v)] {
+			cut = append(cut, v)
+		}
+	}
+	sort.Ints(cut)
+	if len(cut) != flow {
+		return nil, fmt.Errorf("graphalg: cut size %d ≠ flow %d; internal error", len(cut), flow)
+	}
+
+	// Path extraction: follow transit arcs carrying positive flow from s.
+	// Each transit arc carries at most one unit (interior splitters have
+	// capacity 1, and s, t are non-adjacent).
+	usedNext := make(map[int][]int, flow) // u -> list of successors with flow
+	for _, u := range nodes {
+		for _, e := range adj[outOf(u)] {
+			if e.flow > 0 && e.to != inOf(u) {
+				usedNext[u] = append(usedNext[u], nodes[e.to/2])
+			}
+		}
+	}
+	// Cancel opposite unit flows on the same undirected edge (possible
+	// when augmenting paths crossed): if u→v and v→u both appear, they
+	// cancel.
+	for u, outs := range usedNext {
+		filtered := outs[:0]
+		for _, v := range outs {
+			cancelled := false
+			backs := usedNext[v]
+			for i, w := range backs {
+				if w == u {
+					usedNext[v] = append(backs[:i], backs[i+1:]...)
+					cancelled = true
+					break
+				}
+			}
+			if !cancelled {
+				filtered = append(filtered, v)
+			}
+		}
+		usedNext[u] = filtered
+	}
+	var paths [][]int
+	for i := 0; i < flow; i++ {
+		path := []int{s}
+		cur := s
+		for cur != t {
+			outs := usedNext[cur]
+			if len(outs) == 0 {
+				return nil, fmt.Errorf("graphalg: path extraction stuck at %d; internal error", cur)
+			}
+			next := outs[0]
+			usedNext[cur] = outs[1:]
+			path = append(path, next)
+			cur = next
+			if len(path) > g.N()+1 {
+				return nil, fmt.Errorf("graphalg: path extraction cycled; internal error")
+			}
+		}
+		paths = append(paths, path)
+	}
+
+	// Shortcut each path to local minimality: while some path has an edge
+	// between positions i and j ≥ i+2, splice out the interior. (§4.2:
+	// "each p_i is locally minimal".) The splice never removes the cut
+	// vertex, because that would require an S–T edge, which cannot exist.
+	for pi, path := range paths {
+		paths[pi] = shortcutPath(g, path)
+	}
+
+	// S = reachable from s in G − cut.
+	inCut := make(map[int]bool, len(cut))
+	for _, v := range cut {
+		inCut[v] = true
+	}
+	S := map[int]bool{s: true}
+	q := []int{s}
+	for len(q) > 0 {
+		u := q[0]
+		q = q[1:]
+		for _, v := range g.Neighbors(u) {
+			if !inCut[v] && !S[v] {
+				S[v] = true
+				q = append(q, v)
+			}
+		}
+	}
+	if S[t] {
+		return nil, fmt.Errorf("graphalg: t reachable from s avoiding the cut; internal error")
+	}
+	T := make(map[int]bool, g.N())
+	for _, v := range nodes {
+		if !S[v] && !inCut[v] {
+			T[v] = true
+		}
+	}
+	return &DisjointPathsResult{Paths: paths, Cut: cut, S: S, T: T}, nil
+}
+
+// shortcutPath repeatedly splices out path interiors across chords until
+// no chord between path positions remains.
+func shortcutPath(g *graph.Graph, path []int) []int {
+	for {
+		pos := make(map[int]int, len(path))
+		for i, v := range path {
+			pos[v] = i
+		}
+		best := -1
+		bestFrom, bestTo := 0, 0
+		for i, v := range path {
+			for _, u := range g.Neighbors(v) {
+				if j, ok := pos[u]; ok && j > i+1 {
+					if j-i > best {
+						best = j - i
+						bestFrom, bestTo = i, j
+					}
+				}
+			}
+		}
+		if best < 0 {
+			return path
+		}
+		path = append(append([]int{}, path[:bestFrom+1]...), path[bestTo:]...)
+	}
+}
+
+// VertexConnectivity returns the s–t vertex connectivity for non-adjacent
+// s, t (a thin wrapper over DisjointPaths).
+func VertexConnectivity(g *graph.Graph, s, t int) (int, error) {
+	r, err := DisjointPaths(g, s, t)
+	if err != nil {
+		return 0, err
+	}
+	return r.Connectivity(), nil
+}

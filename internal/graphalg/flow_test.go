@@ -1,0 +1,259 @@
+package graphalg
+
+import (
+	"math/rand"
+	"testing"
+
+	"lcp/internal/graph"
+)
+
+// validateDisjointPaths checks all structural promises of the §4.2 prover
+// output.
+func validateDisjointPaths(t *testing.T, g *graph.Graph, s, tt int, r *DisjointPathsResult) {
+	t.Helper()
+	seen := make(map[int]int)
+	for pi, path := range r.Paths {
+		if path[0] != s || path[len(path)-1] != tt {
+			t.Fatalf("path %d endpoints %d..%d", pi, path[0], path[len(path)-1])
+		}
+		for i := 1; i < len(path); i++ {
+			if !g.HasEdge(path[i-1], path[i]) {
+				t.Fatalf("path %d: non-edge %d-%d", pi, path[i-1], path[i])
+			}
+		}
+		for _, v := range path[1 : len(path)-1] {
+			if prev, dup := seen[v]; dup {
+				t.Fatalf("node %d on paths %d and %d", v, prev, pi)
+			}
+			seen[v] = pi
+		}
+		// Local minimality: no chord between non-consecutive positions.
+		pos := make(map[int]int)
+		for i, v := range path {
+			pos[v] = i
+		}
+		for i, v := range path {
+			for _, u := range g.Neighbors(v) {
+				if j, ok := pos[u]; ok && j > i+1 {
+					t.Fatalf("path %d has chord %d(-pos %d)-%d(pos %d)", pi, v, i, u, j)
+				}
+			}
+		}
+	}
+	// Cut properties.
+	inCut := make(map[int]bool)
+	for _, c := range r.Cut {
+		inCut[c] = true
+	}
+	if len(r.Cut) != len(r.Paths) {
+		t.Fatalf("|cut| = %d ≠ k = %d", len(r.Cut), len(r.Paths))
+	}
+	for pi, path := range r.Paths {
+		crossings := 0
+		for _, v := range path[1 : len(path)-1] {
+			if inCut[v] {
+				crossings++
+			}
+		}
+		if crossings != 1 {
+			t.Fatalf("path %d crosses cut %d times", pi, crossings)
+		}
+	}
+	// Partition and no S–T edges.
+	if !r.S[s] || !r.T[tt] {
+		t.Fatal("s or t on wrong side")
+	}
+	for _, v := range g.Nodes() {
+		sides := b2i(r.S[v]) + b2i(r.T[v]) + b2i(inCut[v])
+		if sides != 1 {
+			t.Fatalf("node %d is on %d sides", v, sides)
+		}
+	}
+	for _, e := range g.Edges() {
+		if (r.S[e.U] && r.T[e.V]) || (r.T[e.U] && r.S[e.V]) {
+			t.Fatalf("S–T edge %v", e)
+		}
+	}
+}
+
+func TestDisjointPathsOnGrid(t *testing.T) {
+	g := graph.Grid(4, 5)
+	s, tt := 1, 20 // opposite corners
+	r, err := DisjointPaths(g, s, tt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Connectivity() != 2 {
+		t.Fatalf("grid corner connectivity = %d, want 2", r.Connectivity())
+	}
+	validateDisjointPaths(t, g, s, tt, r)
+}
+
+func TestDisjointPathsOnCompleteBipartite(t *testing.T) {
+	// K_{3,3}: connectivity between two nodes on the same side is 3.
+	g := graph.CompleteBipartite(3, 3)
+	r, err := DisjointPaths(g, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Connectivity() != 3 {
+		t.Fatalf("connectivity = %d, want 3", r.Connectivity())
+	}
+	validateDisjointPaths(t, g, 1, 2, r)
+}
+
+func TestDisjointPathsDisconnected(t *testing.T) {
+	g := graph.DisjointUnion(graph.Cycle(4), graph.Cycle(4).ShiftIDs(10))
+	r, err := DisjointPaths(g, 1, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Connectivity() != 0 {
+		t.Fatalf("cross-component connectivity = %d", r.Connectivity())
+	}
+	if len(r.Cut) != 0 {
+		t.Fatalf("cut = %v", r.Cut)
+	}
+}
+
+func TestDisjointPathsAdjacentRejected(t *testing.T) {
+	if _, err := DisjointPaths(graph.Cycle(5), 1, 2); err == nil {
+		t.Error("adjacent s,t accepted")
+	}
+	if _, err := DisjointPaths(graph.Cycle(5), 3, 3); err == nil {
+		t.Error("s = t accepted")
+	}
+}
+
+func TestDisjointPathsPetersen(t *testing.T) {
+	// Petersen is 3-connected; any non-adjacent pair has connectivity 3.
+	g := graph.Petersen()
+	r, err := DisjointPaths(g, 1, 3) // non-adjacent on outer cycle
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Connectivity() != 3 {
+		t.Fatalf("Petersen connectivity = %d, want 3", r.Connectivity())
+	}
+	validateDisjointPaths(t, g, 1, 3, r)
+}
+
+func TestDisjointPathsRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 20; i++ {
+		g := graph.RandomConnected(18, 0.15, rng.Int63())
+		// Pick a non-adjacent pair.
+		var s, tt int
+		found := false
+		for _, u := range g.Nodes() {
+			for _, v := range g.Nodes() {
+				if u < v && !g.HasEdge(u, v) {
+					s, tt, found = u, v, true
+					break
+				}
+			}
+			if found {
+				break
+			}
+		}
+		if !found {
+			continue
+		}
+		r, err := DisjointPaths(g, s, tt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		validateDisjointPaths(t, g, s, tt, r)
+	}
+}
+
+func TestVertexConnectivityHypercube(t *testing.T) {
+	// Q3 is 3-connected; antipodal nodes 1 and 8 are non-adjacent.
+	k, err := VertexConnectivity(graph.Hypercube(3), 1, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k != 3 {
+		t.Errorf("Q3 connectivity = %d, want 3", k)
+	}
+}
+
+// bruteVertexConnectivity computes κ(s,t) by enumerating all vertex
+// subsets as candidate separators — exponential ground truth for the
+// max-flow implementation.
+func bruteVertexConnectivity(g *graph.Graph, s, t int) int {
+	var interior []int
+	for _, v := range g.Nodes() {
+		if v != s && v != t {
+			interior = append(interior, v)
+		}
+	}
+	best := len(interior) + 1 // "no cut needed" sentinel; overwritten below
+	for mask := 0; mask < 1<<uint(len(interior)); mask++ {
+		var cut []int
+		for i, v := range interior {
+			if mask&(1<<uint(i)) != 0 {
+				cut = append(cut, v)
+			}
+		}
+		if len(cut) >= best {
+			continue
+		}
+		// Is t unreachable from s in G − cut?
+		inCut := map[int]bool{}
+		for _, v := range cut {
+			inCut[v] = true
+		}
+		seen := map[int]bool{s: true}
+		queue := []int{s}
+		sep := true
+		for len(queue) > 0 && sep {
+			u := queue[0]
+			queue = queue[1:]
+			for _, v := range g.Neighbors(u) {
+				if inCut[v] || seen[v] {
+					continue
+				}
+				if v == t {
+					sep = false
+					break
+				}
+				seen[v] = true
+				queue = append(queue, v)
+			}
+		}
+		if sep {
+			best = len(cut)
+		}
+	}
+	return best
+}
+
+// TestDisjointPathsAgainstBruteForceCut: Menger duality, cross-checked —
+// the flow-based κ equals the exhaustive minimum separator size.
+func TestDisjointPathsAgainstBruteForceCut(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 25; trial++ {
+		g := graph.RandomGNP(9, 0.35, rng.Int63())
+		var s, tt int
+		found := false
+		for _, u := range g.Nodes() {
+			for _, v := range g.Nodes() {
+				if u < v && !g.HasEdge(u, v) {
+					s, tt, found = u, v, true
+				}
+			}
+		}
+		if !found {
+			continue
+		}
+		got, err := VertexConnectivity(g, s, tt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := bruteVertexConnectivity(g, s, tt)
+		if got != want {
+			t.Fatalf("trial %d: flow κ=%d, brute κ=%d (s=%d t=%d, %v)", trial, got, want, s, tt, g.Edges())
+		}
+	}
+}

@@ -1,0 +1,110 @@
+package graphalg
+
+import (
+	"sort"
+
+	"lcp/internal/graph"
+)
+
+// Hamiltonian cycle search — the prover behind the Θ(log n) Hamiltonian
+// cycle scheme (§5.1: "Hamiltonian cycles and Hamiltonian paths can be
+// verified by using the same technique"). Exact backtracking with basic
+// pruning; provers may be exponential, verifiers must be local.
+
+// HamiltonianCycle returns a Hamiltonian cycle of g as a node sequence of
+// length n (the closing edge back to the first node is implicit), or nil
+// if none exists. For n < 3 there is no cycle in a simple graph.
+func HamiltonianCycle(g *graph.Graph) []int {
+	n := g.N()
+	if n < 3 {
+		return nil
+	}
+	for _, v := range g.Nodes() {
+		if g.Degree(v) < 2 {
+			return nil
+		}
+	}
+	if !Connected(g) {
+		return nil
+	}
+	nodes := g.Nodes()
+	start := nodes[0]
+	path := []int{start}
+	inPath := map[int]bool{start: true}
+	var rec func() []int
+	rec = func() []int {
+		last := path[len(path)-1]
+		if len(path) == n {
+			if g.HasEdge(last, start) {
+				return append([]int{}, path...)
+			}
+			return nil
+		}
+		// Prune: if any unvisited node (other than the potential next
+		// hops) has fewer than 2 unvisited-or-endpoint neighbours, the
+		// partial path cannot extend to a cycle. A cheap version: sort
+		// candidates by remaining degree (Warnsdorff-style).
+		cands := append([]int{}, g.Neighbors(last)...)
+		sort.Slice(cands, func(i, j int) bool {
+			return remainingDegree(g, inPath, cands[i]) < remainingDegree(g, inPath, cands[j])
+		})
+		for _, u := range cands {
+			if inPath[u] {
+				continue
+			}
+			path = append(path, u)
+			inPath[u] = true
+			if res := rec(); res != nil {
+				return res
+			}
+			inPath[u] = false
+			path = path[:len(path)-1]
+		}
+		return nil
+	}
+	return rec()
+}
+
+func remainingDegree(g *graph.Graph, inPath map[int]bool, v int) int {
+	d := 0
+	for _, u := range g.Neighbors(v) {
+		if !inPath[u] {
+			d++
+		}
+	}
+	return d
+}
+
+// IsHamiltonianCycleEdges reports whether the edge set forms a
+// Hamiltonian cycle of g: every node has exactly two incident edges from
+// the set, the set's edges all exist, and the set is connected.
+func IsHamiltonianCycleEdges(g *graph.Graph, edges map[graph.Edge]bool) bool {
+	deg := make(map[int]int, g.N())
+	b := graph.NewBuilder(graph.Undirected)
+	for _, v := range g.Nodes() {
+		b.AddNode(v)
+	}
+	for e := range edges {
+		if !g.HasEdge(e.U, e.V) {
+			return false
+		}
+		deg[e.U]++
+		deg[e.V]++
+		b.AddEdge(e.U, e.V)
+	}
+	for _, v := range g.Nodes() {
+		if deg[v] != 2 {
+			return false
+		}
+	}
+	return Connected(b.Graph())
+}
+
+// CycleEdges converts a Hamiltonian cycle node sequence into its edge set.
+func CycleEdges(cycle []int) map[graph.Edge]bool {
+	edges := make(map[graph.Edge]bool, len(cycle))
+	for i := range cycle {
+		edges[graph.NormEdge(cycle[i], cycle[(i+1)%len(cycle)])] = true
+	}
+	return edges
+}

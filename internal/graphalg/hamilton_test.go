@@ -1,0 +1,72 @@
+package graphalg
+
+import (
+	"testing"
+
+	"lcp/internal/graph"
+)
+
+func TestHamiltonianCyclePositive(t *testing.T) {
+	graphs := []*graph.Graph{
+		graph.Cycle(8),
+		graph.Complete(6),
+		graph.CompleteBipartite(4, 4),
+		graph.Hypercube(3),
+		graph.Grid(4, 4), // even grid is Hamiltonian
+		graph.Wheel(6),
+	}
+	for _, g := range graphs {
+		cyc := HamiltonianCycle(g)
+		if cyc == nil {
+			t.Errorf("%v: no Hamiltonian cycle found", g)
+			continue
+		}
+		if len(cyc) != g.N() {
+			t.Errorf("%v: cycle length %d", g, len(cyc))
+		}
+		if !IsHamiltonianCycleEdges(g, CycleEdges(cyc)) {
+			t.Errorf("%v: returned sequence is not a Hamiltonian cycle", g)
+		}
+	}
+}
+
+func TestHamiltonianCycleNegative(t *testing.T) {
+	graphs := []*graph.Graph{
+		graph.Path(6),                 // path: endpoints degree 1
+		graph.Star(5),                 // star
+		graph.CompleteBipartite(3, 4), // unbalanced bipartite
+		graph.Petersen(),              // famously non-Hamiltonian
+		graph.Grid(3, 3),              // odd bipartite grid
+		graph.DisjointUnion(graph.Cycle(3), graph.Cycle(3).ShiftIDs(10)),
+	}
+	for _, g := range graphs {
+		if cyc := HamiltonianCycle(g); cyc != nil {
+			t.Errorf("%v: found bogus Hamiltonian cycle %v", g, cyc)
+		}
+	}
+}
+
+func TestIsHamiltonianCycleEdgesRejects(t *testing.T) {
+	g := graph.Complete(5)
+	// Two disjoint cycles covering... K5 has 5 nodes; a 3-cycle + 2 nodes
+	// unmatched: degree check fails.
+	bad := map[graph.Edge]bool{
+		graph.NormEdge(1, 2): true, graph.NormEdge(2, 3): true, graph.NormEdge(3, 1): true,
+	}
+	if IsHamiltonianCycleEdges(g, bad) {
+		t.Error("partial cycle accepted")
+	}
+	// C6 in a 6-node graph vs two triangles.
+	h := graph.Complete(6)
+	twoTri := map[graph.Edge]bool{
+		graph.NormEdge(1, 2): true, graph.NormEdge(2, 3): true, graph.NormEdge(3, 1): true,
+		graph.NormEdge(4, 5): true, graph.NormEdge(5, 6): true, graph.NormEdge(6, 4): true,
+	}
+	if IsHamiltonianCycleEdges(h, twoTri) {
+		t.Error("two disjoint triangles accepted as Hamiltonian cycle")
+	}
+	good := CycleEdges([]int{1, 2, 3, 4, 5, 6})
+	if !IsHamiltonianCycleEdges(h, good) {
+		t.Error("genuine Hamiltonian cycle rejected")
+	}
+}

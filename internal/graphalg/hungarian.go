@@ -1,0 +1,292 @@
+package graphalg
+
+import (
+	"fmt"
+
+	"lcp/internal/graph"
+)
+
+// Max-weight bipartite matching and its LP-duality certificate (§2.3 of
+// the paper). The primal maximizes Σ w_e·x_e over matchings; the dual
+// minimizes Σ y_v subject to y_u + y_v ≥ w_e and y ≥ 0. Total
+// unimodularity gives integral optima on both sides, and complementary
+// slackness is exactly what a radius-1 verifier can check. The prover
+// below computes a maximum-weight matching (Hungarian algorithm on a
+// padded assignment matrix) and then integral optimal duals (difference-
+// constraint system solved by Bellman–Ford).
+
+// Weights assigns a natural-number weight to each edge; missing edges
+// weigh 0.
+type Weights map[graph.Edge]int64
+
+// Weight returns the weight of edge (u, v).
+func (w Weights) Weight(u, v int) int64 { return w[graph.NormEdge(u, v)] }
+
+// MaxWeight returns the largest weight W (at least 0).
+func (w Weights) MaxWeight() int64 {
+	var mx int64
+	for _, x := range w {
+		if x > mx {
+			mx = x
+		}
+	}
+	return mx
+}
+
+// MatchingWeight returns Σ_{e∈m} w_e.
+func MatchingWeight(m Matching, w Weights) int64 {
+	var total int64
+	for e := range m {
+		total += w[e]
+	}
+	return total
+}
+
+// MaxWeightMatching computes a maximum-weight matching of the bipartite
+// graph g with the given left part and weights. Edges of weight 0
+// contribute nothing and are never included in the result.
+func MaxWeightMatching(g *graph.Graph, left []int, w Weights) Matching {
+	right := rightSide(g, left)
+	if len(left) == 0 || len(right) == 0 {
+		return Matching{}
+	}
+	// Pad to a square assignment matrix; absent pairs cost 0, so an
+	// optimal assignment restricted to positive-weight real edges is a
+	// maximum-weight matching.
+	n := len(left)
+	if len(right) > n {
+		n = len(right)
+	}
+	cost := make([][]int64, n)
+	for i := range cost {
+		cost[i] = make([]int64, n)
+		for j := range cost[i] {
+			if i < len(left) && j < len(right) && g.HasEdge(left[i], right[j]) {
+				cost[i][j] = -w.Weight(left[i], right[j]) // negate: maximize
+			}
+		}
+	}
+	assign := hungarianMin(cost)
+	m := make(Matching)
+	for i, j := range assign {
+		if i < len(left) && j < len(right) {
+			u, v := left[i], right[j]
+			if g.HasEdge(u, v) && w.Weight(u, v) > 0 {
+				m[graph.NormEdge(u, v)] = true
+			}
+		}
+	}
+	return m
+}
+
+// rightSide returns the nodes of g not in left, sorted.
+func rightSide(g *graph.Graph, left []int) []int {
+	isLeft := make(map[int]bool, len(left))
+	for _, v := range left {
+		isLeft[v] = true
+	}
+	var right []int
+	for _, v := range g.Nodes() {
+		if !isLeft[v] {
+			right = append(right, v)
+		}
+	}
+	return right
+}
+
+// hungarianMin solves the square assignment problem (minimization) and
+// returns assign[row] = column. Classic O(n³) potentials formulation.
+func hungarianMin(a [][]int64) []int {
+	n := len(a)
+	const inf = int64(1) << 60
+	u := make([]int64, n+1)
+	v := make([]int64, n+1)
+	p := make([]int, n+1)   // p[j] = row assigned to column j (1-based; 0 = none)
+	way := make([]int, n+1) // alternating-tree back pointers
+	for i := 1; i <= n; i++ {
+		p[0] = i
+		j0 := 0
+		minv := make([]int64, n+1)
+		used := make([]bool, n+1)
+		for j := 0; j <= n; j++ {
+			minv[j] = inf
+		}
+		for {
+			used[j0] = true
+			i0 := p[j0]
+			delta := inf
+			j1 := 0
+			for j := 1; j <= n; j++ {
+				if used[j] {
+					continue
+				}
+				cur := a[i0-1][j-1] - u[i0] - v[j]
+				if cur < minv[j] {
+					minv[j] = cur
+					way[j] = j0
+				}
+				if minv[j] < delta {
+					delta = minv[j]
+					j1 = j
+				}
+			}
+			for j := 0; j <= n; j++ {
+				if used[j] {
+					u[p[j]] += delta
+					v[j] -= delta
+				} else {
+					minv[j] -= delta
+				}
+			}
+			j0 = j1
+			if p[j0] == 0 {
+				break
+			}
+		}
+		for j0 != 0 {
+			j1 := way[j0]
+			p[j0] = p[j1]
+			j0 = j1
+		}
+	}
+	assign := make([]int, n)
+	for j := 1; j <= n; j++ {
+		if p[j] != 0 {
+			assign[p[j]-1] = j - 1
+		}
+	}
+	return assign
+}
+
+// OptimalDuals computes integral optimal duals y for a maximum-weight
+// matching m of the bipartite graph g (with the given left part): y ≥ 0,
+// y_u + y_v ≥ w_e on every edge, y_u + y_v = w_e on matched edges, and
+// y_v = 0 on unmatched nodes. This is the O(log W)-bit certificate of
+// §2.3.
+//
+// The system reduces to difference constraints on one variable t_e per
+// matched edge (t_e = y of the matched edge's left endpoint; the right
+// endpoint then carries w_e − t_e) and is solved by Bellman–Ford. LP
+// duality guarantees feasibility exactly when m is maximum-weight, so an
+// error here means m was not optimal (or the sides were wrong).
+func OptimalDuals(g *graph.Graph, left []int, m Matching, w Weights) (map[int]int64, error) {
+	isLeft := make(map[int]bool, len(left))
+	for _, v := range left {
+		isLeft[v] = true
+	}
+	matchedEdges := m.Edges()
+	idx := make(map[int]int, 2*len(matchedEdges)) // node -> matched edge index
+	for i, e := range matchedEdges {
+		idx[e.U] = i
+		idx[e.V] = i
+	}
+	// Variables x_0 (fixed 0) and t_1..t_k, with t_i = y of matched edge
+	// i's left endpoint. Every constraint has the form x_b − x_a ≤ c,
+	// i.e. an arc a→b of length c; shortest distances from x_0 solve the
+	// system.
+	k := len(matchedEdges)
+	type arc struct {
+		from, to int
+		c        int64
+	}
+	var arcs []arc
+	// Bounds 0 ≤ t_i ≤ w_i.
+	for i, e := range matchedEdges {
+		arcs = append(arcs, arc{0, i + 1, w[e]}) // t_i ≤ w_i
+		arcs = append(arcs, arc{i + 1, 0, 0})    // t_i ≥ 0
+	}
+	for _, e := range g.Edges() {
+		if m[e] {
+			continue
+		}
+		if isLeft[e.U] == isLeft[e.V] {
+			return nil, fmt.Errorf("graphalg: edge %v does not cross the given bipartition", e)
+		}
+		l, r := e.U, e.V
+		if !isLeft[l] {
+			l, r = r, l
+		}
+		we := w[e]
+		li, lMatched := idx[l]
+		ri, rMatched := idx[r]
+		switch {
+		case !lMatched && !rMatched:
+			// y_l = y_r = 0, so we must have w_e ≤ 0.
+			if we > 0 {
+				return nil, fmt.Errorf("graphalg: matching not maximum: free edge %v has weight %d", e, we)
+			}
+		case lMatched && !rMatched:
+			// t_l ≥ w_e ⇔ x_0 − t_l ≤ −w_e.
+			arcs = append(arcs, arc{li + 1, 0, -we})
+		case !lMatched && rMatched:
+			// (w_r − t_r) ≥ w_e ⇔ t_r ≤ w_r − w_e.
+			arcs = append(arcs, arc{0, ri + 1, w[matchedEdges[ri]] - we})
+		default:
+			// t_l + (w_r − t_r) ≥ w_e ⇔ t_r − t_l ≤ w_r − w_e.
+			arcs = append(arcs, arc{li + 1, ri + 1, w[matchedEdges[ri]] - we})
+		}
+	}
+	// Bellman–Ford from x_0.
+	const inf = int64(1) << 60
+	dist := make([]int64, k+1)
+	for i := 1; i <= k; i++ {
+		dist[i] = inf
+	}
+	for round := 0; ; round++ {
+		changed := false
+		for _, a := range arcs {
+			if dist[a.from] < inf && dist[a.from]+a.c < dist[a.to] {
+				dist[a.to] = dist[a.from] + a.c
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+		if round > k+1 {
+			return nil, fmt.Errorf("graphalg: dual system infeasible; matching is not maximum-weight")
+		}
+	}
+	if dist[0] < 0 {
+		return nil, fmt.Errorf("graphalg: dual system infeasible (negative cycle through origin)")
+	}
+	y := make(map[int]int64, g.N())
+	for _, v := range g.Nodes() {
+		y[v] = 0
+	}
+	for i, e := range matchedEdges {
+		t := dist[i+1]
+		l, r := e.U, e.V
+		if !isLeft[l] {
+			l, r = r, l
+		}
+		y[l] = t
+		y[r] = w[e] - t
+	}
+	return y, nil
+}
+
+// CheckComplementarySlackness verifies the §2.3 certificate conditions
+// globally (the local verifier re-checks them per node): dual feasibility,
+// tightness on matched edges, and y = 0 off the matching. It returns nil
+// iff the certificate proves m is a maximum-weight matching.
+func CheckComplementarySlackness(g *graph.Graph, m Matching, w Weights, y map[int]int64) error {
+	for _, v := range g.Nodes() {
+		if y[v] < 0 {
+			return fmt.Errorf("dual y[%d] = %d < 0", v, y[v])
+		}
+		if y[v] > 0 && m.MatchedWith(v) == 0 {
+			return fmt.Errorf("node %d has positive dual %d but is unmatched", v, y[v])
+		}
+	}
+	for _, e := range g.Edges() {
+		s := y[e.U] + y[e.V]
+		if s < w[e] {
+			return fmt.Errorf("edge %v: y sum %d < weight %d", e, s, w[e])
+		}
+		if m[e] && s != w[e] {
+			return fmt.Errorf("matched edge %v: y sum %d ≠ weight %d", e, s, w[e])
+		}
+	}
+	return nil
+}

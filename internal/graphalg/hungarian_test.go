@@ -1,0 +1,157 @@
+package graphalg
+
+import (
+	"math/rand"
+	"testing"
+
+	"lcp/internal/graph"
+)
+
+// bruteMaxWeight computes the maximum matching weight exhaustively.
+func bruteMaxWeight(g *graph.Graph, w Weights) int64 {
+	edges := g.Edges()
+	var rec func(i int, used map[int]bool) int64
+	rec = func(i int, used map[int]bool) int64 {
+		if i == len(edges) {
+			return 0
+		}
+		best := rec(i+1, used)
+		e := edges[i]
+		if !used[e.U] && !used[e.V] {
+			used[e.U], used[e.V] = true, true
+			if v := w[e] + rec(i+1, used); v > best {
+				best = v
+			}
+			delete(used, e.U)
+			delete(used, e.V)
+		}
+		return best
+	}
+	return rec(0, map[int]bool{})
+}
+
+func randomWeights(g *graph.Graph, maxW int64, rng *rand.Rand) Weights {
+	w := make(Weights)
+	for _, e := range g.Edges() {
+		w[e] = rng.Int63n(maxW + 1)
+	}
+	return w
+}
+
+func TestMaxWeightMatchingAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for i := 0; i < 30; i++ {
+		a, b := 1+rng.Intn(5), 1+rng.Intn(5)
+		g := graph.RandomBipartite(a, b, 0.6, rng.Int63())
+		w := randomWeights(g, 20, rng)
+		m := MaxWeightMatching(g, leftOf(a), w)
+		if !IsMatching(g, m) {
+			t.Fatalf("invalid matching on trial %d", i)
+		}
+		got := MatchingWeight(m, w)
+		want := bruteMaxWeight(g, w)
+		if got != want {
+			t.Fatalf("trial %d: weight %d, want %d", i, got, want)
+		}
+	}
+}
+
+func TestOptimalDualsCertifyRandomInstances(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for i := 0; i < 30; i++ {
+		a, b := 1+rng.Intn(6), 1+rng.Intn(6)
+		g := graph.RandomBipartite(a, b, 0.5, rng.Int63())
+		w := randomWeights(g, 15, rng)
+		m := MaxWeightMatching(g, leftOf(a), w)
+		y, err := OptimalDuals(g, leftOf(a), m, w)
+		if err != nil {
+			t.Fatalf("trial %d: OptimalDuals: %v", i, err)
+		}
+		if err := CheckComplementarySlackness(g, m, w, y); err != nil {
+			t.Fatalf("trial %d: slackness: %v", i, err)
+		}
+		// Strong duality: Σy == matching weight.
+		var sum int64
+		for _, v := range y {
+			sum += v
+		}
+		if sum != MatchingWeight(m, w) {
+			t.Fatalf("trial %d: Σy = %d ≠ weight %d", i, sum, MatchingWeight(m, w))
+		}
+		// Duals bounded by W (§2.3: y_v ∈ {0..W}).
+		W := w.MaxWeight()
+		for v, yv := range y {
+			if yv < 0 || yv > W {
+				t.Fatalf("trial %d: y[%d] = %d outside [0, %d]", i, v, yv, W)
+			}
+		}
+	}
+}
+
+func TestOptimalDualsRejectSuboptimalMatching(t *testing.T) {
+	// K_{2,2} with one heavy edge; the empty matching is not maximum.
+	g := graph.CompleteBipartite(2, 2)
+	w := Weights{graph.NormEdge(1, 3): 5, graph.NormEdge(2, 4): 5, graph.NormEdge(1, 4): 1, graph.NormEdge(2, 3): 1}
+	sub := Matching{graph.NormEdge(1, 4): true, graph.NormEdge(2, 3): true} // weight 2 < 10
+	if _, err := OptimalDuals(g, leftOf(2), sub, w); err == nil {
+		t.Error("duals found for suboptimal matching")
+	}
+	empty := Matching{}
+	if _, err := OptimalDuals(g, leftOf(2), empty, w); err == nil {
+		t.Error("duals found for empty matching with positive weights")
+	}
+}
+
+func TestMaxWeightMatchingZeroWeightsEmpty(t *testing.T) {
+	g := graph.CompleteBipartite(3, 3)
+	m := MaxWeightMatching(g, leftOf(3), Weights{})
+	if len(m) != 0 {
+		t.Errorf("zero-weight instance matched %d edges", len(m))
+	}
+	y, err := OptimalDuals(g, leftOf(3), m, Weights{})
+	if err != nil {
+		t.Fatalf("OptimalDuals: %v", err)
+	}
+	for v, yv := range y {
+		if yv != 0 {
+			t.Errorf("y[%d] = %d, want 0", v, yv)
+		}
+	}
+}
+
+func TestKonigAsZeroOneSpecialCase(t *testing.T) {
+	// With unit weights, max-weight == max-cardinality; duals become a
+	// fractional-free vertex cover indicator (0/1 by integrality).
+	rng := rand.New(rand.NewSource(31))
+	for i := 0; i < 15; i++ {
+		a, b := 2+rng.Intn(4), 2+rng.Intn(4)
+		g := graph.RandomBipartite(a, b, 0.5, rng.Int63())
+		w := make(Weights)
+		for _, e := range g.Edges() {
+			w[e] = 1
+		}
+		m := MaxWeightMatching(g, leftOf(a), w)
+		if int64(len(m)) != MatchingWeight(m, w) {
+			t.Fatal("unit weights miscounted")
+		}
+		y, err := OptimalDuals(g, leftOf(a), m, w)
+		if err != nil {
+			t.Fatalf("duals: %v", err)
+		}
+		cover := make(map[int]bool)
+		for v, yv := range y {
+			if yv > 0 {
+				if yv != 1 {
+					t.Fatalf("non-0/1 dual %d with unit weights", yv)
+				}
+				cover[v] = true
+			}
+		}
+		if !IsVertexCover(g, cover) {
+			t.Fatal("positive-dual nodes do not cover")
+		}
+		if len(cover) != len(m) {
+			t.Fatalf("|cover|=%d ≠ |M|=%d", len(cover), len(m))
+		}
+	}
+}

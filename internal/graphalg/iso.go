@@ -1,0 +1,375 @@
+package graphalg
+
+import (
+	"sort"
+
+	"lcp/internal/graph"
+)
+
+// Isomorphism, automorphism and canonical-form machinery for §6:
+// symmetric graphs (non-trivial automorphisms), fixpoint-free symmetries
+// on trees, and the canonical forms C(G) / shifted copies C(G, i) used by
+// the G₁⊙G₂ gluing construction.
+//
+// The provers and fooling constructions only invoke these on small graphs
+// (the gluing arguments need |F_k| to exceed a proof-bit budget, which
+// happens for modest k), so exact backtracking with partition-refinement
+// pruning is the right tool.
+
+// Isomorphisms enumerates isomorphisms g → h, invoking accept for each;
+// enumeration stops (returning true) when accept returns true. It returns
+// false if no accepted isomorphism exists. The search maps nodes of g in
+// a fixed order with adjacency-consistency pruning (VF2-style).
+func Isomorphisms(g, h *graph.Graph, accept func(map[int]int) bool) bool {
+	if g.N() != h.N() || g.M() != h.M() || g.Directed() != h.Directed() {
+		return false
+	}
+	gn := append([]int{}, g.Nodes()...)
+	// Order g's nodes to keep the frontier connected: BFS from a
+	// max-degree node, component by component.
+	gn = searchOrder(g, gn)
+	hn := h.Nodes()
+
+	// Degree histograms must agree.
+	if !sameDegreeHistogram(g, h) {
+		return false
+	}
+
+	mapped := make(map[int]int, g.N()) // g node -> h node
+	used := make(map[int]bool, h.N())  // h nodes already used
+	var rec func(i int) bool
+	rec = func(i int) bool {
+		if i == len(gn) {
+			m := make(map[int]int, len(mapped))
+			for k, v := range mapped {
+				m[k] = v
+			}
+			return accept(m)
+		}
+		v := gn[i]
+		for _, u := range hn {
+			if used[u] || g.Degree(v) != h.Degree(u) {
+				continue
+			}
+			if !consistent(g, h, mapped, v, u) {
+				continue
+			}
+			mapped[v] = u
+			used[u] = true
+			if rec(i + 1) {
+				return true
+			}
+			delete(mapped, v)
+			used[u] = false
+		}
+		return false
+	}
+	return rec(0)
+}
+
+func searchOrder(g *graph.Graph, nodes []int) []int {
+	seen := make(map[int]bool, len(nodes))
+	var order []int
+	remaining := append([]int{}, nodes...)
+	sort.Slice(remaining, func(i, j int) bool {
+		di, dj := g.Degree(remaining[i]), g.Degree(remaining[j])
+		if di != dj {
+			return di > dj
+		}
+		return remaining[i] < remaining[j]
+	})
+	for _, start := range remaining {
+		if seen[start] {
+			continue
+		}
+		queue := []int{start}
+		seen[start] = true
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			order = append(order, v)
+			for _, u := range g.Neighbors(v) {
+				if !seen[u] {
+					seen[u] = true
+					queue = append(queue, u)
+				}
+			}
+		}
+	}
+	return order
+}
+
+func sameDegreeHistogram(g, h *graph.Graph) bool {
+	hist := func(x *graph.Graph) map[int]int {
+		m := make(map[int]int)
+		for _, v := range x.Nodes() {
+			m[x.Degree(v)]++
+		}
+		return m
+	}
+	hg, hh := hist(g), hist(h)
+	if len(hg) != len(hh) {
+		return false
+	}
+	for d, c := range hg {
+		if hh[d] != c {
+			return false
+		}
+	}
+	return true
+}
+
+// consistent checks that mapping v→u preserves adjacency with all
+// already-mapped nodes (both edge presence and absence).
+func consistent(g, h *graph.Graph, mapped map[int]int, v, u int) bool {
+	for x, y := range mapped {
+		if g.HasEdge(v, x) != h.HasEdge(u, y) {
+			return false
+		}
+		if g.Directed() && g.HasEdge(x, v) != h.HasEdge(y, u) {
+			return false
+		}
+	}
+	return true
+}
+
+// IsIsomorphic reports whether g and h are isomorphic.
+func IsIsomorphic(g, h *graph.Graph) bool {
+	return Isomorphisms(g, h, func(map[int]int) bool { return true })
+}
+
+// NontrivialAutomorphism returns a non-identity automorphism of g, or nil
+// if g is asymmetric. This decides the §6.1 property "G is symmetric".
+func NontrivialAutomorphism(g *graph.Graph) map[int]int {
+	var found map[int]int
+	Isomorphisms(g, g, func(m map[int]int) bool {
+		for v, u := range m {
+			if v != u {
+				found = m
+				return true
+			}
+		}
+		return false // identity; keep searching
+	})
+	return found
+}
+
+// IsAsymmetric reports whether g has no non-trivial automorphism.
+func IsAsymmetric(g *graph.Graph) bool {
+	return NontrivialAutomorphism(g) == nil
+}
+
+// FixpointFreeAutomorphism returns an automorphism with g(v) ≠ v for all
+// v, or nil if none exists (§6.2).
+func FixpointFreeAutomorphism(g *graph.Graph) map[int]int {
+	var found map[int]int
+	// Prune inside accept only; the searcher does not support per-pair
+	// filters, but fixpoint-freeness fails fast in accept and graphs here
+	// are small.
+	Isomorphisms(g, g, func(m map[int]int) bool {
+		for v, u := range m {
+			if v == u {
+				return false
+			}
+		}
+		found = m
+		return true
+	})
+	return found
+}
+
+// IsAutomorphism reports whether m is an automorphism of g: a bijection
+// V→V preserving adjacency both ways.
+func IsAutomorphism(g *graph.Graph, m map[int]int) bool {
+	if len(m) != g.N() {
+		return false
+	}
+	img := make(map[int]bool, len(m))
+	for v, u := range m {
+		if !g.Has(v) || !g.Has(u) || img[u] {
+			return false
+		}
+		img[u] = true
+	}
+	for _, e := range g.Edges() {
+		if !g.HasEdge(m[e.U], m[e.V]) {
+			return false
+		}
+	}
+	return true
+}
+
+// CanonicalForm returns C(g): a graph isomorphic to g whose node
+// identifiers are 1..n, such that isomorphic graphs yield Equal canonical
+// forms. It uses colour refinement plus backtracking individualization,
+// selecting the lexicographically largest adjacency encoding.
+func CanonicalForm(g *graph.Graph) *graph.Graph {
+	order := CanonicalOrder(g)
+	m := make(map[int]int, len(order))
+	for pos, id := range order {
+		m[id] = pos + 1
+	}
+	return g.Relabel(m)
+}
+
+// CanonicalOrder returns the node ids of g in canonical order: position i
+// of the result is the node that becomes identifier i+1 in CanonicalForm.
+func CanonicalOrder(g *graph.Graph) []int {
+	n := g.N()
+	if n == 0 {
+		return nil
+	}
+	nodes := g.Nodes()
+	idx := make(map[int]int, n)
+	for i, v := range nodes {
+		idx[v] = i
+	}
+	adj := make([][]bool, n)
+	for i := range adj {
+		adj[i] = make([]bool, n)
+	}
+	for _, e := range g.Edges() {
+		adj[idx[e.U]][idx[e.V]] = true
+		adj[idx[e.V]][idx[e.U]] = true
+	}
+
+	var bestKey string
+	var bestOrder []int
+	var rec func(part [][]int)
+	rec = func(part [][]int) {
+		part = refine(adj, part)
+		// Find first non-singleton cell.
+		target := -1
+		for i, cell := range part {
+			if len(cell) > 1 {
+				target = i
+				break
+			}
+		}
+		if target == -1 {
+			// Discrete: evaluate the ordering.
+			order := make([]int, n)
+			for i, cell := range part {
+				order[i] = cell[0]
+			}
+			key := adjacencyKey(adj, order)
+			if bestOrder == nil || key > bestKey {
+				bestKey = key
+				bestOrder = order
+			}
+			return
+		}
+		cell := part[target]
+		for _, pick := range cell {
+			next := make([][]int, 0, len(part)+1)
+			next = append(next, part[:target]...)
+			next = append(next, []int{pick})
+			rest := make([]int, 0, len(cell)-1)
+			for _, x := range cell {
+				if x != pick {
+					rest = append(rest, x)
+				}
+			}
+			next = append(next, rest)
+			next = append(next, part[target+1:]...)
+			rec(next)
+		}
+	}
+	rec([][]int{indices(n)})
+
+	order := make([]int, n)
+	for pos, i := range bestOrder {
+		order[pos] = nodes[i]
+	}
+	return order
+}
+
+func indices(n int) []int {
+	s := make([]int, n)
+	for i := range s {
+		s[i] = i
+	}
+	return s
+}
+
+// refine performs equitable colour refinement: repeatedly split cells by
+// the multiset of neighbour counts into each cell, until stable. Cells
+// are kept in a deterministic order (split products ordered by count
+// signature), which is what makes the final ordering canonical.
+func refine(adj [][]bool, part [][]int) [][]int {
+	for {
+		changed := false
+		var next [][]int
+		for _, cell := range part {
+			if len(cell) == 1 {
+				next = append(next, cell)
+				continue
+			}
+			// Signature of v: number of neighbours in each current cell.
+			sig := make(map[int]string, len(cell))
+			for _, v := range cell {
+				key := make([]byte, 0, 2*len(part))
+				for _, other := range part {
+					c := 0
+					for _, u := range other {
+						if adj[v][u] {
+							c++
+						}
+					}
+					key = append(key, byte(c>>8), byte(c))
+				}
+				sig[v] = string(key)
+			}
+			groups := make(map[string][]int)
+			var keys []string
+			for _, v := range cell {
+				s := sig[v]
+				if _, ok := groups[s]; !ok {
+					keys = append(keys, s)
+				}
+				groups[s] = append(groups[s], v)
+			}
+			if len(groups) == 1 {
+				next = append(next, cell)
+				continue
+			}
+			changed = true
+			sort.Strings(keys)
+			for _, s := range keys {
+				grp := groups[s]
+				sort.Ints(grp)
+				next = append(next, grp)
+			}
+		}
+		part = next
+		if !changed {
+			return part
+		}
+	}
+}
+
+// adjacencyKey renders the adjacency matrix under the given ordering as a
+// comparable string.
+func adjacencyKey(adj [][]bool, order []int) string {
+	n := len(order)
+	buf := make([]byte, 0, n*n/8+1)
+	var cur byte
+	bits := 0
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			cur <<= 1
+			if adj[order[i]][order[j]] {
+				cur |= 1
+			}
+			bits++
+			if bits == 8 {
+				buf = append(buf, cur)
+				cur, bits = 0, 0
+			}
+		}
+	}
+	if bits > 0 {
+		buf = append(buf, cur<<(8-uint(bits)))
+	}
+	return string(buf)
+}

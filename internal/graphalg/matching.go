@@ -1,0 +1,288 @@
+package graphalg
+
+import (
+	"sort"
+
+	"lcp/internal/graph"
+)
+
+// Matching utilities: validity and maximality checks (the LCP(0) verifier
+// of §2.3), Hopcroft–Karp maximum bipartite matching, and the König
+// minimum vertex cover construction that yields the 1-bit certificate for
+// maximum matchings in bipartite graphs.
+
+// Matching is a set of edges, keyed by normalized edge.
+type Matching map[graph.Edge]bool
+
+// MatchedWith returns the partner of v in m, or 0 if v is unmatched.
+func (m Matching) MatchedWith(v int) int {
+	for e := range m {
+		if e.U == v {
+			return e.V
+		}
+		if e.V == v {
+			return e.U
+		}
+	}
+	return 0
+}
+
+// Edges returns the matching as a sorted edge slice.
+func (m Matching) Edges() []graph.Edge {
+	es := make([]graph.Edge, 0, len(m))
+	for e := range m {
+		es = append(es, e)
+	}
+	sort.Slice(es, func(i, j int) bool {
+		if es[i].U != es[j].U {
+			return es[i].U < es[j].U
+		}
+		return es[i].V < es[j].V
+	})
+	return es
+}
+
+// IsMatching reports whether edges form a matching in g: all edges exist
+// and no two share an endpoint.
+func IsMatching(g *graph.Graph, m Matching) bool {
+	used := make(map[int]bool, 2*len(m))
+	for e := range m {
+		if !g.HasEdge(e.U, e.V) {
+			return false
+		}
+		if used[e.U] || used[e.V] {
+			return false
+		}
+		used[e.U] = true
+		used[e.V] = true
+	}
+	return true
+}
+
+// IsMaximalMatching reports whether m is a maximal matching of g: a valid
+// matching that cannot be extended by any single edge.
+func IsMaximalMatching(g *graph.Graph, m Matching) bool {
+	if !IsMatching(g, m) {
+		return false
+	}
+	matched := make(map[int]bool, 2*len(m))
+	for e := range m {
+		matched[e.U] = true
+		matched[e.V] = true
+	}
+	for _, e := range g.Edges() {
+		if !matched[e.U] && !matched[e.V] {
+			return false
+		}
+	}
+	return true
+}
+
+// GreedyMaximalMatching returns a deterministic maximal matching (scan
+// edges in sorted order).
+func GreedyMaximalMatching(g *graph.Graph) Matching {
+	m := make(Matching)
+	matched := make(map[int]bool, g.N())
+	for _, e := range g.Edges() {
+		if !matched[e.U] && !matched[e.V] {
+			m[e] = true
+			matched[e.U] = true
+			matched[e.V] = true
+		}
+	}
+	return m
+}
+
+// HopcroftKarp computes a maximum matching of a bipartite graph given the
+// left part. It returns the matching and the matchL map (left node →
+// partner, 0 if unmatched). It panics if left is not an independent-set
+// side of g (callers establish bipartiteness first).
+func HopcroftKarp(g *graph.Graph, left []int) (Matching, map[int]int) {
+	isLeft := make(map[int]bool, len(left))
+	for _, v := range left {
+		isLeft[v] = true
+	}
+	for _, v := range left {
+		for _, u := range g.Neighbors(v) {
+			if isLeft[u] {
+				panic("graphalg: HopcroftKarp: left side is not independent")
+			}
+		}
+	}
+	matchL := make(map[int]int, len(left)) // left -> right (0 = free)
+	matchR := make(map[int]int)            // right -> left (0 = free)
+
+	// Standard BFS/DFS phases.
+	const inf = int(^uint(0) >> 1)
+	distance := make(map[int]int, len(left))
+	bfs := func() bool {
+		queue := make([]int, 0, len(left))
+		for _, v := range left {
+			if matchL[v] == 0 {
+				distance[v] = 0
+				queue = append(queue, v)
+			} else {
+				distance[v] = inf
+			}
+		}
+		found := false
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			for _, u := range g.Neighbors(v) {
+				w := matchR[u]
+				if w == 0 {
+					found = true
+				} else if distance[w] == inf {
+					distance[w] = distance[v] + 1
+					queue = append(queue, w)
+				}
+			}
+		}
+		return found
+	}
+	var dfs func(v int) bool
+	dfs = func(v int) bool {
+		for _, u := range g.Neighbors(v) {
+			w := matchR[u]
+			if w == 0 || (distance[w] == distance[v]+1 && dfs(w)) {
+				matchL[v] = u
+				matchR[u] = v
+				return true
+			}
+		}
+		distance[v] = inf
+		return false
+	}
+	for bfs() {
+		for _, v := range left {
+			if matchL[v] == 0 {
+				dfs(v)
+			}
+		}
+	}
+	m := make(Matching)
+	for v, u := range matchL {
+		if u != 0 {
+			m[graph.NormEdge(v, u)] = true
+		}
+	}
+	return m, matchL
+}
+
+// KonigCover returns a minimum vertex cover of a bipartite graph from a
+// maximum matching, via König's theorem: with Z the set of nodes reachable
+// by alternating paths from free left nodes, the cover is (L \ Z) ∪ (R ∩ Z).
+// |cover| = |matching|, which is exactly the certificate used by the Θ(1)
+// maximum-matching scheme of §2.3.
+func KonigCover(g *graph.Graph, left []int, matchL map[int]int) map[int]bool {
+	isLeft := make(map[int]bool, len(left))
+	for _, v := range left {
+		isLeft[v] = true
+	}
+	matchR := make(map[int]int)
+	for v, u := range matchL {
+		if u != 0 {
+			matchR[u] = v
+		}
+	}
+	inZ := make(map[int]bool)
+	var queue []int
+	for _, v := range left {
+		if matchL[v] == 0 {
+			inZ[v] = true
+			queue = append(queue, v)
+		}
+	}
+	for len(queue) > 0 {
+		v := queue[0] // v is always a left node here
+		queue = queue[1:]
+		for _, u := range g.Neighbors(v) {
+			if inZ[u] || matchL[v] == u {
+				continue // only non-matching edges leave the left side
+			}
+			inZ[u] = true
+			if w := matchR[u]; w != 0 && !inZ[w] {
+				inZ[w] = true
+				queue = append(queue, w)
+			}
+		}
+	}
+	cover := make(map[int]bool)
+	for _, v := range left {
+		if !inZ[v] {
+			cover[v] = true
+		}
+	}
+	for _, v := range g.Nodes() {
+		if !isLeft[v] && inZ[v] {
+			cover[v] = true
+		}
+	}
+	return cover
+}
+
+// IsVertexCover reports whether cover touches every edge of g.
+func IsVertexCover(g *graph.Graph, cover map[int]bool) bool {
+	for _, e := range g.Edges() {
+		if !cover[e.U] && !cover[e.V] {
+			return false
+		}
+	}
+	return true
+}
+
+// MaximumMatchingSize computes the maximum matching size of an arbitrary
+// graph by branching on the lowest-id node (include one incident edge or
+// exclude the node). Exponential; used as ground truth on small graphs.
+func MaximumMatchingSize(g *graph.Graph) int {
+	adj := make(map[int][]int, g.N())
+	for _, v := range g.Nodes() {
+		adj[v] = append([]int{}, g.Neighbors(v)...)
+	}
+	alive := make(map[int]bool, g.N())
+	for _, v := range g.Nodes() {
+		alive[v] = true
+	}
+	var rec func() int
+	rec = func() int {
+		// Pick the lowest alive node with a neighbour.
+		var pick int
+		for _, v := range g.Nodes() {
+			if !alive[v] {
+				continue
+			}
+			hasNbr := false
+			for _, u := range adj[v] {
+				if alive[u] {
+					hasNbr = true
+					break
+				}
+			}
+			if hasNbr {
+				pick = v
+				break
+			}
+		}
+		if pick == 0 {
+			return 0
+		}
+		// Option 1: leave pick unmatched.
+		alive[pick] = false
+		best := rec()
+		// Option 2: match pick with each alive neighbour.
+		for _, u := range adj[pick] {
+			if !alive[u] {
+				continue
+			}
+			alive[u] = false
+			if r := 1 + rec(); r > best {
+				best = r
+			}
+			alive[u] = true
+		}
+		alive[pick] = true
+		return best
+	}
+	return rec()
+}

@@ -1,0 +1,158 @@
+package graphalg
+
+import (
+	"math/rand"
+	"testing"
+
+	"lcp/internal/graph"
+)
+
+func leftOf(a int) []int {
+	l := make([]int, a)
+	for i := range l {
+		l[i] = i + 1
+	}
+	return l
+}
+
+func TestIsMatching(t *testing.T) {
+	g := graph.Cycle(6)
+	ok := Matching{graph.NormEdge(1, 2): true, graph.NormEdge(4, 5): true}
+	if !IsMatching(g, ok) {
+		t.Error("valid matching rejected")
+	}
+	shared := Matching{graph.NormEdge(1, 2): true, graph.NormEdge(2, 3): true}
+	if IsMatching(g, shared) {
+		t.Error("shared endpoint accepted")
+	}
+	phantom := Matching{graph.NormEdge(1, 3): true}
+	if IsMatching(g, phantom) {
+		t.Error("non-edge accepted")
+	}
+}
+
+func TestGreedyMaximalMatching(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		g := graph.RandomGNP(25, 0.2, seed)
+		m := GreedyMaximalMatching(g)
+		if !IsMaximalMatching(g, m) {
+			t.Fatalf("seed %d: greedy matching not maximal", seed)
+		}
+	}
+}
+
+func TestIsMaximalMatchingDetectsExtensible(t *testing.T) {
+	g := graph.Path(4) // 1-2-3-4; {2,3} alone is maximal... no: 1 and 4 free but 1-4 not an edge
+	m := Matching{graph.NormEdge(2, 3): true}
+	if !IsMaximalMatching(g, m) {
+		t.Error("{2-3} should be maximal in P4")
+	}
+	empty := Matching{}
+	if IsMaximalMatching(g, empty) {
+		t.Error("empty matching maximal in P4")
+	}
+}
+
+func TestHopcroftKarpOnCompleteBipartite(t *testing.T) {
+	g := graph.CompleteBipartite(4, 6)
+	m, matchL := HopcroftKarp(g, leftOf(4))
+	if len(m) != 4 {
+		t.Fatalf("|M| = %d, want 4", len(m))
+	}
+	if !IsMatching(g, m) {
+		t.Fatal("invalid matching")
+	}
+	for _, v := range leftOf(4) {
+		if matchL[v] == 0 {
+			t.Errorf("left node %d unmatched", v)
+		}
+	}
+}
+
+func TestHopcroftKarpMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 20; i++ {
+		a, b := 2+rng.Intn(5), 2+rng.Intn(5)
+		g := graph.RandomBipartite(a, b, 0.4, rng.Int63())
+		m, _ := HopcroftKarp(g, leftOf(a))
+		want := MaximumMatchingSize(g)
+		if len(m) != want {
+			t.Fatalf("HK found %d, brute force %d on %v", len(m), want, g)
+		}
+	}
+}
+
+func TestHopcroftKarpPanicsOnBadSides(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic for non-independent left side")
+		}
+	}()
+	HopcroftKarp(graph.Cycle(3), []int{1, 2})
+}
+
+func TestKonigCover(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 25; i++ {
+		a, b := 2+rng.Intn(6), 2+rng.Intn(6)
+		g := graph.RandomBipartite(a, b, 0.5, rng.Int63())
+		m, matchL := HopcroftKarp(g, leftOf(a))
+		cover := KonigCover(g, leftOf(a), matchL)
+		if !IsVertexCover(g, cover) {
+			t.Fatalf("König set is not a cover (a=%d b=%d)", a, b)
+		}
+		if len(cover) != len(m) {
+			t.Fatalf("|cover| = %d ≠ |matching| = %d", len(cover), len(m))
+		}
+		// Each matched edge has exactly one endpoint in the cover, each
+		// cover node is matched — the two local conditions of §2.3.
+		for e := range m {
+			cu, cv := cover[e.U], cover[e.V]
+			if cu == cv {
+				t.Fatalf("matched edge %v has %d cover endpoints", e, b2i(cu)+b2i(cv))
+			}
+		}
+		for v := range cover {
+			if m.MatchedWith(v) == 0 {
+				t.Fatalf("cover node %d unmatched", v)
+			}
+		}
+	}
+}
+
+func b2i(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func TestMaximumMatchingSizeKnown(t *testing.T) {
+	cases := []struct {
+		g    *graph.Graph
+		want int
+	}{
+		{graph.Path(2), 1},
+		{graph.Path(5), 2},
+		{graph.Cycle(6), 3},
+		{graph.Cycle(7), 3},
+		{graph.Complete(4), 2},
+		{graph.Star(5), 1},
+		{graph.Petersen(), 5},
+	}
+	for _, c := range cases {
+		if got := MaximumMatchingSize(c.g); got != c.want {
+			t.Errorf("MaximumMatchingSize(%v) = %d, want %d", c.g, got, c.want)
+		}
+	}
+}
+
+func TestMatchedWith(t *testing.T) {
+	m := Matching{graph.NormEdge(3, 8): true}
+	if m.MatchedWith(3) != 8 || m.MatchedWith(8) != 3 {
+		t.Error("MatchedWith wrong partner")
+	}
+	if m.MatchedWith(5) != 0 {
+		t.Error("unmatched node has partner")
+	}
+}

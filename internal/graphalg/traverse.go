@@ -1,0 +1,277 @@
+// Package graphalg implements the classical graph algorithms that the
+// paper's provers rely on: traversal, bipartition, matchings (including
+// LP-duality certificates), Menger-style disjoint paths, colourings,
+// Hamiltonian cycles, and isomorphism/automorphism machinery.
+//
+// Provers are centralized algorithms — the paper's model gives the prover
+// unbounded power; only the verifier is local. These routines therefore
+// favour clarity over asymptotic heroics, at the scales used by the
+// experiments (n up to a few thousand for the cheap schemes, a few dozen
+// for the NP-hard provers).
+package graphalg
+
+import (
+	"sort"
+
+	"lcp/internal/graph"
+)
+
+// BFS returns distances from src to every reachable node (undirected
+// reachability; for directed graphs it follows out-edges only).
+func BFS(g *graph.Graph, src int) map[int]int {
+	dist := map[int]int{src: 0}
+	queue := []int{src}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range g.Neighbors(u) {
+			if _, ok := dist[v]; !ok {
+				dist[v] = dist[u] + 1
+				queue = append(queue, v)
+			}
+		}
+	}
+	return dist
+}
+
+// Components returns the connected components of the underlying undirected
+// graph, each sorted ascending, ordered by smallest member.
+func Components(g *graph.Graph) [][]int {
+	seen := make(map[int]bool, g.N())
+	var comps [][]int
+	for _, start := range g.Nodes() {
+		if seen[start] {
+			continue
+		}
+		var comp []int
+		queue := []int{start}
+		seen[start] = true
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			comp = append(comp, u)
+			nbrs := g.Neighbors(u)
+			if g.Directed() {
+				nbrs = append(append([]int{}, nbrs...), g.InNeighbors(u)...)
+			}
+			for _, v := range nbrs {
+				if !seen[v] {
+					seen[v] = true
+					queue = append(queue, v)
+				}
+			}
+		}
+		sort.Ints(comp)
+		comps = append(comps, comp)
+	}
+	return comps
+}
+
+// Connected reports whether g is connected (underlying undirected graph).
+// The empty graph is vacuously connected.
+func Connected(g *graph.Graph) bool {
+	return g.N() == 0 || len(Components(g)) == 1
+}
+
+// IsTree reports whether g is a tree: connected with m = n − 1.
+func IsTree(g *graph.Graph) bool {
+	return g.N() >= 1 && g.M() == g.N()-1 && Connected(g)
+}
+
+// IsForest reports whether g is acyclic.
+func IsForest(g *graph.Graph) bool {
+	n := 0
+	for _, comp := range Components(g) {
+		n += len(comp)
+	}
+	return g.M() == n-len(Components(g))
+}
+
+// IsCycleGraph reports whether g is a single cycle: connected and
+// 2-regular.
+func IsCycleGraph(g *graph.Graph) bool {
+	if g.N() < 3 || g.M() != g.N() {
+		return false
+	}
+	for _, v := range g.Nodes() {
+		if g.Degree(v) != 2 {
+			return false
+		}
+	}
+	return Connected(g)
+}
+
+// IsEulerian reports whether a connected graph has an Eulerian circuit:
+// every degree is even (§1.1 of the paper; connectivity is the family
+// promise there).
+func IsEulerian(g *graph.Graph) bool {
+	for _, v := range g.Nodes() {
+		if g.Degree(v)%2 != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Bipartition attempts to 2-colour g. On success it returns the side map
+// (false/true per node) and ok=true. On failure it returns an odd closed
+// walk as evidence: a cycle through an offending same-colour edge, found
+// via the BFS forest. The walk starts and ends at the same node and has
+// odd length.
+func Bipartition(g *graph.Graph) (side map[int]bool, oddWalk []int, ok bool) {
+	side = make(map[int]bool, g.N())
+	parent := make(map[int]int, g.N())
+	seen := make(map[int]bool, g.N())
+	for _, start := range g.Nodes() {
+		if seen[start] {
+			continue
+		}
+		seen[start] = true
+		side[start] = false
+		parent[start] = 0
+		queue := []int{start}
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			for _, v := range g.Neighbors(u) {
+				if !seen[v] {
+					seen[v] = true
+					side[v] = !side[u]
+					parent[v] = u
+					queue = append(queue, v)
+					continue
+				}
+				if side[v] != side[u] {
+					continue
+				}
+				// Same-side edge (u, v): assemble the odd closed walk
+				// u→…→root→…→v→u through BFS tree paths.
+				pu := pathToRoot(parent, u)
+				pv := pathToRoot(parent, v)
+				walk := joinAtLCA(pu, pv)
+				walk = append(walk, walk[0])
+				return nil, walk, false
+			}
+		}
+	}
+	return side, nil, true
+}
+
+func pathToRoot(parent map[int]int, v int) []int {
+	var p []int
+	for v != 0 {
+		p = append(p, v)
+		v = parent[v]
+	}
+	return p
+}
+
+// joinAtLCA takes two root-paths pu = u…root and pv = v…root and returns
+// the simple cycle u…lca…v (excluding the closing edge v–u).
+func joinAtLCA(pu, pv []int) []int {
+	onPu := make(map[int]int, len(pu))
+	for i, x := range pu {
+		onPu[x] = i
+	}
+	lcaIdxU, lcaIdxV := -1, -1
+	for j, x := range pv {
+		if i, ok := onPu[x]; ok {
+			lcaIdxU, lcaIdxV = i, j
+			break
+		}
+	}
+	// u … lca (inclusive), then lca-1 … v reversed.
+	walk := append([]int{}, pu[:lcaIdxU+1]...)
+	for j := lcaIdxV - 1; j >= 0; j-- {
+		walk = append(walk, pv[j])
+	}
+	return walk
+}
+
+// OddCycle returns an odd cycle in g as a closed walk (first node repeated
+// at the end), or nil if g is bipartite.
+func OddCycle(g *graph.Graph) []int {
+	_, walk, ok := Bipartition(g)
+	if ok {
+		return nil
+	}
+	return walk
+}
+
+// SpanningTree returns the BFS spanning tree of the component of root as a
+// parent map (root maps to itself) plus depth map. It panics if root is
+// unknown.
+func SpanningTree(g *graph.Graph, root int) (parent map[int]int, depth map[int]int) {
+	parent = map[int]int{root: root}
+	depth = map[int]int{root: 0}
+	queue := []int{root}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range g.Neighbors(u) {
+			if _, ok := parent[v]; !ok {
+				parent[v] = u
+				depth[v] = depth[u] + 1
+				queue = append(queue, v)
+			}
+		}
+	}
+	return parent, depth
+}
+
+// DFSIntervals performs a depth-first traversal of the tree defined by the
+// given parent map (rooted spanning tree) and returns discovery and finish
+// times. This is the ancestor labelling used by the M2→M1 translation of
+// §7.1: (x(v), y(v)) pairs are locally consistent iff they come from a
+// genuine DFS, which forces global uniqueness.
+func DFSIntervals(g *graph.Graph, root int, parent map[int]int) (disc, fin map[int]int) {
+	children := make(map[int][]int, len(parent))
+	for v, p := range parent {
+		if v != p {
+			children[p] = append(children[p], v)
+		}
+	}
+	for _, c := range children {
+		sort.Ints(c)
+	}
+	disc = make(map[int]int, len(parent))
+	fin = make(map[int]int, len(parent))
+	t := 0
+	type frame struct {
+		v    int
+		next int
+	}
+	stack := []frame{{root, 0}}
+	disc[root] = t
+	t++
+	for len(stack) > 0 {
+		f := &stack[len(stack)-1]
+		if f.next < len(children[f.v]) {
+			c := children[f.v][f.next]
+			f.next++
+			disc[c] = t
+			t++
+			stack = append(stack, frame{c, 0})
+			continue
+		}
+		fin[f.v] = t
+		t++
+		stack = stack[:len(stack)-1]
+	}
+	return disc, fin
+}
+
+// Diameter returns the largest eccentricity over all nodes of a connected
+// graph (0 for a single node). It panics on an empty graph.
+func Diameter(g *graph.Graph) int {
+	d := 0
+	for _, v := range g.Nodes() {
+		dist := BFS(g, v)
+		for _, x := range dist {
+			if x > d {
+				d = x
+			}
+		}
+	}
+	return d
+}

@@ -1,0 +1,228 @@
+package graphalg
+
+import (
+	"reflect"
+	"testing"
+
+	"lcp/internal/graph"
+)
+
+func TestBFSOnPath(t *testing.T) {
+	g := graph.Path(5)
+	dist := BFS(g, 1)
+	for i := 1; i <= 5; i++ {
+		if dist[i] != i-1 {
+			t.Errorf("dist[%d] = %d, want %d", i, dist[i], i-1)
+		}
+	}
+}
+
+func TestComponents(t *testing.T) {
+	g := graph.DisjointUnion(graph.Cycle(3), graph.Path(2).ShiftIDs(10))
+	comps := Components(g)
+	if len(comps) != 2 {
+		t.Fatalf("components = %d, want 2", len(comps))
+	}
+	if !reflect.DeepEqual(comps[0], []int{1, 2, 3}) {
+		t.Errorf("comp[0] = %v", comps[0])
+	}
+	if !reflect.DeepEqual(comps[1], []int{11, 12}) {
+		t.Errorf("comp[1] = %v", comps[1])
+	}
+	if Connected(g) {
+		t.Error("disjoint union reported connected")
+	}
+	if !Connected(graph.Cycle(5)) {
+		t.Error("cycle reported disconnected")
+	}
+}
+
+func TestComponentsDirectedUsesUnderlying(t *testing.T) {
+	g := graph.NewBuilder(graph.Directed).AddEdge(1, 2).AddEdge(3, 2).Graph()
+	if !Connected(g) {
+		t.Error("weakly connected digraph reported disconnected")
+	}
+}
+
+func TestTreeAndForestPredicates(t *testing.T) {
+	if !IsTree(graph.Path(6)) {
+		t.Error("path not a tree")
+	}
+	if IsTree(graph.Cycle(6)) {
+		t.Error("cycle is a tree")
+	}
+	if !IsForest(graph.DisjointUnion(graph.Path(3), graph.Path(4).ShiftIDs(10))) {
+		t.Error("two paths not a forest")
+	}
+	if IsForest(graph.DisjointUnion(graph.Cycle(3), graph.Path(4).ShiftIDs(10))) {
+		t.Error("cycle+path reported forest")
+	}
+	if !IsTree(graph.RandomTree(25, 7)) {
+		t.Error("random tree not a tree")
+	}
+}
+
+func TestIsCycleGraph(t *testing.T) {
+	if !IsCycleGraph(graph.Cycle(7)) {
+		t.Error("C7 not recognized")
+	}
+	if IsCycleGraph(graph.Path(7)) {
+		t.Error("path recognized as cycle")
+	}
+	two := graph.DisjointUnion(graph.Cycle(3), graph.Cycle(3).ShiftIDs(10))
+	if IsCycleGraph(two) {
+		t.Error("two disjoint triangles recognized as one cycle")
+	}
+}
+
+func TestIsEulerian(t *testing.T) {
+	if !IsEulerian(graph.Cycle(6)) {
+		t.Error("cycle not Eulerian")
+	}
+	if IsEulerian(graph.Path(4)) {
+		t.Error("path Eulerian")
+	}
+	if !IsEulerian(graph.Complete(5)) { // K5: all degrees 4
+		t.Error("K5 not Eulerian")
+	}
+	if IsEulerian(graph.Complete(4)) { // K4: all degrees 3
+		t.Error("K4 Eulerian")
+	}
+}
+
+func TestBipartition(t *testing.T) {
+	side, _, ok := Bipartition(graph.Cycle(8))
+	if !ok {
+		t.Fatal("even cycle not bipartite")
+	}
+	g := graph.Cycle(8)
+	for _, e := range g.Edges() {
+		if side[e.U] == side[e.V] {
+			t.Errorf("edge %v monochromatic", e)
+		}
+	}
+	_, walk, ok := Bipartition(graph.Cycle(9))
+	if ok {
+		t.Fatal("odd cycle bipartite")
+	}
+	checkOddClosedWalk(t, graph.Cycle(9), walk)
+}
+
+func TestOddCycleOnPetersen(t *testing.T) {
+	walk := OddCycle(graph.Petersen())
+	if walk == nil {
+		t.Fatal("Petersen reported bipartite")
+	}
+	checkOddClosedWalk(t, graph.Petersen(), walk)
+}
+
+func TestOddCycleNilOnBipartite(t *testing.T) {
+	if OddCycle(graph.CompleteBipartite(3, 4)) != nil {
+		t.Error("K34 has an odd cycle?")
+	}
+	if OddCycle(graph.Hypercube(4)) != nil {
+		t.Error("Q4 has an odd cycle?")
+	}
+}
+
+// checkOddClosedWalk asserts walk is a closed walk in g (consecutive nodes
+// adjacent, first == last) of odd length.
+func checkOddClosedWalk(t *testing.T, g *graph.Graph, walk []int) {
+	t.Helper()
+	if len(walk) < 4 {
+		t.Fatalf("walk too short: %v", walk)
+	}
+	if walk[0] != walk[len(walk)-1] {
+		t.Fatalf("walk not closed: %v", walk)
+	}
+	if (len(walk)-1)%2 == 0 {
+		t.Fatalf("walk has even length %d", len(walk)-1)
+	}
+	for i := 1; i < len(walk); i++ {
+		if !g.HasEdge(walk[i-1], walk[i]) {
+			t.Fatalf("walk step %d-%d not an edge", walk[i-1], walk[i])
+		}
+	}
+}
+
+func TestBipartitionRandomOddCycles(t *testing.T) {
+	// Random connected graphs with an odd cycle forced in.
+	for seed := int64(0); seed < 10; seed++ {
+		g := graph.RandomConnected(20, 0.15, seed)
+		_, walk, ok := Bipartition(g)
+		if ok {
+			continue // genuinely bipartite; fine
+		}
+		checkOddClosedWalk(t, g, walk)
+	}
+}
+
+func TestSpanningTree(t *testing.T) {
+	g := graph.RandomConnected(40, 0.1, 3)
+	parent, depth := SpanningTree(g, 7)
+	if parent[7] != 7 || depth[7] != 0 {
+		t.Fatal("root not fixed")
+	}
+	if len(parent) != 40 {
+		t.Fatalf("tree covers %d nodes", len(parent))
+	}
+	for v, p := range parent {
+		if v == 7 {
+			continue
+		}
+		if !g.HasEdge(v, p) {
+			t.Errorf("parent edge (%d,%d) not in graph", v, p)
+		}
+		if depth[v] != depth[p]+1 {
+			t.Errorf("depth[%d]=%d but parent depth %d", v, depth[v], depth[p])
+		}
+	}
+}
+
+func TestDFSIntervalsNesting(t *testing.T) {
+	g := graph.RandomTree(30, 11)
+	parent, _ := SpanningTree(g, 1)
+	disc, fin := DFSIntervals(g, 1, parent)
+	if len(disc) != 30 || len(fin) != 30 {
+		t.Fatalf("interval maps incomplete: %d/%d", len(disc), len(fin))
+	}
+	seen := make(map[int]bool)
+	for _, v := range g.Nodes() {
+		if disc[v] >= fin[v] {
+			t.Errorf("node %d: disc %d ≥ fin %d", v, disc[v], fin[v])
+		}
+		if seen[disc[v]] || seen[fin[v]] {
+			t.Errorf("node %d: reused timestamp", v)
+		}
+		seen[disc[v]] = true
+		seen[fin[v]] = true
+	}
+	// Parent intervals strictly contain child intervals.
+	for v, p := range parent {
+		if v == p {
+			continue
+		}
+		if !(disc[p] < disc[v] && fin[v] < fin[p]) {
+			t.Errorf("child %d interval [%d,%d] not nested in parent %d [%d,%d]",
+				v, disc[v], fin[v], p, disc[p], fin[p])
+		}
+	}
+}
+
+func TestDiameter(t *testing.T) {
+	cases := []struct {
+		g    *graph.Graph
+		want int
+	}{
+		{graph.Path(5), 4},
+		{graph.Cycle(8), 4},
+		{graph.Complete(6), 1},
+		{graph.Petersen(), 2},
+		{graph.Path(1), 0},
+	}
+	for _, c := range cases {
+		if got := Diameter(c.g); got != c.want {
+			t.Errorf("Diameter(%v) = %d, want %d", c.g, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,164 @@
+package logic
+
+import (
+	"strings"
+	"testing"
+
+	"lcp/internal/core"
+	"lcp/internal/graph"
+)
+
+func modelOn(g *graph.Graph, center, radius int, rel []map[int]bool, witness int) *Model {
+	return &Model{
+		View:    core.BuildView(core.NewInstance(g), core.Proof{}, center, radius),
+		Rel:     rel,
+		Witness: witness,
+	}
+}
+
+func TestAtoms(t *testing.T) {
+	g := graph.Path(3)
+	m := modelOn(g, 2, 1, []map[int]bool{{1: true}}, 3)
+	env := Env{Y: 2, "a": 1, "b": 2, "c": 3}
+	cases := []struct {
+		f    Formula
+		want bool
+	}{
+		{Adj("a", "b"), true},
+		{Adj("a", "c"), false}, // 1 and 3 not adjacent in P3
+		{Eq("a", "a"), true},
+		{Eq("a", "b"), false},
+		{X(0, "a"), true},
+		{X(0, "b"), false},
+		{X(1, "a"), false}, // relation out of range
+		{Witness("c"), true},
+		{Witness("a"), false},
+		{WitnessWithin(1), true}, // witness 3 at distance 1 from center 2
+		{WitnessWithin(0), false},
+	}
+	for _, c := range cases {
+		if got := c.f.Eval(m, env); got != c.want {
+			t.Errorf("%s = %v, want %v", c.f, got, c.want)
+		}
+	}
+}
+
+func TestAtomsUnboundVariables(t *testing.T) {
+	m := modelOn(graph.Path(3), 2, 1, nil, 1)
+	if Adj("p", "q").Eval(m, Env{}) {
+		t.Error("unbound Adj evaluated true")
+	}
+	if Eq("p", "p").Eval(m, Env{}) {
+		t.Error("unbound Eq evaluated true")
+	}
+}
+
+func TestConnectives(t *testing.T) {
+	m := modelOn(graph.Path(2), 1, 1, nil, 1)
+	tr := Eq(Y, Y)
+	fa := Not(tr)
+	if !And(tr, tr).Eval(m, Env{Y: 1}) || And(tr, fa).Eval(m, Env{Y: 1}) {
+		t.Error("And wrong")
+	}
+	if !Or(fa, tr).Eval(m, Env{Y: 1}) || Or(fa, fa).Eval(m, Env{Y: 1}) {
+		t.Error("Or wrong")
+	}
+	if !Implies(fa, fa).Eval(m, Env{Y: 1}) || Implies(tr, fa).Eval(m, Env{Y: 1}) {
+		t.Error("Implies wrong")
+	}
+	if !And().Eval(m, Env{}) {
+		t.Error("empty And should be true")
+	}
+	if Or().Eval(m, Env{}) {
+		t.Error("empty Or should be false")
+	}
+}
+
+func TestLocalQuantifiers(t *testing.T) {
+	g := graph.Star(4) // center 1, leaves 2..5
+	m := modelOn(g, 1, 1, []map[int]bool{{3: true}}, 1)
+	env := Env{Y: 1}
+	// ∃z ≤ 1: X0(z)
+	if !ExistsNear("z", 1, X(0, "z")).Eval(m, env) {
+		t.Error("exists failed to find the marked leaf")
+	}
+	// ∀z ≤ 1: X0(z) — false.
+	if ForallNear("z", 1, X(0, "z")).Eval(m, env) {
+		t.Error("forall accepted unmarked nodes")
+	}
+	// ∀z ≤ 0 ranges only over the center.
+	if !ForallNear("z", 0, Eq("z", Y)).Eval(m, env) {
+		t.Error("radius-0 forall saw non-center nodes")
+	}
+}
+
+func TestRadiusComputation(t *testing.T) {
+	f := And(
+		ExistsNear("a", 2, Adj("a", Y)),
+		ForallNear("b", 3, Or(Eq("b", Y), WitnessWithin(1))),
+	)
+	if got := f.Radius(); got != 3 {
+		t.Errorf("Radius = %d, want 3", got)
+	}
+	s := Sentence{K: 2, Phi: f}
+	if s.Radius() != 3 {
+		t.Errorf("sentence radius = %d", s.Radius())
+	}
+}
+
+func TestSentenceString(t *testing.T) {
+	s := Sentence{K: 2, Phi: ForallNear("z", 1, Implies(Adj(Y, "z"), Not(X(0, "z"))))}
+	str := s.String()
+	for _, want := range []string{"∃X0", "∃X1", "∃x ∀y", "∀z≤1"} {
+		if !strings.Contains(str, want) {
+			t.Errorf("sentence rendering %q missing %q", str, want)
+		}
+	}
+}
+
+func TestEvalAtBindsCenter(t *testing.T) {
+	// φ = "y is the witness" is true exactly at the witness node.
+	g := graph.Path(3)
+	s := Sentence{K: 0, Phi: Witness(Y)}
+	for _, v := range g.Nodes() {
+		m := modelOn(g, v, 1, nil, 2)
+		if got := s.EvalAt(m); got != (v == 2) {
+			t.Errorf("node %d: EvalAt = %v", v, got)
+		}
+	}
+}
+
+// TestThreeColorabilityFormulaSemantics: the Σ¹₁ matrix used by the
+// schemes package must hold at every node exactly for proper colourings.
+func TestThreeColorabilityFormulaSemantics(t *testing.T) {
+	exactlyOne := Or(
+		And(X(0, Y), Not(X(1, Y)), Not(X(2, Y))),
+		And(Not(X(0, Y)), X(1, Y), Not(X(2, Y))),
+		And(Not(X(0, Y)), Not(X(1, Y)), X(2, Y)),
+	)
+	proper := ForallNear("z", 1, Implies(Adj(Y, "z"), And(
+		Not(And(X(0, Y), X(0, "z"))),
+		Not(And(X(1, Y), X(1, "z"))),
+		Not(And(X(2, Y), X(2, "z"))),
+	)))
+	phi := And(exactlyOne, proper)
+
+	g := graph.Cycle(5) // χ = 3
+	good := []map[int]bool{
+		{1: true, 3: true}, {2: true, 4: true}, {5: true},
+	}
+	for _, v := range g.Nodes() {
+		m := modelOn(g, v, 1, good, 1)
+		if !phi.Eval(m, Env{Y: v}) {
+			t.Errorf("proper colouring rejected at node %d", v)
+		}
+	}
+	// A monochromatic edge (1 and 2 both in X0) must fail at 1 and 2.
+	bad := []map[int]bool{
+		{1: true, 2: true, 3: true}, {4: true}, {5: true},
+	}
+	m := modelOn(g, 1, 1, bad, 1)
+	if phi.Eval(m, Env{Y: 1}) {
+		t.Error("monochromatic edge accepted")
+	}
+}

@@ -1,0 +1,98 @@
+package lowerbound
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"lcp/internal/graph"
+)
+
+// Empirical study of the extremal tool behind §5.3: Bondy & Simonovits
+// (1974) guarantee that a bipartite graph on n+n vertices with more than
+// ~n^{1+1/k} edges contains a C_{2k}. The gluing adversary uses the
+// k = 2 case — a colour class of K_{n,n} with more than n^{5/3} edges
+// contains a C₄ — via pigeonhole: fewer than n^{1/3} colours force such
+// a class. This experiment colours K_{n,n} uniformly at random with c
+// colours and records whether a monochromatic C₄ exists, sweeping c to
+// locate the practical threshold (which sits far above the worst-case
+// n^{1/3} bound — random colourings are much weaker adversaries than
+// extremal ones).
+
+// BondyProbe is one (n, colors) measurement.
+type BondyProbe struct {
+	N        int
+	Colors   int
+	Trials   int
+	FoundC4  int     // trials in which a monochromatic C4 existed
+	Fraction float64 // FoundC4 / Trials
+}
+
+// BondyReport sweeps the colour count for one n.
+type BondyReport struct {
+	N         int
+	CubeRootN int // the paper's worst-case colour budget ⌊n^{1/3}⌋
+	Probes    []BondyProbe
+	// Threshold is the largest colour count at which every trial still
+	// contained a monochromatic C4 (0 if none).
+	Threshold int
+}
+
+// String renders the report.
+func (r *BondyReport) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Bondy–Simonovits probe, K_{%d,%d} (n² = %d edges), worst-case budget ⌊n^{1/3}⌋ = %d\n",
+		r.N, r.N, r.N*r.N, r.CubeRootN)
+	fmt.Fprintf(&b, "  %8s %10s %10s\n", "colours", "trials", "P[mono C4]")
+	for _, p := range r.Probes {
+		fmt.Fprintf(&b, "  %8d %10d %10.2f\n", p.Colors, p.Trials, p.Fraction)
+	}
+	fmt.Fprintf(&b, "  random-colouring threshold (all trials contain C4): %d colours", r.Threshold)
+	return b.String()
+}
+
+// RunBondyProbe sweeps colour counts on K_{n,n} with random colourings.
+func RunBondyProbe(n, trials int, seed int64) *BondyReport {
+	rep := &BondyReport{N: n, CubeRootN: cbrtFloor(n)}
+	rng := rand.New(rand.NewSource(seed))
+	sweep := []int{2, 4, 8, 16, 32, 64, 128}
+	for _, c := range sweep {
+		if c > n*n {
+			break
+		}
+		probe := BondyProbe{N: n, Colors: c, Trials: trials}
+		for trial := 0; trial < trials; trial++ {
+			colors := make(map[graph.Edge]string, n*n)
+			for a := 1; a <= n; a++ {
+				for b := n + 1; b <= 2*n; b++ {
+					colors[graph.Edge{U: a, V: b}] = fmt.Sprintf("c%d", rng.Intn(c))
+				}
+			}
+			if findMonochromaticCycle(colors, n, 2) != nil {
+				probe.FoundC4++
+			}
+		}
+		probe.Fraction = float64(probe.FoundC4) / float64(trials)
+		rep.Probes = append(rep.Probes, probe)
+		if probe.FoundC4 == trials {
+			rep.Threshold = c
+		}
+	}
+	return rep
+}
+
+// AdversarialColoringWithoutC4 exhibits the other side of the bound: a
+// C4-free colouring of K_{n,n} using roughly n colours (colour edge
+// {a, b} by (a + b) mod n — each colour class is a perfect matching,
+// and matchings contain no cycles at all). This shows the pigeonhole
+// budget cannot be relaxed to Ω(n): with n colours the adversary's
+// gluing can always be blocked.
+func AdversarialColoringWithoutC4(n int) (map[graph.Edge]string, bool) {
+	colors := make(map[graph.Edge]string, n*n)
+	for a := 1; a <= n; a++ {
+		for b := n + 1; b <= 2*n; b++ {
+			colors[graph.Edge{U: a, V: b}] = fmt.Sprintf("m%d", (a+b)%n)
+		}
+	}
+	return colors, findMonochromaticCycle(colors, n, 2) == nil
+}

@@ -1,0 +1,106 @@
+package lowerbound
+
+import (
+	"math"
+	"math/big"
+)
+
+// Counting experiments behind §6: the lower bounds rest on |F_k| growing
+// faster than the window capacity. For §6.1, F_k is the family of
+// asymmetric connected graphs (log |F_k| = Θ(k²), Erdős–Rényi: almost all
+// graphs are asymmetric and connected); for §6.2 it is rooted trees
+// (log |F_k| = Θ(k), OEIS A000081).
+
+// CountAsymmetricConnected counts isomorphism classes of asymmetric
+// connected graphs on k nodes by exhaustive enumeration (k ≤ 7 is
+// practical).
+func CountAsymmetricConnected(k int) int {
+	return len(EnumerateAsymmetricConnected(k))
+}
+
+// RootedTreeCounts returns A000081[1..n]: the number of rooted trees
+// with k nodes, via the classic Euler-transform recurrence
+//
+//	a(n+1) = (1/n) Σ_{k=1..n} ( Σ_{d|k} d·a(d) ) a(n-k+1).
+func RootedTreeCounts(n int) []*big.Int {
+	if n < 1 {
+		return nil
+	}
+	a := make([]*big.Int, n+1)
+	a[0] = big.NewInt(0) // unused
+	if n >= 1 {
+		a[1] = big.NewInt(1)
+	}
+	// s[k] = Σ_{d|k} d·a(d)
+	s := make([]*big.Int, n+1)
+	for k := 1; k <= n; k++ {
+		s[k] = big.NewInt(0)
+	}
+	for m := 1; m < n; m++ {
+		// incorporate a(m) into s[k] for all multiples k of m ≤ n.
+		dm := new(big.Int).Mul(big.NewInt(int64(m)), a[m])
+		for k := m; k <= n; k += m {
+			s[k].Add(s[k], dm)
+		}
+		// a(m+1) = (1/m) Σ_{k=1..m} s[k]·a(m-k+1)
+		total := big.NewInt(0)
+		for k := 1; k <= m; k++ {
+			term := new(big.Int).Mul(s[k], a[m-k+1])
+			total.Add(total, term)
+		}
+		q, r := new(big.Int).QuoRem(total, big.NewInt(int64(m)), new(big.Int))
+		if r.Sign() != 0 {
+			panic("lowerbound: A000081 recurrence did not divide evenly")
+		}
+		a[m+1] = q
+	}
+	return a[1:]
+}
+
+// GrowthReport summarizes log₂|F_k| across k for a counting experiment.
+type GrowthReport struct {
+	K     []int
+	Count []float64 // |F_k| (approximate for big values)
+	Log2  []float64
+	PerK  []float64 // log₂|F_k| / k       (Θ(k) families converge)
+	PerK2 []float64 // log₂|F_k| / k²      (Θ(k²) families converge)
+}
+
+// RootedTreeGrowth reports A000081 growth up to n.
+func RootedTreeGrowth(n int) *GrowthReport {
+	counts := RootedTreeCounts(n)
+	rep := &GrowthReport{}
+	for i, c := range counts {
+		k := i + 1
+		f, _ := new(big.Float).SetInt(c).Float64()
+		rep.K = append(rep.K, k)
+		rep.Count = append(rep.Count, f)
+		l := math.Log2(f)
+		if f == 1 {
+			l = 0
+		}
+		rep.Log2 = append(rep.Log2, l)
+		rep.PerK = append(rep.PerK, l/float64(k))
+		rep.PerK2 = append(rep.PerK2, l/float64(k*k))
+	}
+	return rep
+}
+
+// AsymmetricGrowth reports asymmetric connected graph counts up to n
+// (exhaustive; keep n ≤ 7).
+func AsymmetricGrowth(n int) *GrowthReport {
+	rep := &GrowthReport{}
+	for k := 1; k <= n; k++ {
+		c := float64(CountAsymmetricConnected(k))
+		rep.K = append(rep.K, k)
+		rep.Count = append(rep.Count, c)
+		l := 0.0
+		if c > 0 {
+			l = math.Log2(c)
+		}
+		rep.Log2 = append(rep.Log2, l)
+		rep.PerK = append(rep.PerK, l/float64(k))
+		rep.PerK2 = append(rep.PerK2, l/float64(k*k))
+	}
+	return rep
+}

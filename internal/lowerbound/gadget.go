@@ -1,0 +1,304 @@
+package lowerbound
+
+import (
+	"fmt"
+	"sort"
+
+	"lcp/internal/graph"
+	"lcp/internal/graphalg"
+)
+
+// §6.3: the explicit gadget graphs G_A. Given A ⊆ I×I with
+// I = {0..2^k−1}, G_A is a graph with Θ(2^k) nodes whose proper
+// 3-colourings:
+//
+//	(iii) give T, F, N three distinct colours (they form a triangle);
+//	(iv)  force every literal x_i, y_i to be true or false (edge to N),
+//	      encoding integers x and y;
+//	(v)   exist exactly for (x, y) ∈ A.
+//
+// Construction (ours; the paper defers to its extended version, any
+// gadget with (i)–(v) works):
+//
+//   - NOT gate: output adjacent to input and N.
+//   - OR gate (Garey–Johnson style): internals i₁, i₂ adjacent to the
+//     inputs and each other; output adjacent to i₁, i₂ and N. The output
+//     is forced F when both inputs are F, and *can* be T whenever some
+//     input is T (forced T when both are).
+//   - AND(p, q) = NOT(OR(NOT p, NOT q)): forced T when both inputs are T.
+//   - Demultiplexer: a trie over bit prefixes, d_ε = T,
+//     d_{p·1} = AND(d_p, x_i), d_{p·0} = AND(d_p, ¬x_i); when x extends
+//     p, d_p is forced T. Total size Θ(2^k).
+//   - Selectors: u_a = NOT(d_a) is forced F exactly when x = a (and can
+//     be T otherwise). On the y side, e_b demultiplexes y, and
+//     z_b (adjacent to e_b and F) with v_b (adjacent to z_b and T) force
+//     v_b = F exactly when y = b, with v_b ∈ {F, N}.
+//   - Membership: for every (a, b) ∉ A, an edge u_a–v_b. Since
+//     u_a ∈ {T, F} and v_b ∈ {F, N}, the edge conflicts exactly when
+//     both are F, i.e. exactly when (x, y) = (a, b) ∉ A.
+//
+// G_{A,B} joins G_A and an isomorphic copy G'_B with 2k+1 wires of 3r
+// levels (triangles chained so colours propagate end to end), tying
+// N to N', T to T', and each literal to its primed twin. It is
+// 3-colourable iff A ∩ B ≠ ∅.
+
+// Pair is an element of I × I.
+type Pair struct{ X, Y int }
+
+// PairSet is a subset of I × I.
+type PairSet map[Pair]bool
+
+// Complement returns I×I minus s for the given k.
+func (s PairSet) Complement(k int) PairSet {
+	out := PairSet{}
+	size := 1 << uint(k)
+	for x := 0; x < size; x++ {
+		for y := 0; y < size; y++ {
+			p := Pair{x, y}
+			if !s[p] {
+				out[p] = true
+			}
+		}
+	}
+	return out
+}
+
+// Intersects reports whether s ∩ t ≠ ∅.
+func (s PairSet) Intersects(t PairSet) bool {
+	for p := range s {
+		if t[p] {
+			return true
+		}
+	}
+	return false
+}
+
+// gadgetHalf records the distinguished nodes of one G_A.
+type gadgetHalf struct {
+	T, F, N int
+	X, Y    []int // literal nodes x_0.., y_0..
+	U       []int // u_a, indexed by a
+	V       []int // v_b, indexed by b
+}
+
+// gadgetBuilder allocates identifiers sequentially.
+type gadgetBuilder struct {
+	b    *graph.Builder
+	next int
+}
+
+func (gb *gadgetBuilder) fresh() int {
+	id := gb.next
+	gb.next++
+	gb.b.AddNode(id)
+	return id
+}
+
+func (gb *gadgetBuilder) edge(u, v int) { gb.b.AddEdge(u, v) }
+
+// notGate allocates NOT(p).
+func (gb *gadgetBuilder) notGate(p, n int) int {
+	o := gb.fresh()
+	gb.edge(o, p)
+	gb.edge(o, n)
+	return o
+}
+
+// orGate allocates OR(p, q).
+func (gb *gadgetBuilder) orGate(p, q, n int) int {
+	i1, i2, o := gb.fresh(), gb.fresh(), gb.fresh()
+	gb.edge(p, i1)
+	gb.edge(q, i2)
+	gb.edge(i1, i2)
+	gb.edge(i1, o)
+	gb.edge(i2, o)
+	gb.edge(o, n)
+	return o
+}
+
+// andGate allocates AND(p, q) = NOT(OR(NOT p, NOT q)).
+func (gb *gadgetBuilder) andGate(p, q, n int) int {
+	np := gb.notGate(p, n)
+	nq := gb.notGate(q, n)
+	o := gb.orGate(np, nq, n)
+	return gb.notGate(o, n)
+}
+
+// demux builds the prefix trie over the literal nodes lits and returns
+// the 2^k leaf outputs d_a, indexed so that lits[i] is bit i of a
+// (process the most significant literal first so the standard binary
+// expansion falls out).
+func (gb *gadgetBuilder) demux(lits []int, root, n int) []int {
+	level := []int{root} // d over prefixes of the current length
+	for i := len(lits) - 1; i >= 0; i-- {
+		lit := lits[i]
+		nlit := gb.notGate(lit, n)
+		next := make([]int, 0, 2*len(level))
+		for _, d := range level {
+			next = append(next, gb.andGate(d, nlit, n)) // bit i = 0
+			next = append(next, gb.andGate(d, lit, n))  // bit i = 1
+		}
+		level = next
+	}
+	return level
+}
+
+// buildHalf constructs G_A's nodes and gates (without membership edges)
+// inside gb, returning the distinguished nodes.
+func buildHalf(gb *gadgetBuilder, k int) *gadgetHalf {
+	h := &gadgetHalf{}
+	h.T, h.F, h.N = gb.fresh(), gb.fresh(), gb.fresh()
+	gb.edge(h.T, h.F)
+	gb.edge(h.F, h.N)
+	gb.edge(h.N, h.T)
+	for i := 0; i < k; i++ {
+		x := gb.fresh()
+		gb.edge(x, h.N)
+		h.X = append(h.X, x)
+		y := gb.fresh()
+		gb.edge(y, h.N)
+		h.Y = append(h.Y, y)
+	}
+	// x-side: u_a = NOT(d_a).
+	dx := gb.demux(h.X, h.T, h.N)
+	for _, d := range dx {
+		h.U = append(h.U, gb.notGate(d, h.N))
+	}
+	// y-side: e_b demux, then z_b, v_b.
+	ey := gb.demux(h.Y, h.T, h.N)
+	for _, e := range ey {
+		z := gb.fresh()
+		gb.edge(z, e)
+		gb.edge(z, h.F)
+		v := gb.fresh()
+		gb.edge(v, z)
+		gb.edge(v, h.T)
+		h.V = append(h.V, v)
+	}
+	return h
+}
+
+// addMembership adds the u_a–v_b edges for pairs NOT in A.
+func addMembership(gb *gadgetBuilder, h *gadgetHalf, k int, a PairSet) {
+	size := 1 << uint(k)
+	for x := 0; x < size; x++ {
+		for y := 0; y < size; y++ {
+			if !a[Pair{x, y}] {
+				gb.edge(h.U[x], h.V[y])
+			}
+		}
+	}
+}
+
+// ThreeColPair is the assembled G_{A,B}.
+type ThreeColPair struct {
+	G            *graph.Graph
+	K, R         int
+	Left, Right  *gadgetHalf
+	WireInterior []int // the W of §6.3: nodes on wires, excluding endpoints
+}
+
+// BuildThreeColPair assembles G_{A,B} with wire parameter r (each wire
+// has 3r levels; §6.3 requires 3r ≥ 2·radius+2 so no view spans both
+// halves). The identifier layout depends only on k and r — never on A or
+// B — so instances with different sets are splice-compatible.
+func BuildThreeColPair(k, r int, a, b PairSet) *ThreeColPair {
+	gb := &gadgetBuilder{b: graph.NewBuilder(graph.Undirected), next: 1}
+	left := buildHalf(gb, k)
+	right := buildHalf(gb, k)
+	pair := &ThreeColPair{K: k, R: r, Left: left, Right: right}
+
+	// Wires: slot-1 anchored at N/N'; slot-2 at the listed anchor pairs.
+	anchors := [][2]int{{left.T, right.T}}
+	for i := 0; i < k; i++ {
+		anchors = append(anchors, [2]int{left.X[i], right.X[i]})
+		anchors = append(anchors, [2]int{left.Y[i], right.Y[i]})
+	}
+	levels := 3 * r
+	for _, anchor := range anchors {
+		pair.WireInterior = append(pair.WireInterior, gb.wire(left.N, right.N, anchor[0], anchor[1], levels)...)
+	}
+	// Membership edges last: identifiers above stay A-independent.
+	addMembership(gb, left, k, a)
+	addMembership(gb, right, k, b)
+	pair.G = gb.b.Graph()
+	sort.Ints(pair.WireInterior)
+	return pair
+}
+
+// wire lays a 3-track wire of the given number of levels between the
+// anchor nodes, returning the freshly created interior nodes.
+func (gb *gadgetBuilder) wire(n1, n2, a1, a2 int, levels int) []int {
+	if levels < 2 {
+		panic("lowerbound: wire needs ≥ 2 levels")
+	}
+	var interior []int
+	level := make([][3]int, levels)
+	for i := 0; i < levels; i++ {
+		switch i {
+		case 0:
+			level[i] = [3]int{n1, a1, gb.fresh()}
+			interior = append(interior, level[i][2])
+		case levels - 1:
+			level[i] = [3]int{n2, a2, gb.fresh()}
+			interior = append(interior, level[i][2])
+		default:
+			level[i] = [3]int{gb.fresh(), gb.fresh(), gb.fresh()}
+			interior = append(interior, level[i][0], level[i][1], level[i][2])
+		}
+		// Triangle within the level.
+		gb.edge(level[i][0], level[i][1])
+		gb.edge(level[i][1], level[i][2])
+		gb.edge(level[i][2], level[i][0])
+		if i > 0 {
+			for j := 0; j < 3; j++ {
+				for jp := 0; jp < 3; jp++ {
+					if j != jp {
+						gb.edge(level[i-1][j], level[i][jp])
+					}
+				}
+			}
+		}
+	}
+	return interior
+}
+
+// ThreeColorable reports whether the assembled pair admits a proper
+// 3-colouring, optionally seeded (palette colours 0=T's colour etc. are
+// symmetric, so the solver seeds the left palette to break symmetry).
+func (p *ThreeColPair) ThreeColorable() bool {
+	seeds := map[int]int{p.Left.T: 0, p.Left.F: 1, p.Left.N: 2}
+	return graphalg.KColorWithSeeds(p.G, 3, seeds) != nil
+}
+
+// DecodeXY extracts the encoded (x, y) of the left half from a proper
+// 3-colouring.
+func (p *ThreeColPair) DecodeXY(col map[int]int) (Pair, error) {
+	tCol := col[p.Left.T]
+	var out Pair
+	for i, xn := range p.Left.X {
+		switch col[xn] {
+		case tCol:
+			out.X |= 1 << uint(i)
+		case col[p.Left.F]:
+		default:
+			return Pair{}, fmt.Errorf("lowerbound: literal x_%d coloured neutral", i)
+		}
+	}
+	for i, yn := range p.Left.Y {
+		switch col[yn] {
+		case tCol:
+			out.Y |= 1 << uint(i)
+		case col[p.Left.F]:
+		default:
+			return Pair{}, fmt.Errorf("lowerbound: literal y_%d coloured neutral", i)
+		}
+	}
+	return out, nil
+}
+
+// Solve3Color returns a proper 3-colouring with the left palette seeded,
+// or nil.
+func (p *ThreeColPair) Solve3Color() map[int]int {
+	return graphalg.KColorWithSeeds(p.G, 3, map[int]int{p.Left.T: 0, p.Left.F: 1, p.Left.N: 2})
+}

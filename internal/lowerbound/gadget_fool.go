@@ -1,0 +1,189 @@
+package lowerbound
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"lcp/internal/core"
+	"lcp/internal/graphalg"
+)
+
+// The §6.3 fooling-set experiment. Build G_{A,Ā} for a collection of sets
+// A — all of them non-3-colourable since A ∩ Ā = ∅ — prove each with a
+// scheme for "χ > 3", and compare the proof bits on the wire interior W.
+// If two sets A ≠ B agree on W (guaranteed by pigeonhole once the per-
+// node budget b satisfies 2^{b·|W|} < #sets — the paper's Ω(n²/log n)
+// counting), splice G_{A,B̄}: the unprimed half inherits from G_{A,Ā},
+// the primed half from G_{B,B̄}, the wires take the common bits. Every
+// view of the splice equals a view of a yes-instance, yet A ∩ B̄ ≠ ∅ (or
+// Ā ∩ B ≠ ∅, swap), so the splice is 3-colourable: a no-instance of
+// "χ > 3" that no verifier consistent with the yes-runs can reject.
+
+// ThreeColFoolingReport documents the experiment.
+type ThreeColFoolingReport struct {
+	K, R            int
+	Nodes           int // nodes per instance
+	WireNodes       int // |W|
+	Sets            int // number of sets A tried
+	BudgetBits      int
+	HonestBits      int
+	HonestDistinct  bool // wire windows of honest proofs pairwise distinct
+	CollisionFound  bool
+	PairAB          [2]string // names of the colliding sets
+	SwapUsed        bool      // true when Ā ∩ B was the non-empty side
+	ViewsIdentical  bool
+	FooledColorable bool // the spliced instance is 3-colourable (a no-instance of χ>3)
+}
+
+// String renders the report.
+func (r *ThreeColFoolingReport) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "3col fooling: k=%d r=%d n=%d |W|=%d sets=%d budget=%db honest=%db (wire windows distinct: %v)\n",
+		r.K, r.R, r.Nodes, r.WireNodes, r.Sets, r.BudgetBits, r.HonestBits, r.HonestDistinct)
+	if !r.CollisionFound {
+		b.WriteString("  no wire-window collision under the budget")
+		return b.String()
+	}
+	fmt.Fprintf(&b, "  collision %s vs %s (swap=%v): views identical: %v, splice 3-colourable: %v",
+		r.PairAB[0], r.PairAB[1], r.SwapUsed, r.ViewsIdentical, r.FooledColorable)
+	return b.String()
+}
+
+// RunThreeColFooling executes the experiment over all subsets A ⊆ I×I for
+// k (16 sets for k = 1), with wire parameter r and per-node proof budget
+// budgetBits, against the given "χ > 3" scheme.
+func RunThreeColFooling(scheme core.Scheme, k, r, budgetBits int) (*ThreeColFoolingReport, error) {
+	size := 1 << uint(k)
+	numPairs := size * size
+	if numPairs > 8 {
+		return nil, fmt.Errorf("lowerbound: 2^{2k} too large to enumerate all subsets (k=%d)", k)
+	}
+	allPairs := make([]Pair, 0, numPairs)
+	for x := 0; x < size; x++ {
+		for y := 0; y < size; y++ {
+			allPairs = append(allPairs, Pair{x, y})
+		}
+	}
+	type run struct {
+		name  string
+		set   PairSet
+		pair  *ThreeColPair
+		in    *core.Instance
+		proof core.Proof
+	}
+	var runs []run
+	report := &ThreeColFoolingReport{K: k, R: r, BudgetBits: budgetBits}
+	for mask := 0; mask < 1<<uint(numPairs); mask++ {
+		set := PairSet{}
+		for i, p := range allPairs {
+			if mask&(1<<uint(i)) != 0 {
+				set[p] = true
+			}
+		}
+		pair := BuildThreeColPair(k, r, set, set.Complement(k))
+		in := core.NewInstance(pair.G)
+		proof, err := scheme.Prove(in)
+		if err != nil {
+			return nil, fmt.Errorf("lowerbound: prover failed on G_{A,Ā} mask=%d: %w", mask, err)
+		}
+		if proof.Size() > report.HonestBits {
+			report.HonestBits = proof.Size()
+		}
+		runs = append(runs, run{
+			name: fmt.Sprintf("A%04b", mask), set: set, pair: pair, in: in, proof: proof,
+		})
+	}
+	report.Sets = len(runs)
+	report.Nodes = runs[0].pair.G.N()
+	report.WireNodes = len(runs[0].pair.WireInterior)
+
+	wireKey := func(p core.Proof, wires []int) string {
+		var b strings.Builder
+		for _, v := range wires {
+			b.WriteString(p[v].Key())
+			b.WriteByte('/')
+		}
+		return b.String()
+	}
+	honest := map[string]bool{}
+	for _, r0 := range runs {
+		honest[wireKey(r0.proof, r0.pair.WireInterior)] = true
+	}
+	report.HonestDistinct = len(honest) == len(runs)
+
+	// Collision under the budget, requiring the §6.3 usable swap:
+	// A ∩ B̄ ≠ ∅ or Ā ∩ B ≠ ∅ (always true when A ≠ B).
+	var first, second *run
+	seen := map[string]int{}
+	for i := range runs {
+		key := wireKey(runs[i].proof.Truncated(budgetBits), runs[i].pair.WireInterior)
+		if j, ok := seen[key]; ok {
+			first, second = &runs[j], &runs[i]
+			break
+		}
+		seen[key] = i
+	}
+	if first == nil {
+		return report, nil
+	}
+	report.CollisionFound = true
+	report.PairAB = [2]string{first.name, second.name}
+
+	// Orient the swap so the target intersection is non-empty.
+	a, b := first, second
+	if !a.set.Intersects(b.set.Complement(k)) {
+		a, b = b, a
+		report.SwapUsed = true
+		if !a.set.Intersects(b.set.Complement(k)) {
+			return nil, fmt.Errorf("lowerbound: A ≠ B but both swap intersections empty — impossible")
+		}
+	}
+
+	// Splice G_{A,B̄}: structure from the two sets, proofs inherited.
+	fool := BuildThreeColPair(k, r, a.set, b.set.Complement(k))
+	foolIn := core.NewInstance(fool.G)
+	pa := a.proof.Truncated(budgetBits)
+	pb := b.proof.Truncated(budgetBits)
+	leftSide := sideNodes(a.pair, true)
+	spliced := core.Proof{}
+	for _, v := range fool.G.Nodes() {
+		if leftSide[v] {
+			spliced[v] = pa[v]
+		} else if contains(fool.WireInterior, v) {
+			spliced[v] = pa[v] // common by collision
+		} else {
+			spliced[v] = pb[v]
+		}
+	}
+	radius := scheme.Verifier().Radius()
+	report.ViewsIdentical = allViewsCovered(foolIn, spliced,
+		[]yesRun{{a.in, pa}, {b.in, pb}}, radius)
+	report.FooledColorable = graphalg.KColor(fool.G, 3) != nil
+	return report, nil
+}
+
+// sideNodes returns the nodes belonging to the unprimed (left=true) or
+// primed half of the pair — everything below/above the wire interior,
+// determined by the id layout (left half allocated first).
+func sideNodes(p *ThreeColPair, left bool) map[int]bool {
+	// The left half occupies ids 1..Right.T-1; right half runs from
+	// Right.T to the first wire node −1 (wires allocated after halves).
+	out := map[int]bool{}
+	for _, v := range p.G.Nodes() {
+		isLeft := v < p.Right.T
+		isWire := contains(p.WireInterior, v)
+		if isWire {
+			continue
+		}
+		if isLeft == left {
+			out[v] = true
+		}
+	}
+	return out
+}
+
+func contains(sorted []int, v int) bool {
+	i := sort.SearchInts(sorted, v)
+	return i < len(sorted) && sorted[i] == v
+}

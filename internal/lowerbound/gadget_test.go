@@ -1,0 +1,186 @@
+package lowerbound
+
+import (
+	"testing"
+
+	"lcp/internal/graphalg"
+)
+
+func allPairSets(k int) []PairSet {
+	size := 1 << uint(k)
+	var pairs []Pair
+	for x := 0; x < size; x++ {
+		for y := 0; y < size; y++ {
+			pairs = append(pairs, Pair{x, y})
+		}
+	}
+	var sets []PairSet
+	for mask := 0; mask < 1<<uint(len(pairs)); mask++ {
+		s := PairSet{}
+		for i, p := range pairs {
+			if mask&(1<<uint(i)) != 0 {
+				s[p] = true
+			}
+		}
+		sets = append(sets, s)
+	}
+	return sets
+}
+
+// TestGadgetEncodesMembership is property (v) of §6.3 for a single half
+// tied to a fully permissive partner: every 3-colouring encodes a pair in
+// A, and every pair in A is realizable.
+func TestGadgetEncodesMembership(t *testing.T) {
+	k, r := 1, 2
+	full := PairSet{}.Complement(k) // I×I
+	for _, a := range allPairSets(k) {
+		pair := BuildThreeColPair(k, r, a, full)
+		col := pair.Solve3Color()
+		if len(a) == 0 {
+			if col != nil {
+				xy, _ := pair.DecodeXY(col)
+				t.Fatalf("A=∅: coloured anyway, encodes %v", xy)
+			}
+			continue
+		}
+		if col == nil {
+			t.Fatalf("A=%v: no colouring found", a)
+		}
+		xy, err := pair.DecodeXY(col)
+		if err != nil {
+			t.Fatalf("A=%v: %v", a, err)
+		}
+		if !a[xy] {
+			t.Fatalf("A=%v: colouring encodes %v ∉ A", a, xy)
+		}
+	}
+}
+
+// TestGadgetSeededPairRealizable: property (v) conversely — each
+// (x, y) ∈ A admits a colouring encoding exactly it. We steer the solver
+// by seeding the literal colours.
+func TestGadgetSeededPairRealizable(t *testing.T) {
+	k, r := 1, 2
+	full := PairSet{}.Complement(k)
+	a := PairSet{{0, 1}: true, {1, 0}: true}
+	pair := BuildThreeColPair(k, r, a, full)
+	for want := range a {
+		seeds := map[int]int{pair.Left.T: 0, pair.Left.F: 1, pair.Left.N: 2}
+		xc, yc := 1, 1 // colour F
+		if want.X == 1 {
+			xc = 0 // colour T
+		}
+		if want.Y == 1 {
+			yc = 0
+		}
+		seeds[pair.Left.X[0]] = xc
+		seeds[pair.Left.Y[0]] = yc
+		col := graphalg.KColorWithSeeds(pair.G, 3, seeds)
+		if col == nil {
+			t.Fatalf("pair %v ∈ A not realizable", want)
+		}
+		got, err := pair.DecodeXY(col)
+		if err != nil || got != want {
+			t.Fatalf("seeded %v, decoded %v (err %v)", want, got, err)
+		}
+	}
+	// And a pair outside A must not be realizable.
+	seeds := map[int]int{pair.Left.T: 0, pair.Left.F: 1, pair.Left.N: 2,
+		pair.Left.X[0]: 0, pair.Left.Y[0]: 0} // (1,1) ∉ A
+	if graphalg.KColorWithSeeds(pair.G, 3, seeds) != nil {
+		t.Fatal("pair (1,1) ∉ A realized")
+	}
+}
+
+// TestGadgetPairIntersectionTheorem is the §6.3 keystone: G_{A,B} is
+// 3-colourable iff A ∩ B ≠ ∅, exhaustively for k = 1 (16×16 set pairs,
+// sampled diagonally to keep runtime sane: all A with B = Ā, plus a
+// stratified sample of mixed pairs).
+func TestGadgetPairIntersectionTheorem(t *testing.T) {
+	k, r := 1, 2
+	sets := allPairSets(k)
+	// All (A, Ā): never 3-colourable.
+	for _, a := range sets {
+		pair := BuildThreeColPair(k, r, a, a.Complement(k))
+		if pair.ThreeColorable() {
+			t.Fatalf("G_{A,Ā} 3-colourable for A=%v", a)
+		}
+	}
+	// Mixed sample: every 3rd pair of sets.
+	count := 0
+	for i, a := range sets {
+		for j, b := range sets {
+			if (i*len(sets)+j)%3 != 0 {
+				continue
+			}
+			pair := BuildThreeColPair(k, r, a, b)
+			want := a.Intersects(b)
+			if got := pair.ThreeColorable(); got != want {
+				t.Fatalf("A=%v B=%v: colourable=%v want %v", a, b, got, want)
+			}
+			count++
+		}
+	}
+	if count < 50 {
+		t.Fatalf("sample too small: %d", count)
+	}
+}
+
+// TestGadgetNodeCountTheta2K: property (i) — |V(G_A)| = Θ(2^k).
+func TestGadgetNodeCountTheta2K(t *testing.T) {
+	full1 := PairSet{}.Complement(1)
+	full2 := PairSet{}.Complement(2)
+	n1 := BuildThreeColPair(1, 2, full1, full1).G.N()
+	n2 := BuildThreeColPair(2, 2, full2, full2).G.N()
+	// Doubling k roughly doubles the node count (plus the Θ(k) wires).
+	if n2 < n1+(n1/2) || n2 > 4*n1 {
+		t.Errorf("node counts n(k=1)=%d, n(k=2)=%d: not Θ(2^k)-ish", n1, n2)
+	}
+}
+
+// TestGadgetWiresPropagate: N/N', T/T' and the literals always agree
+// across the wires.
+func TestGadgetWiresPropagate(t *testing.T) {
+	k, r := 1, 2
+	a := PairSet{{0, 0}: true}
+	pair := BuildThreeColPair(k, r, a, a)
+	col := pair.Solve3Color()
+	if col == nil {
+		t.Fatal("no colouring")
+	}
+	if col[pair.Left.N] != col[pair.Right.N] {
+		t.Error("N colour does not propagate")
+	}
+	if col[pair.Left.T] != col[pair.Right.T] {
+		t.Error("T colour does not propagate")
+	}
+	for i := range pair.Left.X {
+		if col[pair.Left.X[i]] != col[pair.Right.X[i]] {
+			t.Errorf("x_%d does not propagate", i)
+		}
+		if col[pair.Left.Y[i]] != col[pair.Right.Y[i]] {
+			t.Errorf("y_%d does not propagate", i)
+		}
+	}
+}
+
+// TestGadgetLayoutIsSetIndependent: identifiers must not depend on A/B
+// (splice compatibility).
+func TestGadgetLayoutIsSetIndependent(t *testing.T) {
+	k, r := 1, 2
+	a := PairSet{{0, 0}: true}
+	b := PairSet{{1, 1}: true, {0, 1}: true}
+	p1 := BuildThreeColPair(k, r, a, a.Complement(k))
+	p2 := BuildThreeColPair(k, r, b, b.Complement(k))
+	if p1.G.N() != p2.G.N() {
+		t.Fatalf("node counts differ: %d vs %d", p1.G.N(), p2.G.N())
+	}
+	if p1.Left.T != p2.Left.T || p1.Right.N != p2.Right.N {
+		t.Fatal("distinguished ids differ between sets")
+	}
+	for i := range p1.WireInterior {
+		if p1.WireInterior[i] != p2.WireInterior[i] {
+			t.Fatal("wire interiors differ between sets")
+		}
+	}
+}

@@ -1,0 +1,406 @@
+package lowerbound
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"lcp/internal/core"
+	"lcp/internal/graph"
+)
+
+// The §5.3 construction (Figure 1). For a scheme (f, A) on cycles:
+//
+//  1. build the n-cycles C(a, b) for a ∈ {1..n}, b ∈ {n+1..2n}, with the
+//     exact node identifiers of the paper (a, a+4n, a+6n, …, a+2n·n₁,
+//     b+2n·n₂, …, b+6n, b+4n, b);
+//  2. label each C(a, b) into a yes-instance and run the prover;
+//  3. colour the edge {a, b} of K_{n,n} by the signature c(a, b): all
+//     auxiliary labels and proof bits within the window around a and b
+//     in C(a, b);
+//  4. find a monochromatic 2k-cycle a₁,b₁,…,a_k,b_k (guaranteed for
+//     sufficiently large n by Bondy–Simonovits once one colour class has
+//     more than n^{5/3} edges);
+//  5. glue: remove the edges {a_i, b_i}, add {b_{i−1}, a_i}, inherit all
+//     labels and proofs;
+//  6. confirm that every node's view in the kn-cycle is literally
+//     identical to a view of one of the yes-instances, and run the
+//     verifier: it must accept the glued no-instance.
+
+// GluingTarget describes one §5.4 instantiation.
+type GluingTarget struct {
+	// Name of the experiment, e.g. "odd-n".
+	Name string
+	// Scheme under attack.
+	Scheme core.Scheme
+	// Prepare converts a bare cycle (with traversal order) into a
+	// yes-instance by adding labels; order[0] is the node a and
+	// order[len-1] is the node b (the {a, b} edge closes the cycle).
+	Prepare func(g *graph.Graph, order []int) *core.Instance
+	// IsYes is ground truth for the property/problem, used to confirm
+	// that the glued instance is a no-instance.
+	IsYes func(in *core.Instance) bool
+	// K is the number of cycles glued together (k ≥ 2).
+	K int
+	// OddLength forces odd cycle lengths (for parity-based targets).
+	OddLength bool
+}
+
+// GluingReport is the outcome of one adversary run.
+type GluingReport struct {
+	Target         string
+	N              int  // length of the short cycles
+	K              int  // number of cycles glued
+	Radius         int  // verifier horizon r
+	WindowNodes    int  // nodes per side in the signature (2r+1)
+	ProofBits      int  // max bits per node over all provers
+	Pairs          int  // number of (a, b) pairs built = n²
+	Signatures     int  // distinct signatures observed
+	Threshold      int  // colour budget under which a C4 is pigeonhole-guaranteed
+	FoundCycle     bool // monochromatic 2k-cycle located
+	CycleVertices  []int
+	GluedN         int
+	ViewsIdentical bool // every glued view equals a yes-instance view
+	GluedIsYes     bool // ground truth on the glued instance
+	Accepted       bool // the scheme's verifier accepted the glued instance
+	Fooled         bool // Accepted && !GluedIsYes
+}
+
+// String renders a human-readable summary.
+func (r *GluingReport) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "gluing %s: n=%d k=%d r=%d proof≤%db pairs=%d signatures=%d\n",
+		r.Target, r.N, r.K, r.Radius, r.ProofBits, r.Pairs, r.Signatures)
+	if !r.FoundCycle {
+		fmt.Fprintf(&b, "  no monochromatic C_%d: proofs carry too much information at this n (Θ(log n) regime)", 2*r.K)
+		return b.String()
+	}
+	fmt.Fprintf(&b, "  glued %d-cycle via K_{n,n} cycle %v\n", r.GluedN, r.CycleVertices)
+	fmt.Fprintf(&b, "  views identical to yes-instances: %v | glued is yes: %v | verifier accepted: %v | FOOLED: %v",
+		r.ViewsIdentical, r.GluedIsYes, r.Accepted, r.Fooled)
+	return b.String()
+}
+
+// provedInstance is one C(a, b) together with its proof and traversal
+// order.
+type provedInstance struct {
+	a, b  int
+	order []int
+	in    *core.Instance
+	proof core.Proof
+}
+
+// cycleABOrder returns the paper's node sequence for C(a, b) with
+// parameter n: a, a+4n, …, a+2n·n₁, b+2n·n₂, …, b+4n, b. The closing edge
+// of the cycle is {b, a}.
+func cycleABOrder(a, b, n int) []int {
+	n1, n2 := n/2, (n+1)/2
+	order := []int{a}
+	for j := 2; j <= n1; j++ {
+		order = append(order, a+2*n*j)
+	}
+	for j := n2; j >= 2; j-- {
+		order = append(order, b+2*n*j)
+	}
+	order = append(order, b)
+	return order
+}
+
+// RunGluing executes the full §5.3 adversary against target with cycle
+// length n. It returns an error for malformed parameters or prover
+// failures; "no collision found" is reported, not an error.
+func RunGluing(target GluingTarget, n int) (*GluingReport, error) {
+	if target.K < 2 {
+		return nil, fmt.Errorf("lowerbound: k must be ≥ 2")
+	}
+	if target.OddLength && n%2 == 0 {
+		return nil, fmt.Errorf("lowerbound: target %s needs odd n", target.Name)
+	}
+	r := target.Scheme.Verifier().Radius()
+	window := 2*r + 1
+	if n/2 < window+2 {
+		return nil, fmt.Errorf("lowerbound: n=%d too small for window %d", n, window)
+	}
+
+	report := &GluingReport{
+		Target: target.Name, N: n, K: target.K, Radius: r, WindowNodes: window,
+	}
+
+	// Steps 1–3.
+	pairs := make(map[graph.Edge]*provedInstance, n*n)
+	signatures := make(map[graph.Edge]string, n*n)
+	distinct := map[string]bool{}
+	for a := 1; a <= n; a++ {
+		for b := n + 1; b <= 2*n; b++ {
+			order := cycleABOrder(a, b, n)
+			g := graph.CycleOf(order...)
+			in := target.Prepare(g, order)
+			proof, err := target.Scheme.Prove(in)
+			if err != nil {
+				return nil, fmt.Errorf("lowerbound: prover failed on C(%d,%d): %w", a, b, err)
+			}
+			if proof.Size() > report.ProofBits {
+				report.ProofBits = proof.Size()
+			}
+			sig := signatureOf(in, proof, order, window)
+			e := graph.Edge{U: a, V: b}
+			pairs[e] = &provedInstance{a: a, b: b, order: order, in: in, proof: proof}
+			signatures[e] = sig
+			distinct[sig] = true
+		}
+	}
+	report.Pairs = n * n
+	report.Signatures = len(distinct)
+	report.Threshold = cbrtFloor(n)
+
+	// Step 4.
+	cyc := findMonochromaticCycle(signatures, n, target.K)
+	if cyc == nil {
+		return report, nil
+	}
+	report.FoundCycle = true
+	report.CycleVertices = cyc
+
+	// Step 5.
+	glued, gluedProof, err := glue(pairs, cyc)
+	if err != nil {
+		return nil, err
+	}
+	report.GluedN = glued.G.N()
+
+	// Step 6: the paper's indistinguishability claim is sharp — each view
+	// matches C(a_i, b_i), C(a_{i+1}, b_i) or C(a_i, b_{i−1}), i.e. the
+	// glued pieces and the donor pairs of the monochromatic cycle.
+	k2 := len(cyc)
+	var yesRuns []yesRun
+	for i := 0; i < k2/2; i++ {
+		piece := pairs[graph.Edge{U: cyc[2*i], V: cyc[2*i+1]}]
+		donor := pairs[graph.Edge{U: cyc[2*i], V: cyc[(2*i-1+k2)%k2]}]
+		yesRuns = append(yesRuns, yesRun{piece.in, piece.proof}, yesRun{donor.in, donor.proof})
+	}
+	report.ViewsIdentical = allViewsCovered(glued, gluedProof, yesRuns, r)
+	report.GluedIsYes = target.IsYes(glued)
+	report.Accepted = core.Check(glued, gluedProof, target.Scheme.Verifier()).Accepted()
+	report.Fooled = report.Accepted && !report.GluedIsYes
+	return report, nil
+}
+
+// cbrtFloor returns ⌊n^{1/3}⌋: fewer distinct colours than this
+// guarantees some colour class exceeds n^{5/3} edges.
+func cbrtFloor(n int) int {
+	t := 1
+	for (t+1)*(t+1)*(t+1) <= n {
+		t++
+	}
+	return t
+}
+
+// signatureOf serializes the §5.3 window: labels and proof bits of the
+// window nodes at the start (a side) and end (b side) of the traversal
+// order, plus the solution marks of window edges including the closing
+// {b, a} edge.
+func signatureOf(in *core.Instance, proof core.Proof, order []int, window int) string {
+	var b strings.Builder
+	record := func(v int) {
+		fmt.Fprintf(&b, "[%s|%s]", in.NodeLabel[v], proof[v].Key())
+	}
+	recordEdge := func(u, v int) {
+		fmt.Fprintf(&b, "{%s}", in.EdgeLabel[graph.NormEdge(u, v)])
+	}
+	for i := window - 1; i >= 0; i-- {
+		record(order[i])
+		if i > 0 {
+			recordEdge(order[i], order[i-1])
+		}
+	}
+	recordEdge(order[0], order[len(order)-1]) // the {a, b} edge
+	for i := len(order) - window; i < len(order); i++ {
+		record(order[i])
+		if i < len(order)-1 {
+			recordEdge(order[i], order[i+1])
+		}
+	}
+	return b.String()
+}
+
+// findMonochromaticCycle searches the signature-coloured K_{n,n} for a
+// vertex cycle a₁,b₁,a₂,b₂,…,a_k,b_k with all 2k edges of one colour,
+// returned as the vertex sequence starting at an a-side node. For k = 2
+// a quadratic scan is used; for k > 2, DFS per colour class.
+func findMonochromaticCycle(sig map[graph.Edge]string, n, k int) []int {
+	if k == 2 {
+		type key struct {
+			b1, b2 int
+			c      string
+		}
+		seen := map[key]int{}
+		for a := 1; a <= n; a++ {
+			for b1 := n + 1; b1 <= 2*n; b1++ {
+				c1 := sig[graph.Edge{U: a, V: b1}]
+				for b2 := b1 + 1; b2 <= 2*n; b2++ {
+					if sig[graph.Edge{U: a, V: b2}] != c1 {
+						continue
+					}
+					kk := key{b1, b2, c1}
+					if a0, ok := seen[kk]; ok {
+						return []int{a0, b1, a, b2}
+					}
+					seen[kk] = a
+				}
+			}
+		}
+		return nil
+	}
+	byColor := map[string][]graph.Edge{}
+	for e, c := range sig {
+		byColor[c] = append(byColor[c], e)
+	}
+	var colors []string
+	for c := range byColor {
+		colors = append(colors, c)
+	}
+	sort.Slice(colors, func(i, j int) bool {
+		if len(byColor[colors[i]]) != len(byColor[colors[j]]) {
+			return len(byColor[colors[i]]) > len(byColor[colors[j]])
+		}
+		return colors[i] < colors[j]
+	})
+	for _, c := range colors {
+		edges := byColor[c]
+		if len(edges) < 2*k {
+			continue
+		}
+		adj := map[int][]int{}
+		for _, e := range edges {
+			adj[e.U] = append(adj[e.U], e.V)
+			adj[e.V] = append(adj[e.V], e.U)
+		}
+		for v := range adj {
+			sort.Ints(adj[v])
+		}
+		if cyc := cycleOfLength(adj, 2*k); cyc != nil {
+			// Rotate so an a-side node (id ≤ n) comes first.
+			for i, v := range cyc {
+				if v <= n {
+					return append(append([]int{}, cyc[i:]...), cyc[:i]...)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// cycleOfLength finds a simple cycle of exactly length L via bounded DFS.
+func cycleOfLength(adj map[int][]int, L int) []int {
+	var starts []int
+	for v := range adj {
+		starts = append(starts, v)
+	}
+	sort.Ints(starts)
+	path := make([]int, 0, L)
+	onPath := map[int]bool{}
+	var dfs func(v, start int) []int
+	dfs = func(v, start int) []int {
+		path = append(path, v)
+		onPath[v] = true
+		defer func() {
+			path = path[:len(path)-1]
+			delete(onPath, v)
+		}()
+		if len(path) == L {
+			for _, u := range adj[v] {
+				if u == start {
+					return append([]int{}, path...)
+				}
+			}
+			return nil
+		}
+		for _, u := range adj[v] {
+			if onPath[u] || u < start {
+				continue
+			}
+			if res := dfs(u, start); res != nil {
+				return res
+			}
+		}
+		return nil
+	}
+	for _, s := range starts {
+		if res := dfs(s, s); res != nil {
+			return res
+		}
+	}
+	return nil
+}
+
+// glue builds the kn-cycle: pieces C(a_i, b_i) with edges {a_i, b_i}
+// removed and {b_{i−1}, a_i} added (b₀ = b_k), inheriting node labels,
+// edge labels, weights and proofs. The label of a new edge {b_{i−1}, a_i}
+// is inherited from C(a_i, b_{i−1}), where that edge exists; signature
+// equality makes this consistent with every window it appears in.
+func glue(pairs map[graph.Edge]*provedInstance, cyc []int) (*core.Instance, core.Proof, error) {
+	k := len(cyc) / 2
+	b := graph.NewBuilder(graph.Undirected)
+	in := &core.Instance{
+		NodeLabel: map[int]string{},
+		EdgeLabel: map[graph.Edge]string{},
+		Weights:   map[graph.Edge]int64{},
+	}
+	proof := core.Proof{}
+	pieceOf := func(i int) *provedInstance {
+		a, bb := cyc[2*i], cyc[2*i+1]
+		return pairs[graph.Edge{U: a, V: bb}]
+	}
+	for i := 0; i < k; i++ {
+		pd := pieceOf(i)
+		if pd == nil {
+			return nil, nil, fmt.Errorf("lowerbound: missing piece %d", i)
+		}
+		cut := graph.NormEdge(pd.a, pd.b)
+		for _, e := range pd.in.G.Edges() {
+			if e == cut {
+				continue
+			}
+			b.AddEdge(e.U, e.V)
+			if l, ok := pd.in.EdgeLabel[e]; ok {
+				in.EdgeLabel[e] = l
+			}
+			if w, ok := pd.in.Weights[e]; ok {
+				in.Weights[e] = w
+			}
+		}
+		for _, v := range pd.in.G.Nodes() {
+			if l, ok := pd.in.NodeLabel[v]; ok {
+				in.NodeLabel[v] = l
+			}
+			if s, ok := pd.proof[v]; ok {
+				proof[v] = s
+			}
+		}
+	}
+	// Join edges {b_{i−1}, a_i} with labels from C(a_i, b_{i−1}).
+	for i := 0; i < k; i++ {
+		ai := cyc[2*i]
+		bPrev := cyc[(2*i-1+2*k)%(2*k)]
+		b.AddEdge(bPrev, ai)
+		donor := pairs[graph.Edge{U: ai, V: bPrev}]
+		if donor == nil {
+			return nil, nil, fmt.Errorf("lowerbound: missing donor C(%d,%d)", ai, bPrev)
+		}
+		join := graph.NormEdge(bPrev, ai)
+		if l, ok := donor.in.EdgeLabel[join]; ok {
+			in.EdgeLabel[join] = l
+		}
+		if w, ok := donor.in.Weights[join]; ok {
+			in.Weights[join] = w
+		}
+	}
+	in.G = b.Graph()
+	return in, proof, nil
+}
+
+// CycleABOrder exposes the paper's C(a, b) node sequence for tools and
+// documentation (Figure 1 uses C(3,12) with n = 10).
+func CycleABOrder(a, b, n int) []int {
+	return cycleABOrder(a, b, n)
+}

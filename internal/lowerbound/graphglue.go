@@ -1,0 +1,445 @@
+package lowerbound
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"lcp/internal/core"
+	"lcp/internal/graph"
+	"lcp/internal/graphalg"
+)
+
+// §6.1/§6.2: the G₁⊙G₂ construction and its fooling experiment.
+//
+// G₁⊙G₂ consists of C(G₁, k) (the canonical form of G₁ with identifiers
+// shifted to k+1..2k), C(G₂, 2k) (identifiers 2k+1..3k) and the path
+// (k+1, 1, 2, …, k, 2k+1). For asymmetric G₁, G₂: G₁⊙G₂ is symmetric iff
+// G₁ ≅ G₂. Since log |F_k| = Θ(k²) for asymmetric connected graphs but a
+// proof of size b leaves only b·(2r+1) bits in the window U = {1..2r+1},
+// two distinct graphs must eventually collide; splicing their proofs
+// yields an asymmetric graph in which every view is identical to a view
+// of a symmetric yes-instance.
+
+// Odot builds G₁⊙G₂ with block size k = n(G₁) = n(G₂).
+func Odot(g1, g2 *graph.Graph) *graph.Graph {
+	if g1.N() != g2.N() {
+		panic("lowerbound: Odot requires equal orders")
+	}
+	k := g1.N()
+	c1 := graphalg.CanonicalForm(g1).ShiftIDs(k)
+	c2 := graphalg.CanonicalForm(g2).ShiftIDs(2 * k)
+	b := graph.NewBuilder(graph.Undirected)
+	for _, e := range c1.Edges() {
+		b.AddEdge(e.U, e.V)
+	}
+	for _, e := range c2.Edges() {
+		b.AddEdge(e.U, e.V)
+	}
+	// Path (k+1, 1, 2, …, k, 2k+1).
+	b.AddEdge(k+1, 1)
+	for i := 1; i < k; i++ {
+		b.AddEdge(i, i+1)
+	}
+	b.AddEdge(k, 2*k+1)
+	return b.Graph()
+}
+
+// GraphGluingReport is the outcome of the §6.1/§6.2 experiment.
+type GraphGluingReport struct {
+	Kind           string // "symmetric" (§6.1) or "fixpoint-free" (§6.2)
+	K              int    // block size
+	FamilySize     int    // |F_k|
+	FamilyBitsLog2 int    // ⌈log₂|F_k|⌉ — the information a window must carry
+	WindowNodes    int    // |U| = 2r+1
+	BudgetBits     int    // adversarial per-node proof budget b
+	WindowCapacity int    // b·|U| — pigeonhole capacity of the window
+	HonestBits     int    // honest scheme proof size (per node)
+	HonestDistinct bool   // honest windows distinct across the family
+	CollisionFound bool   // truncated windows collided
+	Pair           [2]int // indices into the family of the colliding pair
+	ViewsIdentical bool   // all views of the fooling instance covered
+	FooledIsYes    bool   // ground truth on the fooling instance (must be false)
+}
+
+// String renders the report.
+func (r *GraphGluingReport) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "graph-gluing %s: k=%d |F_k|=%d (log₂≈%d bits) window=%d budget=%db capacity=%db\n",
+		r.Kind, r.K, r.FamilySize, r.FamilyBitsLog2, r.WindowNodes, r.BudgetBits, r.WindowCapacity)
+	fmt.Fprintf(&b, "  honest proofs: %d bits/node, windows distinct: %v\n", r.HonestBits, r.HonestDistinct)
+	if !r.CollisionFound {
+		fmt.Fprintf(&b, "  no truncated collision found (capacity %d ≥ log|F_k| %d?)", r.WindowCapacity, r.FamilyBitsLog2)
+		return b.String()
+	}
+	fmt.Fprintf(&b, "  collision: family[%d] vs family[%d]; fooling views identical: %v; fooling instance is yes: %v",
+		r.Pair[0], r.Pair[1], r.ViewsIdentical, r.FooledIsYes)
+	return b.String()
+}
+
+// EnumerateAsymmetricConnected returns one representative (canonical
+// form) per isomorphism class of asymmetric connected graphs on k nodes.
+// Exponential in k²; intended for k ≤ 7.
+func EnumerateAsymmetricConnected(k int) []*graph.Graph {
+	var out []*graph.Graph
+	seen := map[string]bool{}
+	enumerateConnectedGraphsK(k, func(g *graph.Graph) {
+		c := graphalg.CanonicalForm(g)
+		key := canonKey(c)
+		if seen[key] {
+			return
+		}
+		seen[key] = true
+		if graphalg.IsAsymmetric(c) {
+			out = append(out, c)
+		}
+	})
+	return out
+}
+
+func canonKey(c *graph.Graph) string {
+	var b strings.Builder
+	for _, e := range c.Edges() {
+		fmt.Fprintf(&b, "%d-%d;", e.U, e.V)
+	}
+	return b.String()
+}
+
+func enumerateConnectedGraphsK(n int, fn func(*graph.Graph)) {
+	var pool []graph.Edge
+	for i := 1; i <= n; i++ {
+		for j := i + 1; j <= n; j++ {
+			pool = append(pool, graph.Edge{U: i, V: j})
+		}
+	}
+	total := 1 << uint(len(pool))
+	for mask := 0; mask < total; mask++ {
+		b := graph.NewBuilder(graph.Undirected)
+		for i := 1; i <= n; i++ {
+			b.AddNode(i)
+		}
+		for i, e := range pool {
+			if mask&(1<<uint(i)) != 0 {
+				b.AddEdge(e.U, e.V)
+			}
+		}
+		g := b.Graph()
+		if graphalg.Connected(g) {
+			fn(g)
+		}
+	}
+}
+
+// RunGraphGluing executes the §6.1 experiment: family F_k of asymmetric
+// connected graphs, honest proofs from the given scheme on each G⊙G,
+// window distinctness of the honest proofs, then the pigeonhole collision
+// under a per-node budget of budgetBits and the resulting fooling
+// construction G₁⊙G₂.
+//
+// isYes is ground truth on the fooling instance (symmetric / has
+// fixpoint-free symmetry). kind labels the report.
+func RunGraphGluing(kind string, scheme core.Scheme, family []*graph.Graph,
+	isYes func(*graph.Graph) bool, radius, budgetBits int) (*GraphGluingReport, error) {
+
+	if len(family) < 2 {
+		return nil, fmt.Errorf("lowerbound: family too small (%d)", len(family))
+	}
+	k := family[0].N()
+	window := 2*radius + 1
+	if k < 3*radius+2 {
+		return nil, fmt.Errorf("lowerbound: k=%d too small for radius %d (need ≥ 3r+2)", k, radius)
+	}
+	report := &GraphGluingReport{
+		Kind: kind, K: k, FamilySize: len(family),
+		FamilyBitsLog2: log2Ceil(len(family)),
+		WindowNodes:    window, BudgetBits: budgetBits,
+		WindowCapacity: budgetBits * window,
+	}
+
+	// Honest proofs on every G⊙G.
+	type run struct {
+		g     *graph.Graph // the family member
+		in    *core.Instance
+		proof core.Proof
+	}
+	runs := make([]run, len(family))
+	honestWindows := map[string]bool{}
+	for i, g := range family {
+		gg := Odot(g, g)
+		in := core.NewInstance(gg)
+		proof, err := scheme.Prove(in)
+		if err != nil {
+			return nil, fmt.Errorf("lowerbound: prover failed on family[%d]⊙itself: %w", i, err)
+		}
+		runs[i] = run{g: g, in: in, proof: proof}
+		if proof.Size() > report.HonestBits {
+			report.HonestBits = proof.Size()
+		}
+		honestWindows[windowKey(proof, window)] = true
+	}
+	report.HonestDistinct = len(honestWindows) == len(family)
+
+	// Truncate to the budget and look for a window collision.
+	truncWindows := map[string]int{}
+	pair := [2]int{-1, -1}
+	for i := range runs {
+		key := windowKey(runs[i].proof.Truncated(budgetBits), window)
+		if j, ok := truncWindows[key]; ok {
+			pair = [2]int{j, i}
+			break
+		}
+		truncWindows[key] = i
+	}
+	if pair[0] < 0 {
+		return report, nil
+	}
+	report.CollisionFound = true
+	report.Pair = pair
+
+	// Build the fooling instance G₁⊙G₂ with spliced truncated proofs.
+	r1, r2 := runs[pair[0]], runs[pair[1]]
+	fool := core.NewInstance(Odot(r1.g, r2.g))
+	p1 := r1.proof.Truncated(budgetBits)
+	p2 := r2.proof.Truncated(budgetBits)
+	spliced := core.Proof{}
+	for _, v := range fool.G.Nodes() {
+		switch {
+		case v >= k+1 && v <= 2*k:
+			spliced[v] = p1[v] // the G₁ copy
+		case v <= window:
+			spliced[v] = p1[v] // common window (equals p2[v] by collision)
+		default:
+			spliced[v] = p2[v] // rest of the path and the G₂ copy
+		}
+	}
+	report.ViewsIdentical = allViewsCovered(fool, spliced,
+		[]yesRun{{r1.in, p1}, {r2.in, p2}}, radius)
+	report.FooledIsYes = isYes(fool.G)
+	return report, nil
+}
+
+// windowKey serializes the proof labels of nodes 1..window.
+func windowKey(p core.Proof, window int) string {
+	var b strings.Builder
+	for v := 1; v <= window; v++ {
+		b.WriteString(p[v].Key())
+		b.WriteByte('/')
+	}
+	return b.String()
+}
+
+func log2Ceil(n int) int {
+	b := 0
+	for v := n - 1; v > 0; v >>= 1 {
+		b++
+	}
+	return b
+}
+
+// EnumerateRootedTrees returns one representative per isomorphism class
+// of rooted trees on k nodes, each given as an unrooted graph whose
+// canonical attachment node is identifier 1 (trees are re-labelled so
+// that the root is the node the ⊙ path attaches to). Counts follow OEIS
+// A000081.
+func EnumerateRootedTrees(k int) []*graph.Graph {
+	if k == 1 {
+		return []*graph.Graph{graph.Path(1)}
+	}
+	seen := map[string]bool{}
+	var out []*graph.Graph
+	// Enumerate labelled trees via Prüfer sequences, then all root
+	// choices, dedup by rooted canonical string.
+	seq := make([]int, k-2)
+	var rec func(pos int)
+	rec = func(pos int) {
+		if pos == len(seq) {
+			tree := treeFromPrufer(seq, k)
+			for root := 1; root <= k; root++ {
+				key := rootedCanonString(tree, root, 0)
+				if seen[key] {
+					continue
+				}
+				seen[key] = true
+				out = append(out, rerootTree(tree, root))
+			}
+			return
+		}
+		for v := 1; v <= k; v++ {
+			seq[pos] = v
+			rec(pos + 1)
+		}
+	}
+	rec(0)
+	return out
+}
+
+// treeFromPrufer decodes a Prüfer sequence over 1..k.
+func treeFromPrufer(seq []int, k int) *graph.Graph {
+	degree := make([]int, k+1)
+	for i := 1; i <= k; i++ {
+		degree[i] = 1
+	}
+	for _, v := range seq {
+		degree[v]++
+	}
+	b := graph.NewBuilder(graph.Undirected)
+	ptr := 1
+	for degree[ptr] != 1 {
+		ptr++
+	}
+	leaf := ptr
+	for _, v := range seq {
+		b.AddEdge(leaf, v)
+		degree[v]--
+		if degree[v] == 1 && v < ptr {
+			leaf = v
+		} else {
+			ptr++
+			for ptr <= k && degree[ptr] != 1 {
+				ptr++
+			}
+			leaf = ptr
+		}
+	}
+	b.AddEdge(leaf, k)
+	return b.Graph()
+}
+
+// rootedCanonString computes the classic sorted-subtree canonical string.
+func rootedCanonString(t *graph.Graph, v, parent int) string {
+	var subs []string
+	for _, u := range t.Neighbors(v) {
+		if u != parent {
+			subs = append(subs, rootedCanonString(t, u, v))
+		}
+	}
+	sort.Strings(subs)
+	return "(" + strings.Join(subs, "") + ")"
+}
+
+// rerootTree relabels t so that root becomes identifier 1 and the rest
+// follow in BFS order — the canonical representative used by Odot.
+func rerootTree(t *graph.Graph, root int) *graph.Graph {
+	m := map[int]int{root: 1}
+	next := 2
+	queue := []int{root}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, u := range t.Neighbors(v) {
+			if _, ok := m[u]; !ok {
+				m[u] = next
+				next++
+				queue = append(queue, u)
+			}
+		}
+	}
+	return t.Relabel(m)
+}
+
+// OdotTrees is the §6.2 variant: two rooted trees joined by the path,
+// with the path attaching at each tree's root (identifier 1 of the
+// representative). Unlike Odot it does NOT canonicalize — the family
+// representatives are already in root-first form, and re-canonicalizing
+// would forget the root.
+func OdotTrees(t1, t2 *graph.Graph) *graph.Graph {
+	if t1.N() != t2.N() {
+		panic("lowerbound: OdotTrees requires equal orders")
+	}
+	k := t1.N()
+	c1 := t1.ShiftIDs(k)     // root at k+1
+	c2 := t2.ShiftIDs(2 * k) // root at 2k+1
+	b := graph.NewBuilder(graph.Undirected)
+	for _, e := range c1.Edges() {
+		b.AddEdge(e.U, e.V)
+	}
+	for _, e := range c2.Edges() {
+		b.AddEdge(e.U, e.V)
+	}
+	b.AddEdge(k+1, 1)
+	for i := 1; i < k; i++ {
+		b.AddEdge(i, i+1)
+	}
+	b.AddEdge(k, 2*k+1)
+	return b.Graph()
+}
+
+// RunTreeGluing is the §6.2 experiment: rooted trees, the fixpoint-free
+// scheme, Θ(k) honest certificates, o(k) budgets collide.
+func RunTreeGluing(scheme core.Scheme, family []*graph.Graph, radius, budgetBits int,
+	isYes func(*graph.Graph) bool) (*GraphGluingReport, error) {
+
+	if len(family) < 2 {
+		return nil, fmt.Errorf("lowerbound: family too small (%d)", len(family))
+	}
+	k := family[0].N()
+	if k%2 != 0 {
+		return nil, fmt.Errorf("lowerbound: §6.2 needs even k (the path flip must be fixpoint-free)")
+	}
+	window := 2*radius + 1
+	if k < 3*radius+2 {
+		return nil, fmt.Errorf("lowerbound: k=%d too small for radius %d", k, radius)
+	}
+	report := &GraphGluingReport{
+		Kind: "fixpoint-free", K: k, FamilySize: len(family),
+		FamilyBitsLog2: log2Ceil(len(family)),
+		WindowNodes:    window, BudgetBits: budgetBits,
+		WindowCapacity: budgetBits * window,
+	}
+	type run struct {
+		g     *graph.Graph
+		in    *core.Instance
+		proof core.Proof
+	}
+	runs := make([]run, len(family))
+	honestWindows := map[string]bool{}
+	for i, g := range family {
+		in := core.NewInstance(OdotTrees(g, g))
+		proof, err := scheme.Prove(in)
+		if err != nil {
+			return nil, fmt.Errorf("lowerbound: prover failed on tree[%d]⊙itself: %w", i, err)
+		}
+		runs[i] = run{g: g, in: in, proof: proof}
+		if proof.Size() > report.HonestBits {
+			report.HonestBits = proof.Size()
+		}
+		honestWindows[windowKey(proof, window)] = true
+	}
+	report.HonestDistinct = len(honestWindows) == len(family)
+
+	truncWindows := map[string]int{}
+	pair := [2]int{-1, -1}
+	for i := range runs {
+		key := windowKey(runs[i].proof.Truncated(budgetBits), window)
+		if j, ok := truncWindows[key]; ok {
+			pair = [2]int{j, i}
+			break
+		}
+		truncWindows[key] = i
+	}
+	if pair[0] < 0 {
+		return report, nil
+	}
+	report.CollisionFound = true
+	report.Pair = pair
+
+	r1, r2 := runs[pair[0]], runs[pair[1]]
+	fool := core.NewInstance(OdotTrees(r1.g, r2.g))
+	p1 := r1.proof.Truncated(budgetBits)
+	p2 := r2.proof.Truncated(budgetBits)
+	spliced := core.Proof{}
+	for _, v := range fool.G.Nodes() {
+		switch {
+		case v >= k+1 && v <= 2*k:
+			spliced[v] = p1[v]
+		case v <= window:
+			spliced[v] = p1[v]
+		default:
+			spliced[v] = p2[v]
+		}
+	}
+	report.ViewsIdentical = allViewsCovered(fool, spliced,
+		[]yesRun{{r1.in, p1}, {r2.in, p2}}, radius)
+	report.FooledIsYes = isYes(fool.G)
+	return report, nil
+}

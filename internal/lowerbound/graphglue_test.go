@@ -1,0 +1,236 @@
+package lowerbound
+
+import (
+	"math/big"
+	"testing"
+
+	"lcp/internal/graph"
+	"lcp/internal/graphalg"
+	"lcp/internal/schemes"
+)
+
+func TestOdotSymmetryCriterion(t *testing.T) {
+	// §6.1: for asymmetric G₁, G₂ of equal order, G₁⊙G₂ is symmetric iff
+	// G₁ ≅ G₂.
+	family := EnumerateAsymmetricConnected(6)
+	if len(family) < 2 {
+		t.Fatalf("only %d asymmetric connected graphs on 6 nodes", len(family))
+	}
+	g1, g2 := family[0], family[1]
+	if aut := graphalg.NontrivialAutomorphism(Odot(g1, g1)); aut == nil {
+		t.Error("G⊙G is not symmetric")
+	}
+	if aut := graphalg.NontrivialAutomorphism(Odot(g1, g2)); aut != nil {
+		t.Error("G₁⊙G₂ symmetric for non-isomorphic asymmetric parts")
+	}
+	// Structure: 3k nodes, path joining the copies.
+	gg := Odot(g1, g2)
+	if gg.N() != 18 {
+		t.Errorf("odot size %d, want 18", gg.N())
+	}
+	if !graphalg.Connected(gg) {
+		t.Error("odot disconnected")
+	}
+}
+
+func TestEnumerateAsymmetricCounts(t *testing.T) {
+	// Known values: the smallest asymmetric graphs have 6 nodes; there
+	// are exactly 8 of them (connected; Erdős–Rényi 1963).
+	counts := map[int]int{1: 1, 2: 0, 3: 0, 4: 0, 5: 0, 6: 8}
+	for k, want := range counts {
+		if got := CountAsymmetricConnected(k); got != want {
+			t.Errorf("asymmetric connected graphs on %d nodes: %d, want %d", k, got, want)
+		}
+	}
+}
+
+func TestRootedTreeCountsA000081(t *testing.T) {
+	want := []int64{1, 1, 2, 4, 9, 20, 48, 115, 286, 719}
+	got := RootedTreeCounts(len(want))
+	for i, w := range want {
+		if got[i].Cmp(big.NewInt(w)) != 0 {
+			t.Errorf("A000081(%d) = %v, want %d", i+1, got[i], w)
+		}
+	}
+}
+
+func TestEnumerateRootedTreesMatchesRecurrence(t *testing.T) {
+	for k := 1; k <= 7; k++ {
+		enum := len(EnumerateRootedTrees(k))
+		rec := RootedTreeCounts(k)[k-1].Int64()
+		if int64(enum) != rec {
+			t.Errorf("rooted trees on %d nodes: enumerated %d, recurrence %d", k, enum, rec)
+		}
+	}
+}
+
+func TestOdotTreesFixpointFreeCriterion(t *testing.T) {
+	// §6.2: for rooted trees of even order k, T₁⊙T₂ has a fixpoint-free
+	// automorphism iff T₁ = T₂ (as rooted trees).
+	family := EnumerateRootedTrees(4)
+	if len(family) != 4 {
+		t.Fatalf("|rooted trees on 4 nodes| = %d, want 4", len(family))
+	}
+	for i, t1 := range family {
+		for j, t2 := range family {
+			gg := OdotTrees(t1, t2)
+			if !graphalg.IsTree(gg) {
+				t.Fatalf("odot of trees is not a tree")
+			}
+			got := graphalg.FixpointFreeAutomorphism(gg) != nil
+			want := i == j
+			if got != want {
+				t.Errorf("trees %d,%d: fixpoint-free = %v, want %v", i, j, got, want)
+			}
+		}
+	}
+}
+
+// TestGraphGluingSymmetric is experiment LB-sym: honest Θ(n²) proofs keep
+// all windows distinct; a small budget forces a collision whose splice is
+// an asymmetric graph with all views covered by symmetric yes-instances.
+func TestGraphGluingSymmetric(t *testing.T) {
+	family := EnumerateAsymmetricConnected(6)
+	rep, err := RunGraphGluing("symmetric", schemes.Symmetric{}, family,
+		func(g *graph.Graph) bool { return graphalg.NontrivialAutomorphism(g) != nil },
+		1, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("%s", rep)
+	if !rep.HonestDistinct {
+		t.Error("honest Θ(n²) windows collide — the certificate is weaker than expected")
+	}
+	if !rep.CollisionFound {
+		t.Fatal("no collision under an 8-bit budget across 8 graphs")
+	}
+	if !rep.ViewsIdentical {
+		t.Error("fooling views not identical to yes-instance views")
+	}
+	if rep.FooledIsYes {
+		t.Error("fooling instance is symmetric — not a no-instance")
+	}
+}
+
+// TestGraphGluingFixpointFree is experiment LB-fpf (§6.2) on rooted trees
+// of even order.
+func TestGraphGluingFixpointFree(t *testing.T) {
+	family := EnumerateRootedTrees(6) // 20 rooted trees, k even
+	rep, err := RunTreeGluing(schemes.FixpointFree{}, family, 1, 2,
+		func(g *graph.Graph) bool { return graphalg.FixpointFreeAutomorphism(g) != nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("%s", rep)
+	if !rep.HonestDistinct {
+		t.Error("honest Θ(n) windows collide")
+	}
+	if !rep.CollisionFound {
+		t.Fatal("no collision under a 2-bit budget across 20 trees")
+	}
+	if !rep.ViewsIdentical {
+		t.Error("fooling views not identical")
+	}
+	if rep.FooledIsYes {
+		t.Error("fooling tree has a fixpoint-free symmetry — not a no-instance")
+	}
+}
+
+// TestGrowthRates: log₂|F_k|/k² roughly stabilizes for asymmetric graphs
+// (Θ(k²) information) while log₂ A000081(k)/k converges near the
+// asymptotic constant (≈ log₂ 2.9558 ≈ 1.56) — the quantitative heart of
+// §6.1 vs §6.2.
+func TestGrowthRates(t *testing.T) {
+	trees := RootedTreeGrowth(24)
+	last := trees.PerK[len(trees.PerK)-1]
+	if last < 1.0 || last > 1.7 {
+		t.Errorf("rooted-tree log growth per node = %.3f, want ≈1.2–1.6", last)
+	}
+	// Asymmetric graphs: count grows super-exponentially; check the
+	// ratio count(7)/count(6) is enormous (Θ(k²) bits).
+	c6 := CountAsymmetricConnected(6)
+	if testing.Short() {
+		t.Skipf("skipping k=7 exhaustive enumeration in -short mode (c6=%d)", c6)
+	}
+	c7 := CountAsymmetricConnected(7)
+	// Known values: 8 on six nodes, 144 on seven (18× growth — the
+	// doubly-exponential 2^Θ(k²) regime getting started).
+	if c7 != 144 {
+		t.Errorf("asymmetric connected graphs on 7 nodes: %d, want 144", c7)
+	}
+	t.Logf("asymmetric connected: c6=%d c7=%d", c6, c7)
+}
+
+// TestUnionFooling is experiment X-conn: the universal connectivity
+// verifier accepts a disconnected union with spliced certificates, so
+// connectivity of general graphs has no LCP of any size.
+func TestUnionFooling(t *testing.T) {
+	rep, err := RunUnionFooling(ConnectedUniversal(), graph.Cycle(6), graph.Cycle(7).ShiftIDs(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("%s", rep)
+	if !rep.ViewsIdentical {
+		t.Error("union views differ from component views")
+	}
+	if rep.UnionConnected {
+		t.Error("union is connected?")
+	}
+	if !rep.Accepted {
+		t.Error("verifier rejected the union — the experiment should demonstrate acceptance")
+	}
+	if !rep.Fooled {
+		t.Error("connectivity verifier was not fooled")
+	}
+}
+
+func TestUnionFoolingRejectsOverlappingIDs(t *testing.T) {
+	if _, err := RunUnionFooling(ConnectedUniversal(), graph.Cycle(5), graph.Cycle(5)); err == nil {
+		t.Error("overlapping identifier sets accepted")
+	}
+}
+
+// TestThreeColFooling is experiment LB-3col (§6.3).
+func TestThreeColFooling(t *testing.T) {
+	rep, err := RunThreeColFooling(schemes.NonThreeColorable(), 1, 2, 48)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("%s", rep)
+	if !rep.HonestDistinct {
+		t.Error("honest wire windows collide — certificates should encode the whole graph")
+	}
+	if !rep.CollisionFound {
+		t.Fatal("no collision under a 48-bit budget (header bits should collide across sets)")
+	}
+	if !rep.ViewsIdentical {
+		t.Error("spliced views not identical to yes-instance views")
+	}
+	if !rep.FooledColorable {
+		t.Error("spliced G_{A,B̄} is not 3-colourable — the swap should produce a no-instance of χ>3")
+	}
+}
+
+// TestBondyProbe: the extremal machinery behind §5.3, empirically. Few
+// colours ⇒ monochromatic C4 always; a matching-based colouring with n
+// colours has none.
+func TestBondyProbe(t *testing.T) {
+	rep := RunBondyProbe(12, 5, 3)
+	t.Logf("%s", rep)
+	if len(rep.Probes) == 0 {
+		t.Fatal("no probes")
+	}
+	if rep.Probes[0].Fraction != 1.0 {
+		t.Errorf("2 colours on K_{12,12}: P[mono C4] = %v, want 1.0", rep.Probes[0].Fraction)
+	}
+	if rep.Threshold < rep.CubeRootN {
+		t.Errorf("random threshold %d below the worst-case budget %d?!", rep.Threshold, rep.CubeRootN)
+	}
+	colors, c4free := AdversarialColoringWithoutC4(12)
+	if !c4free {
+		t.Error("matching colouring contains a monochromatic C4")
+	}
+	if len(colors) != 144 {
+		t.Errorf("colouring covers %d edges, want 144", len(colors))
+	}
+}

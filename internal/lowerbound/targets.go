@@ -1,0 +1,177 @@
+package lowerbound
+
+import (
+	"lcp/internal/core"
+	"lcp/internal/graph"
+	"lcp/internal/graphalg"
+	"lcp/internal/schemes"
+)
+
+// §5.4 instantiations of the gluing adversary. Each weak target glues to
+// a fooled verifier; each strong target (the package's real Θ(log n)
+// schemes) resists because its signature space outgrows the n^{1/3}
+// colour budget.
+
+// bareCycle wraps the cycle as an unlabelled instance.
+func bareCycle(g *graph.Graph, _ []int) *core.Instance { return core.NewInstance(g) }
+
+// OddNTarget glues two odd cycles into an even one against the weak
+// seam scheme ("odd n(G)", Table 1a: Θ(log n)).
+func OddNTarget() GluingTarget {
+	return GluingTarget{
+		Name:    "odd-n-weak",
+		Scheme:  WeakOddN{},
+		Prepare: bareCycle,
+		IsYes: func(in *core.Instance) bool {
+			return graphalg.IsCycleGraph(in.G) && in.G.N()%2 == 1
+		},
+		K:         2,
+		OddLength: true,
+	}
+}
+
+// NonBipartiteTarget glues two odd cycles (non-bipartite) into an even
+// cycle (bipartite) against the weak seam scheme ("χ > 2", Θ(log n)).
+func NonBipartiteTarget() GluingTarget {
+	return GluingTarget{
+		Name:    "non-bipartite-weak",
+		Scheme:  WeakNonBipartite{},
+		Prepare: bareCycle,
+		IsYes: func(in *core.Instance) bool {
+			return graphalg.OddCycle(in.G) != nil
+		},
+		K:         2,
+		OddLength: true,
+	}
+}
+
+// LeaderTarget glues two one-leader cycles into a two-leader cycle
+// against the weak seam-at-leader scheme (leader election, Θ(log n)).
+func LeaderTarget() GluingTarget {
+	return GluingTarget{
+		Name:   "leader-weak",
+		Scheme: WeakLeader{},
+		Prepare: func(g *graph.Graph, order []int) *core.Instance {
+			in := core.NewInstance(g)
+			// Put the leader mid-cycle, far from the signature windows.
+			in.SetNodeLabel(order[len(order)/2], core.LabelLeader)
+			return in
+		},
+		IsYes: func(in *core.Instance) bool {
+			return len(in.FindLabel(core.LabelLeader)) == 1
+		},
+		K:         2,
+		OddLength: true,
+	}
+}
+
+// SpanningTreeTarget glues two spanning paths into two disjoint paths —
+// not a spanning tree — against the 0-bit weak scheme (spanning tree,
+// Θ(log n)).
+func SpanningTreeTarget() GluingTarget {
+	return GluingTarget{
+		Name:   "spanning-tree-weak",
+		Scheme: WeakSpanningPath{},
+		Prepare: func(g *graph.Graph, order []int) *core.Instance {
+			in := core.NewInstance(g)
+			// Spanning tree of a cycle = every edge except the closing
+			// {b, a} edge.
+			for i := 1; i < len(order); i++ {
+				in.MarkEdge(order[i-1], order[i])
+			}
+			return in
+		},
+		IsYes: func(in *core.Instance) bool {
+			marked := in.MarkedEdges()
+			if len(marked) != in.G.N()-1 {
+				return false
+			}
+			b := graph.NewBuilder(graph.Undirected)
+			for _, v := range in.G.Nodes() {
+				b.AddNode(v)
+			}
+			for _, e := range marked {
+				b.AddEdge(e.U, e.V)
+			}
+			return graphalg.IsTree(b.Graph())
+		},
+		K: 2,
+	}
+}
+
+// MaxMatchingTarget glues two maximum matchings of odd cycles (one
+// defect each) into a k-defect matching of the long cycle — suboptimal —
+// against the 0-bit local-optimality scheme (maximum matching on cycles,
+// Θ(log n)).
+func MaxMatchingTarget() GluingTarget {
+	return GluingTarget{
+		Name:   "max-matching-weak",
+		Scheme: WeakMaxMatchingCycle{},
+		Prepare: func(g *graph.Graph, order []int) *core.Instance {
+			in := core.NewInstance(g)
+			// Pair order[1]–order[2], order[3]–order[4], …; order[0] = a
+			// stays unmatched (the defect sits inside the window, where
+			// signature equality keeps it consistent).
+			for i := 1; i+1 < len(order); i += 2 {
+				in.MarkEdge(order[i], order[i+1])
+			}
+			return in
+		},
+		IsYes: func(in *core.Instance) bool {
+			m := make(graphalg.Matching)
+			for _, e := range in.MarkedEdges() {
+				m[e] = true
+			}
+			return graphalg.IsMatching(in.G, m) && len(m) == in.G.N()/2
+		},
+		K:         2,
+		OddLength: true,
+	}
+}
+
+// StrongOddNTarget runs the adversary against the real Θ(log n) counting
+// scheme: the signature space blows past the colour budget and no
+// monochromatic cycle exists at feasible n — the observable face of the
+// upper bound.
+func StrongOddNTarget() GluingTarget {
+	return GluingTarget{
+		Name:    "odd-n-strong",
+		Scheme:  schemes.ParityCount{WantOdd: true},
+		Prepare: bareCycle,
+		IsYes: func(in *core.Instance) bool {
+			return graphalg.IsCycleGraph(in.G) && in.G.N()%2 == 1
+		},
+		K:         2,
+		OddLength: true,
+	}
+}
+
+// StrongLeaderTarget is the leader-election analogue with the real
+// spanning-tree scheme.
+func StrongLeaderTarget() GluingTarget {
+	return GluingTarget{
+		Name:   "leader-strong",
+		Scheme: schemes.LeaderElection{},
+		Prepare: func(g *graph.Graph, order []int) *core.Instance {
+			in := core.NewInstance(g)
+			in.SetNodeLabel(order[len(order)/2], core.LabelLeader)
+			return in
+		},
+		IsYes: func(in *core.Instance) bool {
+			return len(in.FindLabel(core.LabelLeader)) == 1
+		},
+		K:         2,
+		OddLength: true,
+	}
+}
+
+// WeakTargets returns all §5.4 weak-scheme targets.
+func WeakTargets() []GluingTarget {
+	return []GluingTarget{
+		OddNTarget(),
+		NonBipartiteTarget(),
+		LeaderTarget(),
+		SpanningTreeTarget(),
+		MaxMatchingTarget(),
+	}
+}

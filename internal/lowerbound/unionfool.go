@@ -1,0 +1,98 @@
+package lowerbound
+
+import (
+	"fmt"
+	"strings"
+
+	"lcp/internal/core"
+	"lcp/internal/graph"
+	"lcp/internal/graphalg"
+	"lcp/internal/schemes"
+)
+
+// The last row of Table 1a: connectivity of general (possibly
+// disconnected) graphs admits NO locally checkable proof of any size.
+// Proof-by-execution: take two connected yes-instances with disjoint
+// identifier sets, prove each, and form the disjoint union with the
+// inherited proofs. Every node's view in the union is literally its view
+// in its own component, so any verifier that accepts both yes-instances
+// accepts the disconnected union.
+
+// UnionFoolingReport documents the run.
+type UnionFoolingReport struct {
+	SchemeName     string
+	N1, N2         int
+	ProofBits      int
+	ViewsIdentical bool
+	Accepted       bool
+	UnionConnected bool
+	Fooled         bool
+}
+
+// String renders the report.
+func (r *UnionFoolingReport) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "disjoint-union fooling of %q: components n=%d, n=%d, proofs ≤ %d bits\n",
+		r.SchemeName, r.N1, r.N2, r.ProofBits)
+	fmt.Fprintf(&b, "  views identical: %v | union connected: %v | verifier accepted: %v | FOOLED: %v",
+		r.ViewsIdentical, r.UnionConnected, r.Accepted, r.Fooled)
+	return b.String()
+}
+
+// RunUnionFooling executes the experiment against a scheme claiming to
+// verify connectivity, using two disjoint connected components. Any
+// scheme whatsoever suffers this fate; we ship the natural strawman
+// (the universal O(n²) scheme with the predicate "connected", whose
+// soundness argument depends on the family promise this experiment
+// violates).
+func RunUnionFooling(scheme core.Scheme, g1, g2 *graph.Graph) (*UnionFoolingReport, error) {
+	for _, id := range g2.Nodes() {
+		if g1.Has(id) {
+			return nil, fmt.Errorf("lowerbound: component identifier sets overlap at %d", id)
+		}
+	}
+	in1, in2 := core.NewInstance(g1), core.NewInstance(g2)
+	p1, err := scheme.Prove(in1)
+	if err != nil {
+		return nil, fmt.Errorf("lowerbound: prover failed on component 1: %w", err)
+	}
+	p2, err := scheme.Prove(in2)
+	if err != nil {
+		return nil, fmt.Errorf("lowerbound: prover failed on component 2: %w", err)
+	}
+	union := core.NewInstance(graph.DisjointUnion(g1, g2))
+	spliced := core.Proof{}
+	for v, s := range p1 {
+		spliced[v] = s
+	}
+	for v, s := range p2 {
+		spliced[v] = s
+	}
+	r := scheme.Verifier().Radius()
+	rep := &UnionFoolingReport{
+		SchemeName: scheme.Name(),
+		N1:         g1.N(), N2: g2.N(),
+	}
+	if p1.Size() > p2.Size() {
+		rep.ProofBits = p1.Size()
+	} else {
+		rep.ProofBits = p2.Size()
+	}
+	rep.ViewsIdentical = allViewsCovered(union, spliced,
+		[]yesRun{{in1, p1}, {in2, p2}}, r)
+	rep.UnionConnected = graphalg.Connected(union.G)
+	rep.Accepted = core.Check(union, spliced, scheme.Verifier()).Accepted()
+	rep.Fooled = rep.Accepted && !rep.UnionConnected
+	return rep, nil
+}
+
+// ConnectedUniversal is the strawman scheme: the universal O(n²)
+// certificate deciding "G is connected". Perfectly sound on the
+// connected-graph family — and fooled on the general family, which is
+// exactly why Table 1a lists connectivity with no proof size at all.
+func ConnectedUniversal() core.Scheme {
+	return schemes.Universal{
+		PropertyName: "connected",
+		Holds:        graphalg.Connected,
+	}
+}

@@ -1,0 +1,309 @@
+// Package lowerbound makes the paper's lower-bound constructions
+// executable (Göös & Suomela, PODC 2011, §5–§6):
+//
+//   - §5.3/Figure 1: gluing short cycles into a long cycle through a
+//     monochromatic even cycle of the signature-coloured K_{n,n}
+//     (Bondy–Simonovits);
+//   - §5.4: instantiations fooling odd-n / non-bipartite / leader /
+//     spanning-tree / maximum-matching schemes whose proofs are too
+//     small;
+//   - §6.1/§6.2: the G₁⊙G₂ graph-gluing fooling for symmetric graphs and
+//     fixpoint-free tree symmetry, plus the counting experiments
+//     (asymmetric graphs, rooted trees / OEIS A000081);
+//   - §6.3: the explicit 3-colouring gadget G_A, wires, and the fooling
+//     set swap for non-3-colourability;
+//   - the disjoint-union fooling showing connectivity of general graphs
+//     admits no locally checkable proof of any size (Table 1a, last row).
+//
+// A lower bound quantifies over all verifiers, so it cannot be "run"
+// directly; what can be run is the paper's construction: given a scheme
+// whose proofs are too small, produce a no-instance in which every node's
+// view is literally identical to a view of some yes-instance, then watch
+// the scheme's own verifier accept it. For honest Θ(log n) schemes the
+// adversary reports the signature statistics that make the construction
+// impossible at that n.
+//
+// This file defines honest-but-weak schemes with O(1)-bit proofs — the
+// strongest schemes possible below the Ω(log n) barrier — which the §5.4
+// experiments then demolish.
+package lowerbound
+
+import (
+	"fmt"
+
+	"lcp/internal/bitstr"
+	"lcp/internal/core"
+	"lcp/internal/graphalg"
+)
+
+// WeakOddN is the best-effort O(1)-bit scheme for "n(G) is odd" on
+// cycles: a 2-colouring with exactly one "seam" edge where the colours
+// may repeat; an odd cycle needs exactly one seam. Each label is 2 bits:
+// (colour, seam-endpoint flag). The verifier checks that every bichromatic
+// edge is ordinary and that a monochromatic edge joins two seam-flagged
+// nodes; each node sees at most one seam edge. The scheme is complete on
+// odd cycles — and unsound exactly as §5 predicts: gluing two odd cycles
+// yields an even cycle with two seams that every node accepts, because no
+// node sees both seams at once.
+type WeakOddN struct{}
+
+// Name implements core.Scheme.
+func (WeakOddN) Name() string { return "weak-odd-n" }
+
+// Verifier implements core.Scheme.
+func (WeakOddN) Verifier() core.Verifier {
+	return core.VerifierFunc{R: 1, F: func(w *core.View) bool {
+		me := w.Center
+		if w.Degree(me) != 2 {
+			return false
+		}
+		my := w.ProofOf(me)
+		if my.Len() != 2 {
+			return false
+		}
+		myColor, mySeam := my.Bit(0), my.Bit(1)
+		seamEdges := 0
+		for _, u := range w.Neighbors(me) {
+			p := w.ProofOf(u)
+			if p.Len() != 2 {
+				return false
+			}
+			if p.Bit(0) == myColor {
+				// Monochromatic edge: both endpoints must be flagged.
+				if !mySeam || !p.Bit(1) {
+					return false
+				}
+				seamEdges++
+			}
+		}
+		if seamEdges > 1 {
+			return false
+		}
+		if mySeam && seamEdges == 0 {
+			return false // flag without a seam edge
+		}
+		return true
+	}}
+}
+
+// Prove implements core.Scheme.
+func (WeakOddN) Prove(in *core.Instance) (core.Proof, error) {
+	if !graphalg.IsCycleGraph(in.G) {
+		return nil, fmt.Errorf("%w: weak-odd-n requires the cycle family", core.ErrNotInProperty)
+	}
+	if in.G.N()%2 == 0 {
+		return nil, core.ErrNotInProperty
+	}
+	// Walk the cycle assigning alternating colours; the wrap edge is the
+	// seam.
+	order := cycleOrder(in)
+	p := make(core.Proof, in.G.N())
+	for i, v := range order {
+		color := i%2 == 1
+		seam := i == 0 || i == len(order)-1
+		p[v] = bitstr.FromBools(color, seam)
+	}
+	return p, nil
+}
+
+var _ core.Scheme = WeakOddN{}
+
+// WeakNonBipartite reuses the seam scheme for "χ(G) > 2" on cycles: an
+// odd cycle is exactly a non-bipartite cycle.
+type WeakNonBipartite struct{ WeakOddN }
+
+// Name implements core.Scheme.
+func (WeakNonBipartite) Name() string { return "weak-non-bipartite" }
+
+var _ core.Scheme = WeakNonBipartite{}
+
+// WeakLeader is the best-effort O(1)-bit scheme for leader election on
+// cycles: a 2-colouring seamed at the leader. Completeness: seam the
+// wrap-around edge at the leader. Unsound under gluing: two leaders, two
+// seams, all nodes accept.
+type WeakLeader struct{}
+
+// Name implements core.Scheme.
+func (WeakLeader) Name() string { return "weak-leader" }
+
+// Verifier implements core.Scheme: seam edges must sit at a leader.
+func (WeakLeader) Verifier() core.Verifier {
+	inner := WeakOddN{}.Verifier()
+	return core.VerifierFunc{R: 1, F: func(w *core.View) bool {
+		me := w.Center
+		my := w.ProofOf(me)
+		if my.Len() != 2 {
+			return false
+		}
+		// Colour discipline first: monochromatic edges only between
+		// seam-flagged nodes, at most one per view.
+		if !inner.Verify(w) {
+			return false
+		}
+		if my.Bit(1) {
+			// I am a seam endpoint: one endpoint of my seam edge must be
+			// the leader. (On even cycles there is no seam and leader
+			// labels are unconstrained — that weakness is inherent to
+			// O(1)-bit proofs, which is the point of this scheme.)
+			if w.Label(me) == core.LabelLeader {
+				return true
+			}
+			for _, u := range w.Neighbors(me) {
+				p := w.ProofOf(u)
+				if p.Len() == 2 && p.Bit(0) == my.Bit(0) && w.Label(u) == core.LabelLeader {
+					return true
+				}
+			}
+			return false
+		}
+		return true
+	}}
+}
+
+// Prove implements core.Scheme.
+func (WeakLeader) Prove(in *core.Instance) (core.Proof, error) {
+	if !graphalg.IsCycleGraph(in.G) {
+		return nil, fmt.Errorf("%w: weak-leader requires the cycle family", core.ErrNotInProperty)
+	}
+	leaders := in.FindLabel(core.LabelLeader)
+	if len(leaders) != 1 {
+		return nil, core.ErrNotInProperty
+	}
+	order := cycleOrderFrom(in, leaders[0])
+	p := make(core.Proof, in.G.N())
+	needSeam := len(order)%2 == 1 // even cycles 2-colour cleanly, no seam
+	for i, v := range order {
+		color := i%2 == 1
+		seam := needSeam && (i == 0 || i == len(order)-1)
+		p[v] = bitstr.FromBools(color, seam)
+	}
+	return p, nil
+}
+
+var _ core.Scheme = WeakLeader{}
+
+// WeakSpanningPath is the 0-bit scheme for "marked edges form a spanning
+// tree" on cycles (where a spanning tree is the cycle minus one edge):
+// each node checks it has at least one marked incident edge and at most
+// one unmarked incident edge. Complete on cycles; fooled by gluing —
+// the glued solution misses k edges, but every node still sees at most
+// one gap.
+type WeakSpanningPath struct{}
+
+// Name implements core.Scheme.
+func (WeakSpanningPath) Name() string { return "weak-spanning-path" }
+
+// Verifier implements core.Scheme.
+func (WeakSpanningPath) Verifier() core.Verifier {
+	return core.VerifierFunc{R: 1, F: func(w *core.View) bool {
+		me := w.Center
+		if w.Degree(me) != 2 {
+			return false
+		}
+		unmarked := 0
+		for _, u := range w.Neighbors(me) {
+			if !w.EdgeMarked(me, u) {
+				unmarked++
+			}
+		}
+		return unmarked <= 1
+	}}
+}
+
+// Prove implements core.Scheme.
+func (WeakSpanningPath) Prove(in *core.Instance) (core.Proof, error) {
+	if !graphalg.IsCycleGraph(in.G) {
+		return nil, fmt.Errorf("%w: weak-spanning-path requires the cycle family", core.ErrNotInProperty)
+	}
+	marked := in.MarkedEdges()
+	if len(marked) != in.G.N()-1 {
+		return nil, core.ErrNotInProperty
+	}
+	return core.Proof{}, nil
+}
+
+var _ core.Scheme = WeakSpanningPath{}
+
+// WeakMaxMatchingCycle is the 0-bit scheme for "marked edges form a
+// maximum matching" on cycles: matching validity plus "no two adjacent
+// unmatched nodes" (local optimality). On a single cycle that implies at
+// most one unmatched "defect" region per view, which is all a constant
+// radius can see; gluing k odd cycles produces k defects that no node can
+// count.
+type WeakMaxMatchingCycle struct{}
+
+// Name implements core.Scheme.
+func (WeakMaxMatchingCycle) Name() string { return "weak-max-matching-cycle" }
+
+// Verifier implements core.Scheme.
+func (WeakMaxMatchingCycle) Verifier() core.Verifier {
+	return core.VerifierFunc{R: 2, F: func(w *core.View) bool {
+		me := w.Center
+		if w.Degree(me) != 2 {
+			return false
+		}
+		if countMarkedAt(w, me) > 1 {
+			return false
+		}
+		if countMarkedAt(w, me) == 1 {
+			return true
+		}
+		// Unmatched: both neighbours must be matched.
+		for _, u := range w.Neighbors(me) {
+			if countMarkedAt(w, u) != 1 {
+				return false
+			}
+		}
+		return true
+	}}
+}
+
+func countMarkedAt(w *core.View, v int) int {
+	c := 0
+	for _, u := range w.Neighbors(v) {
+		if w.EdgeMarked(v, u) {
+			c++
+		}
+	}
+	return c
+}
+
+// Prove implements core.Scheme.
+func (WeakMaxMatchingCycle) Prove(in *core.Instance) (core.Proof, error) {
+	if !graphalg.IsCycleGraph(in.G) {
+		return nil, fmt.Errorf("%w: weak-max-matching requires the cycle family", core.ErrNotInProperty)
+	}
+	marked := make(graphalg.Matching)
+	for _, e := range in.MarkedEdges() {
+		marked[e] = true
+	}
+	if !graphalg.IsMatching(in.G, marked) || len(marked) != in.G.N()/2 {
+		return nil, core.ErrNotInProperty
+	}
+	return core.Proof{}, nil
+}
+
+var _ core.Scheme = WeakMaxMatchingCycle{}
+
+// cycleOrder returns the nodes of a cycle instance in traversal order
+// starting from the smallest identifier.
+func cycleOrder(in *core.Instance) []int {
+	return cycleOrderFrom(in, in.G.Nodes()[0])
+}
+
+// cycleOrderFrom walks the cycle starting at start (towards its smaller
+// neighbour first, for determinism).
+func cycleOrderFrom(in *core.Instance, start int) []int {
+	order := []int{start}
+	prev, cur := start, in.G.Neighbors(start)[0]
+	for cur != start {
+		order = append(order, cur)
+		nbrs := in.G.Neighbors(cur)
+		next := nbrs[0]
+		if next == prev {
+			next = nbrs[1]
+		}
+		prev, cur = cur, next
+	}
+	return order
+}

@@ -1,0 +1,129 @@
+package ports
+
+import (
+	"testing"
+
+	"lcp/internal/core"
+	"lcp/internal/graph"
+	"lcp/internal/schemes"
+)
+
+func leaderOn(g *graph.Graph, leader int) *core.Instance {
+	return core.NewInstance(g).SetNodeLabel(leader, core.LabelLeader)
+}
+
+func TestPortResolution(t *testing.T) {
+	g := graph.Star(3) // center 1, leaves 2..4
+	if PortOf(g, 1, 3) != 2 {
+		t.Errorf("PortOf(1,3) = %d, want 2", PortOf(g, 1, 3))
+	}
+	if v, ok := NeighborAtPort(g, 1, 3); !ok || v != 4 {
+		t.Errorf("NeighborAtPort(1,3) = %d,%v", v, ok)
+	}
+	if _, ok := NeighborAtPort(g, 1, 5); ok {
+		t.Error("out-of-range port resolved")
+	}
+}
+
+func TestM2WrapCompleteness(t *testing.T) {
+	// Wrap the odd-n counting scheme; run on odd connected graphs.
+	m2 := M2Scheme{Inner: schemes.ParityCount{WantOdd: true}}
+	for _, g := range []*graph.Graph{
+		graph.Cycle(9),
+		graph.RandomConnected(15, 0.2, 3),
+		graph.Petersen().WithEdges(nil, nil), // 10 nodes: even — used below as no-instance
+	} {
+		in := leaderOn(g, g.Nodes()[0])
+		if g.N()%2 == 1 {
+			if _, _, err := core.ProveAndCheck(in, m2); err != nil {
+				t.Errorf("n=%d: %v", g.N(), err)
+			}
+		} else {
+			if _, err := m2.Prove(in); err == nil {
+				t.Errorf("n=%d: prover produced proof for even n", g.N())
+			}
+		}
+	}
+}
+
+func TestM2WrapSoundnessRandomProofs(t *testing.T) {
+	m2 := M2Scheme{Inner: schemes.ParityCount{WantOdd: true}}
+	in := leaderOn(graph.Cycle(8), 1) // even: no-instance
+	for seed := int64(0); seed < 5; seed++ {
+		p := core.RandomProof(in, 24, seed)
+		if core.Check(in, p, m2.Verifier()).Accepted() {
+			t.Fatalf("random proof accepted (seed %d)", seed)
+		}
+	}
+}
+
+// TestM2ProofSurvivesOrderPreservingRelabel is the §7.1 point: the
+// M2-wrapped proof references identifiers only through ports and virtual
+// DFS numbers, so an order-preserving re-assignment of real identifiers
+// leaves the SAME proof valid. The raw M1 scheme fails this (its labels
+// embed real identifiers).
+func TestM2ProofSurvivesOrderPreservingRelabel(t *testing.T) {
+	g := graph.RandomConnected(13, 0.25, 5)
+	in := leaderOn(g, g.Nodes()[2])
+	m2 := M2Scheme{Inner: schemes.ParityCount{WantOdd: true}}
+	proof, _, err := core.ProveAndCheck(in, m2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := OrderPreservingRelabel(g, 7, 100)
+	in2 := in.Relabel(m)
+	proof2 := proof.Relabel(m)
+	if !core.Check(in2, proof2, m2.Verifier()).Accepted() {
+		t.Error("M2 proof invalidated by order-preserving relabel")
+	}
+
+	// Contrast: the raw M1 scheme's proof embeds identifiers and breaks.
+	m1 := schemes.ParityCount{WantOdd: true}
+	rawIn := core.NewInstance(g)
+	rawProof, _, err := core.ProveAndCheck(rawIn, m1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if core.Check(rawIn.Relabel(m), rawProof.Relabel(m), m1.Verifier()).Accepted() {
+		t.Error("M1 proof unexpectedly survived relabeling — it should embed real identifiers")
+	}
+}
+
+func TestM2WrapLeaderElectionInner(t *testing.T) {
+	// Wrap a problem scheme too: the inner leader-election scheme works
+	// on the virtual instance when the leader label is kept.
+	m2 := M2Scheme{Inner: schemes.LeaderElection{}, KeepLeader: true}
+	in := leaderOn(graph.Cycle(9), 4)
+	if _, _, err := core.ProveAndCheck(in, m2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestM2RequiresExactlyOneLeader(t *testing.T) {
+	m2 := M2Scheme{Inner: schemes.ParityCount{WantOdd: true}}
+	if _, err := m2.Prove(core.NewInstance(graph.Cycle(9))); err == nil {
+		t.Error("no leader accepted")
+	}
+	two := leaderOn(graph.Cycle(9), 1).SetNodeLabel(5, core.LabelLeader)
+	if _, err := m2.Prove(two); err == nil {
+		t.Error("two leaders accepted")
+	}
+}
+
+func TestM2ProofSizeLogarithmic(t *testing.T) {
+	// O(log n) overhead: sizes grow additively-logarithmically in n.
+	var sizes []int
+	for _, n := range []int{9, 17, 33, 65} {
+		in := leaderOn(graph.Cycle(n), 1)
+		p, _, err := core.ProveAndCheck(in, M2Scheme{Inner: schemes.ParityCount{WantOdd: true}})
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		sizes = append(sizes, p.Size())
+	}
+	for i := 1; i < len(sizes); i++ {
+		if sizes[i] > sizes[i-1]+24 {
+			t.Errorf("M2 proof sizes grow superlogarithmically: %v", sizes)
+		}
+	}
+}

@@ -1,0 +1,151 @@
+package schemes
+
+import (
+	"fmt"
+
+	"lcp/internal/bitstr"
+	"lcp/internal/core"
+	"lcp/internal/graphalg"
+)
+
+// Constant-size schemes from §1.2 and §2.2: bipartiteness (1 bit), even
+// cycles (1 bit), and chromatic number ≤ k (⌈log₂ k⌉ bits).
+
+// Bipartite is the LCP(1) scheme for "G is bipartite" (§1.2): the proof
+// is a proper 2-colouring, one bit per node.
+type Bipartite struct{}
+
+// Name implements core.Scheme.
+func (Bipartite) Name() string { return "bipartite" }
+
+// Verifier implements core.Scheme.
+func (Bipartite) Verifier() core.Verifier {
+	return core.VerifierFunc{R: 1, F: func(w *core.View) bool {
+		my := w.ProofOf(w.Center)
+		if my.Len() != 1 {
+			return false
+		}
+		for _, u := range w.Neighbors(w.Center) {
+			p := w.ProofOf(u)
+			if p.Len() != 1 || p.Bit(0) == my.Bit(0) {
+				return false
+			}
+		}
+		return true
+	}}
+}
+
+// Prove implements core.Scheme.
+func (Bipartite) Prove(in *core.Instance) (core.Proof, error) {
+	side, _, ok := graphalg.Bipartition(in.G)
+	if !ok {
+		return nil, core.ErrNotInProperty
+	}
+	p := make(core.Proof, in.G.N())
+	for _, v := range in.G.Nodes() {
+		p[v] = bitstr.FromBools(side[v])
+	}
+	return p, nil
+}
+
+var _ core.Scheme = Bipartite{}
+
+// EvenCycle is the Θ(1) scheme for "n(G) is even" on the family of
+// cycles (Table 1a): a cycle has a proper 2-colouring iff its length is
+// even, so the bipartiteness certificate doubles as a parity certificate.
+// The verifier additionally checks 2-regularity — the family promise
+// keeps soundness honest, but the check is free.
+type EvenCycle struct{}
+
+// Name implements core.Scheme.
+func (EvenCycle) Name() string { return "even-cycle" }
+
+// Verifier implements core.Scheme.
+func (EvenCycle) Verifier() core.Verifier {
+	inner := Bipartite{}.Verifier()
+	return core.VerifierFunc{R: 1, F: func(w *core.View) bool {
+		return w.Degree(w.Center) == 2 && inner.Verify(w)
+	}}
+}
+
+// Prove implements core.Scheme.
+func (EvenCycle) Prove(in *core.Instance) (core.Proof, error) {
+	if !graphalg.IsCycleGraph(in.G) {
+		return nil, fmt.Errorf("%w: even-cycle requires the cycle family", core.ErrNotInProperty)
+	}
+	if in.G.N()%2 != 0 {
+		return nil, core.ErrNotInProperty
+	}
+	return Bipartite{}.Prove(in)
+}
+
+var _ core.Scheme = EvenCycle{}
+
+// Colorable is the LCP(O(log k)) scheme for "χ(G) ≤ k" (§2.2): the proof
+// is a proper k-colouring with ⌈log₂ k⌉ bits per node. The bound k is
+// global input (in.Global["k"]).
+type Colorable struct{}
+
+// GlobalK is the Global key holding k.
+const GlobalK = "k"
+
+// Name implements core.Scheme.
+func (Colorable) Name() string { return "chromatic-le-k" }
+
+// colorWidth is the label width for palette size k.
+func colorWidth(k int64) int {
+	if k <= 1 {
+		return 1
+	}
+	return bitstr.UintWidth(uint64(k - 1))
+}
+
+// Verifier implements core.Scheme.
+func (Colorable) Verifier() core.Verifier {
+	return core.VerifierFunc{R: 1, F: func(w *core.View) bool {
+		k := w.Global[GlobalK]
+		if k <= 0 {
+			return false
+		}
+		width := colorWidth(k)
+		my := w.ProofOf(w.Center)
+		if my.Len() != width {
+			return false
+		}
+		myColor := bitstr.NewReader(my).ReadUint(width)
+		if myColor >= uint64(k) {
+			return false
+		}
+		for _, u := range w.Neighbors(w.Center) {
+			p := w.ProofOf(u)
+			if p.Len() != width {
+				return false
+			}
+			c := bitstr.NewReader(p).ReadUint(width)
+			if c >= uint64(k) || c == myColor {
+				return false
+			}
+		}
+		return true
+	}}
+}
+
+// Prove implements core.Scheme.
+func (Colorable) Prove(in *core.Instance) (core.Proof, error) {
+	k := in.Global[GlobalK]
+	if k <= 0 {
+		return nil, fmt.Errorf("lcp: chromatic-le-k requires Global[%q] > 0", GlobalK)
+	}
+	col := graphalg.KColor(in.G, int(k))
+	if col == nil {
+		return nil, core.ErrNotInProperty
+	}
+	width := colorWidth(k)
+	p := make(core.Proof, in.G.N())
+	for v, c := range col {
+		p[v] = bitstr.FromUint(uint64(c), width)
+	}
+	return p, nil
+}
+
+var _ core.Scheme = Colorable{}

@@ -1,0 +1,66 @@
+package schemes
+
+import (
+	"fmt"
+
+	"lcp/internal/core"
+	"lcp/internal/graphalg"
+)
+
+// Complement is the §7.3 construction: on connected graphs, the
+// complement of any LCP(0) property admits O(log n) proofs. If G is a
+// no-instance of the inner property, some node a rejects; the certificate
+// is a spanning tree rooted at a, and the root re-runs the inner verifier
+// on its own (empty-proof) view and demands rejection.
+//
+// coLCP(0) ⊆ LogLCP, made executable.
+type Complement struct {
+	// Inner is the LCP(0) verifier whose decision is being reversed. It
+	// must accept/reject with the empty proof.
+	Inner core.Verifier
+	// InnerName labels the resulting scheme.
+	InnerName string
+}
+
+// Name implements core.Scheme.
+func (c Complement) Name() string { return "co-" + c.InnerName }
+
+// Verifier implements core.Scheme. Radius: max(1, inner radius) — the
+// tree certificate needs radius 1, and the root simulates the inner
+// verifier on its inner-radius sub-view.
+func (c Complement) Verifier() core.Verifier {
+	r := c.Inner.Radius()
+	if r < 1 {
+		r = 1
+	}
+	return core.VerifierFunc{R: r, F: func(w *core.View) bool {
+		l, ok := checkTreeLabel(w, treeOpts{})
+		if !ok {
+			return false
+		}
+		if l.Dist > 0 {
+			return true
+		}
+		// I am the root: the inner verifier must reject here on the
+		// original, proof-less instance.
+		inner := w.Restrict(c.Inner.Radius(), core.Proof{})
+		return !c.Inner.Verify(inner)
+	}}
+}
+
+// Prove implements core.Scheme.
+func (c Complement) Prove(in *core.Instance) (core.Proof, error) {
+	if !graphalg.Connected(in.G) {
+		return nil, fmt.Errorf("%w: complement scheme requires a connected graph", core.ErrNotInProperty)
+	}
+	res := core.Check(in, core.Proof{}, c.Inner)
+	rejectors := res.Rejectors()
+	if len(rejectors) == 0 {
+		// All nodes accept the inner property, so G is a yes-instance of
+		// the inner property and a no-instance of its complement.
+		return nil, core.ErrNotInProperty
+	}
+	return buildTreeProof(in, rejectors[0], false, nil, false, nil, nil), nil
+}
+
+var _ core.Scheme = Complement{}

@@ -1,0 +1,323 @@
+package schemes
+
+import (
+	"fmt"
+	"sort"
+
+	"lcp/internal/bitstr"
+	"lcp/internal/core"
+	"lcp/internal/graph"
+	"lcp/internal/graphalg"
+)
+
+// STConnectivity is the §4.2 scheme proving that the s–t vertex
+// connectivity equals k (k is global input). The proof encodes, per node:
+//
+//   - a region tag S, C or T, where S ∪ C ∪ T partitions V, s ∈ S, t ∈ T,
+//     |C| = k, and no edge joins S and T;
+//   - for nodes on one of the k vertex-disjoint s–t paths: the path
+//     index i and the distance from s along the path modulo 3, which
+//     orients the path locally.
+//
+// Paths are made locally minimal (no chords) so that "the unique
+// same-index neighbour with my position ±1 (mod 3)" is well defined.
+//
+// With CompressIndices (the planar adaptation at the end of §4.2), path
+// indices are reused across non-adjacent paths: the conflict graph of the
+// paths is greedily coloured and colours replace indices. On planar
+// inputs the conflict graph is a minor of a planar graph, so a handful of
+// colours always suffice and the label size is Θ(1) instead of Θ(log k).
+type STConnectivity struct {
+	// CompressIndices enables the planar-style index reuse.
+	CompressIndices bool
+}
+
+// Name implements core.Scheme.
+func (s STConnectivity) Name() string {
+	if s.CompressIndices {
+		return "st-connectivity-planar"
+	}
+	return "st-connectivity"
+}
+
+// Region tags.
+const (
+	regionS = 0
+	regionC = 1
+	regionT = 2
+)
+
+// connLabel is the per-node §4.2 certificate.
+type connLabel struct {
+	Region int // S, C or T
+	OnPath bool
+	Index  uint64 // path index (or compressed colour)
+	Mod3   uint64 // distance from s along the path, mod 3
+}
+
+func (l connLabel) encode() bitstr.String {
+	var w bitstr.Writer
+	w.WriteUint(uint64(l.Region), 2)
+	w.WriteBit(l.OnPath)
+	if l.OnPath {
+		idxW := bitstr.WidthFor(l.Index)
+		w.WriteUint(uint64(idxW), widthField)
+		w.WriteUint(l.Index, idxW)
+		w.WriteUint(l.Mod3, 2)
+	}
+	return w.String()
+}
+
+func decodeConnLabel(s bitstr.String) (connLabel, bool) {
+	r := bitstr.NewReader(s)
+	var l connLabel
+	l.Region = int(r.ReadUint(2))
+	l.OnPath = r.ReadBit()
+	if l.OnPath {
+		idxW := int(r.ReadUint(widthField))
+		l.Index = r.ReadUint(idxW)
+		l.Mod3 = r.ReadUint(2)
+	}
+	if r.Err() || !r.AtEnd() || l.Region > regionT || (l.OnPath && l.Mod3 > 2) {
+		return connLabel{}, false
+	}
+	return l, true
+}
+
+// Verifier implements core.Scheme. The checks are (i)–(iv) of §4.2; see
+// the soundness discussion in the package tests.
+func (s STConnectivity) Verifier() core.Verifier {
+	return core.VerifierFunc{R: 1, F: func(w *core.View) bool {
+		k := w.Global[GlobalK]
+		if k < 0 {
+			return false
+		}
+		me := w.Center
+		myLabel := w.Label(me)
+		isS, isT := myLabel == core.LabelS, myLabel == core.LabelT
+
+		if isS || isT {
+			// (i) s and t: exactly k incident path starts/ends. A start
+			// (next to s) has Mod3 == 1; an end (next to t) can have any
+			// Mod3 but must not also have a +1 successor — that is
+			// checked at the path node itself; here we count onPath
+			// neighbours pointing at us.
+			count := 0
+			for _, u := range w.Neighbors(me) {
+				lu, okU := decodeConnLabel(w.ProofOf(u))
+				if !okU {
+					return false
+				}
+				if !lu.OnPath {
+					continue
+				}
+				if isS && lu.Mod3 != 1 {
+					// Path nodes adjacent to s must be position 1:
+					// otherwise the prover's paths were not locally
+					// minimal, or the proof is adversarial.
+					return false
+				}
+				count++
+			}
+			if count != int(k) {
+				return false
+			}
+			// s sits in S, t in T by fiat; no label needed. Check no
+			// S–T edge from here: neighbours of s must not be in T,
+			// neighbours of t not in S.
+			for _, u := range w.Neighbors(me) {
+				lu, _ := decodeConnLabel(w.ProofOf(u))
+				if isS && lu.Region == regionT {
+					return false
+				}
+				if isT && lu.Region == regionS {
+					return false
+				}
+			}
+			return true
+		}
+
+		l, ok := decodeConnLabel(w.ProofOf(me))
+		if !ok {
+			return false
+		}
+		// (iii) No S–T edges.
+		for _, u := range w.Neighbors(me) {
+			if w.Label(u) == core.LabelS || w.Label(u) == core.LabelT {
+				continue
+			}
+			lu, okU := decodeConnLabel(w.ProofOf(u))
+			if !okU {
+				return false
+			}
+			if (l.Region == regionS && lu.Region == regionT) ||
+				(l.Region == regionT && lu.Region == regionS) {
+				return false
+			}
+		}
+		if l.Region == regionC && !l.OnPath {
+			// (iv) Every separator node lies on a path.
+			return false
+		}
+		if !l.OnPath {
+			return true
+		}
+
+		// (ii) Path structure: exactly one predecessor and one successor.
+		var preds, succs []int
+		sNbr, tNbr := 0, 0
+		for _, u := range w.Neighbors(me) {
+			switch w.Label(u) {
+			case core.LabelS:
+				sNbr = u
+				continue
+			case core.LabelT:
+				tNbr = u
+				continue
+			}
+			lu, okU := decodeConnLabel(w.ProofOf(u))
+			if !okU {
+				return false
+			}
+			if !lu.OnPath || lu.Index != l.Index {
+				continue
+			}
+			if lu.Mod3 == (l.Mod3+2)%3 {
+				preds = append(preds, u)
+			}
+			if lu.Mod3 == (l.Mod3+1)%3 {
+				succs = append(succs, u)
+			}
+		}
+		if sNbr != 0 && l.Mod3 == 1 {
+			preds = append(preds, sNbr)
+		}
+		if tNbr != 0 {
+			succs = append(succs, tNbr)
+		}
+		if len(preds) != 1 || len(succs) != 1 {
+			return false
+		}
+		// (iv) Separator nodes: predecessor on the S side, successor on
+		// the T side.
+		if l.Region == regionC {
+			if preds[0] != sNbr {
+				lp, _ := decodeConnLabel(w.ProofOf(preds[0]))
+				if lp.Region != regionS {
+					return false
+				}
+			}
+			if succs[0] != tNbr {
+				ls, _ := decodeConnLabel(w.ProofOf(succs[0]))
+				if ls.Region != regionT {
+					return false
+				}
+			}
+		}
+		// Crossing discipline: an S-side path node's successor must not
+		// be in T (it may be S or C); symmetric for T-side predecessors.
+		// This is implied by the no-S–T-edge rule, already checked.
+		return true
+	}}
+}
+
+// Prove implements core.Scheme: compute the Menger structure, optionally
+// compress indices, and emit labels.
+func (s STConnectivity) Prove(in *core.Instance) (core.Proof, error) {
+	src, dst, err := findST(in)
+	if err != nil {
+		return nil, err
+	}
+	k := in.Global[GlobalK]
+	res, err := graphalg.DisjointPaths(in.G, src, dst)
+	if err != nil {
+		return nil, err
+	}
+	if int64(res.Connectivity()) != k {
+		return nil, fmt.Errorf("%w: connectivity is %d, not %d", core.ErrNotInProperty, res.Connectivity(), k)
+	}
+
+	indices := make([]uint64, len(res.Paths))
+	for i := range indices {
+		indices[i] = uint64(i + 1)
+	}
+	if s.CompressIndices {
+		indices = compressPathIndices(in.G, res.Paths)
+	}
+
+	labels := make(map[int]connLabel, in.G.N())
+	for _, v := range in.G.Nodes() {
+		region := regionT
+		if res.S[v] {
+			region = regionS
+		} else if inCutSlice(res.Cut, v) {
+			region = regionC
+		}
+		labels[v] = connLabel{Region: region}
+	}
+	for pi, path := range res.Paths {
+		for pos := 1; pos < len(path)-1; pos++ {
+			v := path[pos]
+			l := labels[v]
+			l.OnPath = true
+			l.Index = indices[pi]
+			l.Mod3 = uint64(pos % 3)
+			labels[v] = l
+		}
+	}
+	p := make(core.Proof, in.G.N())
+	for v, l := range labels {
+		if v == src || v == dst {
+			p[v] = bitstr.Empty
+			continue
+		}
+		p[v] = l.encode()
+	}
+	return p, nil
+}
+
+func inCutSlice(cut []int, v int) bool {
+	i := sort.SearchInts(cut, v)
+	return i < len(cut) && cut[i] == v
+}
+
+// compressPathIndices greedily colours the path conflict graph (two paths
+// conflict if any edge of G joins their interior nodes) and returns a
+// colour per path, 1-based. On planar graphs the conflict graph is a
+// minor of G, so few colours suffice — this is the §4.2 planar trick.
+func compressPathIndices(g *graph.Graph, paths [][]int) []uint64 {
+	owner := map[int]int{}
+	for pi, path := range paths {
+		for _, v := range path[1 : len(path)-1] {
+			owner[v] = pi + 1
+		}
+	}
+	conflicts := make([]map[int]bool, len(paths))
+	for i := range conflicts {
+		conflicts[i] = map[int]bool{}
+	}
+	for _, e := range g.Edges() {
+		a, b := owner[e.U], owner[e.V]
+		if a != 0 && b != 0 && a != b {
+			conflicts[a-1][b-1] = true
+			conflicts[b-1][a-1] = true
+		}
+	}
+	colors := make([]uint64, len(paths))
+	for i := range paths {
+		taken := map[uint64]bool{}
+		for j := range conflicts[i] {
+			if colors[j] != 0 {
+				taken[colors[j]] = true
+			}
+		}
+		c := uint64(1)
+		for taken[c] {
+			c++
+		}
+		colors[i] = c
+	}
+	return colors
+}
+
+var _ core.Scheme = STConnectivity{}

@@ -1,0 +1,84 @@
+package schemes
+
+import (
+	"fmt"
+
+	"lcp/internal/core"
+	"lcp/internal/graphalg"
+)
+
+// CountPredicate generalizes the §5.1 counting certificate to ANY
+// computable predicate of n(G): the spanning-tree counters convince the
+// root of the exact node count, and the root evaluates the predicate by
+// unbounded local computation. This is the §7.4 observation that LogLCP
+// escapes NP: "the verifier can solve arbitrarily hard computable
+// problems concerning the integer n(G)". Proof size stays Θ(log n)
+// regardless of the predicate's time complexity.
+type CountPredicate struct {
+	PropertyName string
+	Pred         func(n uint64) bool
+}
+
+// Name implements core.Scheme.
+func (s CountPredicate) Name() string { return "n-" + s.PropertyName }
+
+// Verifier implements core.Scheme.
+func (s CountPredicate) Verifier() core.Verifier {
+	return core.VerifierFunc{R: 1, F: func(w *core.View) bool {
+		_, ok := checkTreeLabel(w, treeOpts{
+			needC1: true,
+			rootCheck: func(_ *core.View, l treeLabel) bool {
+				return s.Pred(l.Count1)
+			},
+		})
+		return ok
+	}}
+}
+
+// Prove implements core.Scheme.
+func (s CountPredicate) Prove(in *core.Instance) (core.Proof, error) {
+	if !graphalg.Connected(in.G) {
+		return nil, fmt.Errorf("%w: counting requires a connected graph", core.ErrNotInProperty)
+	}
+	if !s.Pred(uint64(in.G.N())) {
+		return nil, core.ErrNotInProperty
+	}
+	return buildTreeProof(in, in.G.Nodes()[0], true, nil, false, nil, nil), nil
+}
+
+var _ core.Scheme = CountPredicate{}
+
+// PrimeN is the flagship §7.4 instance: "n(G) is prime" in LogLCP with a
+// trial-division root check — a property with no obvious NP certificate
+// structure on the graph itself, decided by counting.
+func PrimeN() CountPredicate {
+	return CountPredicate{
+		PropertyName: "prime",
+		Pred: func(n uint64) bool {
+			if n < 2 {
+				return false
+			}
+			for d := uint64(2); d*d <= n; d++ {
+				if n%d == 0 {
+					return false
+				}
+			}
+			return true
+		},
+	}
+}
+
+// PerfectSquareN: "n(G) is a perfect square" — another §7.4 example.
+func PerfectSquareN() CountPredicate {
+	return CountPredicate{
+		PropertyName: "perfect-square",
+		Pred: func(n uint64) bool {
+			for r := uint64(0); r*r <= n; r++ {
+				if r*r == n {
+					return true
+				}
+			}
+			return false
+		},
+	}
+}

@@ -1,0 +1,112 @@
+package schemes
+
+import (
+	"lcp/internal/core"
+)
+
+// HamiltonianPathCheck verifies that the marked edges form a Hamiltonian
+// path (§5.1: "a Hamiltonian path can be interpreted as a spanning
+// tree"). The certificate assigns positions 0..n−1 along the path with
+// the position-0 endpoint pinned by its identifier; unlike the cycle
+// variant there is no wrap-around edge, and the far endpoint simply has
+// a single marked edge.
+type HamiltonianPathCheck struct{}
+
+// Name implements core.Scheme.
+func (HamiltonianPathCheck) Name() string { return "hamiltonian-path" }
+
+// Verifier implements core.Scheme.
+func (HamiltonianPathCheck) Verifier() core.Verifier {
+	return core.VerifierFunc{R: 1, F: func(w *core.View) bool {
+		me := w.Center
+		l, ok := decodeHamLabel(w.ProofOf(me))
+		if !ok || l.HasPtrs {
+			return false
+		}
+		// Root agreement across every neighbour (connected family), so a
+		// second marked path cannot certify itself with its own root.
+		var marked []int
+		for _, u := range w.Neighbors(me) {
+			lu, okU := decodeHamLabel(w.ProofOf(u))
+			if !okU || lu.Root != l.Root || lu.HasPtrs {
+				return false
+			}
+			if w.EdgeMarked(me, u) {
+				marked = append(marked, u)
+			}
+		}
+		positions := make([]uint64, len(marked))
+		for i, u := range marked {
+			lu, _ := decodeHamLabel(w.ProofOf(u))
+			positions[i] = lu.Pos
+		}
+		if l.Pos == 0 {
+			// First endpoint: identifier pins the root; exactly one
+			// marked edge, to position 1.
+			return me == l.Root && len(marked) == 1 && positions[0] == 1
+		}
+		switch len(marked) {
+		case 1:
+			// Far endpoint: its single marked edge goes to pos−1.
+			return positions[0] == l.Pos-1
+		case 2:
+			a, b := positions[0], positions[1]
+			return (a == l.Pos-1 && b == l.Pos+1) || (b == l.Pos-1 && a == l.Pos+1)
+		default:
+			return false
+		}
+	}}
+}
+
+// Prove implements core.Scheme.
+func (HamiltonianPathCheck) Prove(in *core.Instance) (core.Proof, error) {
+	// Marked edges must form one simple path covering all nodes.
+	adj := map[int][]int{}
+	for _, e := range in.MarkedEdges() {
+		adj[e.U] = append(adj[e.U], e.V)
+		adj[e.V] = append(adj[e.V], e.U)
+	}
+	n := in.G.N()
+	var endpoints []int
+	for _, v := range in.G.Nodes() {
+		switch len(adj[v]) {
+		case 1:
+			endpoints = append(endpoints, v)
+		case 2:
+		default:
+			return nil, core.ErrNotInProperty
+		}
+	}
+	if len(endpoints) != 2 || len(in.MarkedEdges()) != n-1 {
+		return nil, core.ErrNotInProperty
+	}
+	// Walk from the smaller endpoint.
+	root := endpoints[0]
+	if endpoints[1] < root {
+		root = endpoints[1]
+	}
+	order := []int{root}
+	prev, cur := 0, root
+	for len(order) < n {
+		nbrs := adj[cur]
+		next := 0
+		for _, u := range nbrs {
+			if u != prev {
+				next = u
+				break
+			}
+		}
+		if next == 0 {
+			return nil, core.ErrNotInProperty // path shorter than n
+		}
+		order = append(order, next)
+		prev, cur = cur, next
+	}
+	p := make(core.Proof, n)
+	for i, v := range order {
+		p[v] = hamLabel{Root: root, Pos: uint64(i)}.encode()
+	}
+	return p, nil
+}
+
+var _ core.Scheme = HamiltonianPathCheck{}

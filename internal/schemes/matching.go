@@ -1,0 +1,304 @@
+package schemes
+
+import (
+	"fmt"
+
+	"lcp/internal/bitstr"
+	"lcp/internal/core"
+	"lcp/internal/graph"
+	"lcp/internal/graphalg"
+)
+
+// Matching certificates of §2.3 and §5: maximum matching in bipartite
+// graphs (Θ(1), König), maximum-weight matching in bipartite graphs
+// (O(log W), LP duality), and maximum matching on cycles (Θ(log n),
+// counting).
+
+// matchingLocallyValid checks at the view's center that marked edges form
+// a matching around it.
+func matchingLocallyValid(w *core.View) bool {
+	return countMarked(w, w.Center) <= 1
+}
+
+// MaximumMatchingBipartite is the LCP(1) scheme verifying that the marked
+// edges form a maximum matching of a bipartite graph. The certificate is
+// a minimum vertex cover C (1 bit: v ∈ C), and the verifier checks König
+// complementary slackness:
+//
+//   - marked edges form a matching;
+//   - every edge has an endpoint in C (cover);
+//   - every marked edge has exactly one endpoint in C;
+//   - every node of C is matched.
+//
+// Together: |C| = |M| with C a cover, so M is maximum (weak duality).
+type MaximumMatchingBipartite struct{}
+
+// Name implements core.Scheme.
+func (MaximumMatchingBipartite) Name() string { return "max-matching-bipartite" }
+
+// Verifier implements core.Scheme.
+func (MaximumMatchingBipartite) Verifier() core.Verifier {
+	return core.VerifierFunc{R: 1, F: func(w *core.View) bool {
+		me := w.Center
+		inCover := func(v int) bool {
+			p := w.ProofOf(v)
+			return p.Len() == 1 && p.Bit(0)
+		}
+		if w.ProofOf(me).Len() != 1 {
+			return false
+		}
+		if !matchingLocallyValid(w) {
+			return false
+		}
+		matched := 0
+		for _, u := range w.Neighbors(me) {
+			if w.ProofOf(u).Len() != 1 {
+				return false
+			}
+			isMarked := w.EdgeMarked(me, u)
+			if isMarked {
+				matched++
+				// Exactly one endpoint of a matched edge is in C.
+				if inCover(me) == inCover(u) {
+					return false
+				}
+			}
+			// Cover condition on every edge.
+			if !inCover(me) && !inCover(u) {
+				return false
+			}
+		}
+		// Every cover node is matched.
+		if inCover(me) && matched == 0 {
+			return false
+		}
+		return true
+	}}
+}
+
+// Prove implements core.Scheme.
+func (MaximumMatchingBipartite) Prove(in *core.Instance) (core.Proof, error) {
+	side, _, ok := graphalg.Bipartition(in.G)
+	if !ok {
+		return nil, fmt.Errorf("%w: graph is not bipartite", core.ErrNotInProperty)
+	}
+	var left []int
+	for _, v := range in.G.Nodes() {
+		if !side[v] {
+			left = append(left, v)
+		}
+	}
+	marked := markedMatching(in)
+	if !graphalg.IsMatching(in.G, marked) {
+		return nil, core.ErrNotInProperty
+	}
+	best, _ := graphalg.HopcroftKarp(in.G, left)
+	if len(marked) != len(best) {
+		return nil, fmt.Errorf("%w: matching has %d edges, maximum is %d", core.ErrNotInProperty, len(marked), len(best))
+	}
+	// König's construction must run relative to the GIVEN maximum
+	// matching (the cover's per-edge slackness conditions reference it),
+	// not the one Hopcroft–Karp happened to find.
+	cover := coverForMatching(in.G, left, marked)
+	p := make(core.Proof, in.G.N())
+	for _, v := range in.G.Nodes() {
+		p[v] = bitstr.FromBools(cover[v])
+	}
+	return p, nil
+}
+
+// coverForMatching runs the König construction using the provided maximum
+// matching: Z = nodes reachable from free left nodes by alternating
+// paths; C = (L \ Z) ∪ (R ∩ Z).
+func coverForMatching(g *graph.Graph, left []int, m graphalg.Matching) map[int]bool {
+	matchL := map[int]int{}
+	for _, v := range left {
+		matchL[v] = m.MatchedWith(v)
+	}
+	return graphalg.KonigCover(g, left, matchL)
+}
+
+var _ core.Scheme = MaximumMatchingBipartite{}
+
+// MaxWeightMatching is the O(log W) scheme verifying that marked edges
+// form a maximum-weight matching of an edge-weighted bipartite graph
+// (§2.3). The certificate is an integral optimal dual y_v ∈ {0..W}; the
+// verifier checks complementary slackness locally:
+//
+//   - marked edges form a matching;
+//   - y_u + y_v ≥ w_e for every incident edge;
+//   - y_u + y_v = w_e for the marked incident edge;
+//   - y_me > 0 requires me to be matched.
+type MaxWeightMatching struct{}
+
+// GlobalW is the Global key holding the weight bound W.
+const GlobalW = "W"
+
+// Name implements core.Scheme.
+func (MaxWeightMatching) Name() string { return "max-weight-matching" }
+
+// dualWidth is the label width for weight bound W.
+func dualWidth(W int64) int {
+	if W < 1 {
+		return 1
+	}
+	return bitstr.UintWidth(uint64(W))
+}
+
+// Verifier implements core.Scheme.
+func (MaxWeightMatching) Verifier() core.Verifier {
+	return core.VerifierFunc{R: 1, F: func(w *core.View) bool {
+		W := w.Global[GlobalW]
+		if W < 0 {
+			return false
+		}
+		width := dualWidth(W)
+		me := w.Center
+		dual := func(v int) (int64, bool) {
+			p := w.ProofOf(v)
+			if p.Len() != width {
+				return 0, false
+			}
+			y := int64(bitstr.NewReader(p).ReadUint(width))
+			if y > W {
+				return 0, false
+			}
+			return y, true
+		}
+		yMe, ok := dual(me)
+		if !ok {
+			return false
+		}
+		if !matchingLocallyValid(w) {
+			return false
+		}
+		matched := false
+		for _, u := range w.Neighbors(me) {
+			yU, okU := dual(u)
+			if !okU {
+				return false
+			}
+			we := w.Weight(me, u)
+			if yMe+yU < we {
+				return false // dual infeasible
+			}
+			if w.EdgeMarked(me, u) {
+				matched = true
+				if yMe+yU != we {
+					return false // slackness violated on matched edge
+				}
+			}
+		}
+		if yMe > 0 && !matched {
+			return false
+		}
+		return true
+	}}
+}
+
+// Prove implements core.Scheme.
+func (MaxWeightMatching) Prove(in *core.Instance) (core.Proof, error) {
+	side, _, ok := graphalg.Bipartition(in.G)
+	if !ok {
+		return nil, fmt.Errorf("%w: graph is not bipartite", core.ErrNotInProperty)
+	}
+	var left []int
+	for _, v := range in.G.Nodes() {
+		if !side[v] {
+			left = append(left, v)
+		}
+	}
+	weights := graphalg.Weights{}
+	for e, wt := range in.Weights {
+		weights[e] = wt
+	}
+	marked := markedMatching(in)
+	if !graphalg.IsMatching(in.G, marked) {
+		return nil, core.ErrNotInProperty
+	}
+	y, err := graphalg.OptimalDuals(in.G, left, marked, weights)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", core.ErrNotInProperty, err)
+	}
+	W := in.Global[GlobalW]
+	if mx := weights.MaxWeight(); mx > W {
+		return nil, fmt.Errorf("lcp: weights exceed declared bound W=%d", W)
+	}
+	width := dualWidth(W)
+	p := make(core.Proof, in.G.N())
+	for _, v := range in.G.Nodes() {
+		p[v] = bitstr.FromUint(uint64(y[v]), width)
+	}
+	return p, nil
+}
+
+var _ core.Scheme = MaxWeightMatching{}
+
+// MaxMatchingCycle is the Θ(log n) scheme verifying that marked edges
+// form a maximum matching of a cycle (§5, Table 1b): a spanning tree with
+// two counters totals n and |M| at the root, which checks |M| = ⌊n/2⌋.
+// Each marked edge is counted at its higher-identifier endpoint.
+type MaxMatchingCycle struct{}
+
+// Name implements core.Scheme.
+func (MaxMatchingCycle) Name() string { return "max-matching-cycle" }
+
+// matchedEdgeContribution counts marked incident edges owned by v (v is
+// the larger endpoint).
+func matchedEdgeContribution(w *core.View, v int) uint64 {
+	var c uint64
+	for _, u := range w.Neighbors(v) {
+		if w.EdgeMarked(v, u) && v > u {
+			c++
+		}
+	}
+	return c
+}
+
+// Verifier implements core.Scheme.
+func (MaxMatchingCycle) Verifier() core.Verifier {
+	return core.VerifierFunc{R: 1, F: func(w *core.View) bool {
+		if w.Degree(w.Center) != 2 {
+			return false // family promise: cycles
+		}
+		if !matchingLocallyValid(w) {
+			return false
+		}
+		_, ok := checkTreeLabel(w, treeOpts{
+			needC1:   true,
+			needC2:   true,
+			contrib2: matchedEdgeContribution,
+			rootCheck: func(_ *core.View, l treeLabel) bool {
+				return l.Count2 == l.Count1/2
+			},
+		})
+		return ok
+	}}
+}
+
+// Prove implements core.Scheme.
+func (MaxMatchingCycle) Prove(in *core.Instance) (core.Proof, error) {
+	if !graphalg.IsCycleGraph(in.G) {
+		return nil, fmt.Errorf("%w: max-matching-cycle requires the cycle family", core.ErrNotInProperty)
+	}
+	marked := markedMatching(in)
+	if !graphalg.IsMatching(in.G, marked) {
+		return nil, core.ErrNotInProperty
+	}
+	if len(marked) != in.G.N()/2 {
+		return nil, fmt.Errorf("%w: matching has %d edges, maximum is %d", core.ErrNotInProperty, len(marked), in.G.N()/2)
+	}
+	root := in.G.Nodes()[0]
+	ownedBy := func(v int) uint64 {
+		var c uint64
+		for _, u := range in.G.Neighbors(v) {
+			if marked[graph.NormEdge(v, u)] && v > u {
+				c++
+			}
+		}
+		return c
+	}
+	return buildTreeProof(in, root, true, nil, true, ownedBy, nil), nil
+}
+
+var _ core.Scheme = MaxMatchingCycle{}

@@ -1,0 +1,158 @@
+package schemes
+
+import (
+	"math/rand"
+	"testing"
+
+	"lcp/internal/core"
+	"lcp/internal/graph"
+	"lcp/internal/graphalg"
+)
+
+func TestMaximumMatchingBipartiteScheme(t *testing.T) {
+	k33 := graph.CompleteBipartite(3, 3)
+	perfect := []graph.Edge{graph.NormEdge(1, 4), graph.NormEdge(2, 5), graph.NormEdge(3, 6)}
+	short := []graph.Edge{graph.NormEdge(1, 4), graph.NormEdge(2, 5)}
+	p6 := graph.Path(6)
+	p6max := []graph.Edge{graph.NormEdge(1, 2), graph.NormEdge(3, 4), graph.NormEdge(5, 6)}
+	p6mid := []graph.Edge{graph.NormEdge(2, 3), graph.NormEdge(4, 5)} // maximal but not maximum
+	runSchemeCase(t, schemeCase{
+		name:   "max-matching-bipartite",
+		scheme: MaximumMatchingBipartite{},
+		yes: []*core.Instance{
+			markedInstance(k33, perfect...),
+			markedInstance(p6, p6max...),
+			markedInstance(graph.Star(4), graph.NormEdge(1, 3)),
+		},
+		no: []*core.Instance{
+			markedInstance(k33, short...),
+			markedInstance(p6, p6mid...),
+			markedInstance(p6),
+		},
+		maxBits: func(*core.Instance) int { return 1 },
+	})
+}
+
+func TestMaximumMatchingBipartiteRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	scheme := MaximumMatchingBipartite{}
+	for i := 0; i < 20; i++ {
+		a, b := 2+rng.Intn(5), 2+rng.Intn(5)
+		g := graph.RandomBipartite(a, b, 0.5, rng.Int63())
+		var left []int
+		for v := 1; v <= a; v++ {
+			left = append(left, v)
+		}
+		m, _ := graphalg.HopcroftKarp(g, left)
+		in := core.NewInstance(g)
+		for e := range m {
+			in.MarkEdge(e.U, e.V)
+		}
+		if _, _, err := core.ProveAndCheck(in, scheme); err != nil {
+			t.Fatalf("trial %d: %v", i, err)
+		}
+		// Remove one matched edge: no longer maximum (if any were
+		// matched); prover must refuse.
+		if len(m) > 0 {
+			smaller := in.Clone()
+			var dropped graph.Edge
+			for e := range m {
+				dropped = e
+				break
+			}
+			delete(smaller.EdgeLabel, dropped)
+			if _, err := scheme.Prove(smaller); err == nil {
+				t.Fatalf("trial %d: accepted sub-maximum matching", i)
+			}
+		}
+	}
+}
+
+func weightedInstance(g *graph.Graph, w graphalg.Weights, marked graphalg.Matching, W int64) *core.Instance {
+	in := core.NewInstance(g)
+	in.Weights = map[graph.Edge]int64{}
+	for e, wt := range w {
+		in.Weights[e] = wt
+	}
+	for e := range marked {
+		in.MarkEdge(e.U, e.V)
+	}
+	in.Global = core.Global{GlobalW: W}
+	return in
+}
+
+func TestMaxWeightMatchingScheme(t *testing.T) {
+	// K_{2,2} with one heavy pairing.
+	g := graph.CompleteBipartite(2, 2)
+	w := graphalg.Weights{
+		graph.NormEdge(1, 3): 5, graph.NormEdge(2, 4): 5,
+		graph.NormEdge(1, 4): 3, graph.NormEdge(2, 3): 3,
+	}
+	best := graphalg.Matching{graph.NormEdge(1, 3): true, graph.NormEdge(2, 4): true}
+	worse := graphalg.Matching{graph.NormEdge(1, 4): true, graph.NormEdge(2, 3): true}
+	runSchemeCase(t, schemeCase{
+		name:   "max-weight-matching",
+		scheme: MaxWeightMatching{},
+		yes: []*core.Instance{
+			weightedInstance(g, w, best, 5),
+		},
+		no: []*core.Instance{
+			weightedInstance(g, w, worse, 5),
+			weightedInstance(g, w, graphalg.Matching{}, 5),
+		},
+		maxBits: func(in *core.Instance) int { return log2ceil(int(in.Global[GlobalW]) + 1) },
+	})
+}
+
+func TestMaxWeightMatchingRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	scheme := MaxWeightMatching{}
+	for i := 0; i < 15; i++ {
+		a, b := 2+rng.Intn(4), 2+rng.Intn(4)
+		g := graph.RandomBipartite(a, b, 0.6, rng.Int63())
+		var left []int
+		for v := 1; v <= a; v++ {
+			left = append(left, v)
+		}
+		w := graphalg.Weights{}
+		var W int64 = 12
+		for _, e := range g.Edges() {
+			w[e] = rng.Int63n(W + 1)
+		}
+		m := graphalg.MaxWeightMatching(g, left, w)
+		in := weightedInstance(g, w, m, W)
+		p, _, err := core.ProveAndCheck(in, scheme)
+		if err != nil {
+			t.Fatalf("trial %d: %v", i, err)
+		}
+		if p.Size() > log2ceil(int(W)+1) {
+			t.Fatalf("trial %d: proof size %d exceeds O(log W) bound", i, p.Size())
+		}
+	}
+}
+
+func TestMaxWeightMatchingProofSizeScalesWithW(t *testing.T) {
+	// Fixed K_{3,3}, growing W: proof must scale with log W, independent
+	// of n (which is constant here).
+	g := graph.CompleteBipartite(3, 3)
+	var left = []int{1, 2, 3}
+	var sizes []int
+	for _, W := range []int64{1, 15, 255, 65535} {
+		w := graphalg.Weights{}
+		for _, e := range g.Edges() {
+			w[e] = W // uniform weights: any perfect matching is optimal
+		}
+		m := graphalg.MaxWeightMatching(g, left, w)
+		in := weightedInstance(g, w, m, W)
+		p, _, err := core.ProveAndCheck(in, MaxWeightMatching{})
+		if err != nil {
+			t.Fatalf("W=%d: %v", W, err)
+		}
+		sizes = append(sizes, p.Size())
+	}
+	for i := 1; i < len(sizes); i++ {
+		if sizes[i] <= sizes[i-1] {
+			t.Errorf("dual label sizes should grow with W: %v", sizes)
+		}
+	}
+}

@@ -1,0 +1,454 @@
+package schemes
+
+import (
+	"testing"
+
+	"lcp/internal/core"
+	"lcp/internal/graph"
+	"lcp/internal/graphalg"
+)
+
+// Table 1a rows as conformance cases (the poly(n) rows have their own
+// test files).
+
+func TestEulerianScheme(t *testing.T) {
+	runSchemeCase(t, schemeCase{
+		name:   "eulerian",
+		scheme: Eulerian{},
+		yes: []*core.Instance{
+			core.NewInstance(graph.Cycle(7)),
+			core.NewInstance(graph.Complete(5)),
+			core.NewInstance(graph.Grid(1, 1)),
+		},
+		no: []*core.Instance{
+			core.NewInstance(graph.Path(4)),
+			core.NewInstance(graph.Petersen()),
+		},
+		maxBits: func(*core.Instance) int { return 0 },
+	})
+}
+
+func TestLineGraphScheme(t *testing.T) {
+	runSchemeCase(t, schemeCase{
+		name:   "line-graph",
+		scheme: LineGraph{},
+		yes: []*core.Instance{
+			core.NewInstance(graph.LineGraphOf(graph.Star(4))),
+			core.NewInstance(graph.Cycle(9)),
+			core.NewInstance(graph.LineGraphOf(graph.Petersen())),
+		},
+		no: []*core.Instance{
+			core.NewInstance(graph.Star(3)),
+			core.NewInstance(graph.CompleteBipartite(2, 3)),
+		},
+		maxBits: func(*core.Instance) int { return 0 },
+	})
+}
+
+func TestBipartiteScheme(t *testing.T) {
+	runSchemeCase(t, schemeCase{
+		name:   "bipartite",
+		scheme: Bipartite{},
+		yes: []*core.Instance{
+			core.NewInstance(graph.Cycle(8)),
+			core.NewInstance(graph.CompleteBipartite(3, 4)),
+			core.NewInstance(graph.Hypercube(4)),
+			core.NewInstance(graph.RandomTree(20, 5)),
+		},
+		no: []*core.Instance{
+			core.NewInstance(graph.Cycle(9)),
+			core.NewInstance(graph.Petersen()),
+			core.NewInstance(graph.Complete(4)),
+		},
+		maxBits: func(*core.Instance) int { return 1 },
+	})
+}
+
+func TestEvenCycleScheme(t *testing.T) {
+	runSchemeCase(t, schemeCase{
+		name:   "even-cycle",
+		scheme: EvenCycle{},
+		yes: []*core.Instance{
+			core.NewInstance(graph.Cycle(8)),
+			core.NewInstance(graph.Cycle(14)),
+		},
+		no: []*core.Instance{
+			core.NewInstance(graph.Cycle(9)),
+			core.NewInstance(graph.Cycle(3)),
+		},
+		maxBits: func(*core.Instance) int { return 1 },
+	})
+}
+
+func TestColorableScheme(t *testing.T) {
+	runSchemeCase(t, schemeCase{
+		name:   "chromatic-le-k",
+		scheme: Colorable{},
+		yes: []*core.Instance{
+			withK(core.NewInstance(graph.Petersen()), 3),
+			withK(core.NewInstance(graph.Complete(5)), 5),
+			withK(core.NewInstance(graph.Cycle(7)), 3),
+			withK(core.NewInstance(graph.Grid(3, 4)), 2),
+		},
+		no: []*core.Instance{
+			withK(core.NewInstance(graph.Petersen()), 2),
+			withK(core.NewInstance(graph.Complete(5)), 4),
+			withK(core.NewInstance(graph.Wheel(5)), 3),
+		},
+		maxBits: func(in *core.Instance) int { return log2ceil(int(in.Global[GlobalK])) + 1 },
+	})
+}
+
+func TestReachabilityScheme(t *testing.T) {
+	grid := graph.Grid(4, 4)
+	runSchemeCase(t, schemeCase{
+		name:   "st-reachability",
+		scheme: Reachability{},
+		yes: []*core.Instance{
+			stInstance(graph.Path(9), 1, 9),
+			stInstance(grid, 1, 16),
+			stInstance(graph.Cycle(10), 2, 7),
+		},
+		no: []*core.Instance{
+			stInstance(graph.DisjointUnion(graph.Path(4), graph.Path(4).ShiftIDs(10)), 1, 11),
+			stInstance(graph.DisjointUnion(graph.Cycle(5), graph.Cycle(5).ShiftIDs(10)), 3, 13),
+		},
+		maxBits: func(*core.Instance) int { return 1 },
+	})
+}
+
+func TestUnreachabilitySchemeUndirected(t *testing.T) {
+	runSchemeCase(t, schemeCase{
+		name:   "st-unreachability-undirected",
+		scheme: Unreachability{},
+		yes: []*core.Instance{
+			stInstance(graph.DisjointUnion(graph.Path(4), graph.Path(4).ShiftIDs(10)), 1, 11),
+			stInstance(graph.DisjointUnion(graph.Cycle(5), graph.Star(3).ShiftIDs(10)), 3, 12),
+		},
+		no: []*core.Instance{
+			stInstance(graph.Path(9), 1, 9),
+			stInstance(graph.Cycle(10), 2, 7),
+		},
+		maxBits: func(*core.Instance) int { return 1 },
+	})
+}
+
+func TestUnreachabilitySchemeDirected(t *testing.T) {
+	// 1 -> 2 -> 3 and separately 4 -> 2: t=1 unreachable from s=4? 4->2->3...
+	g := graph.NewBuilder(graph.Directed).
+		AddEdge(1, 2).AddEdge(2, 3).AddEdge(4, 2).Graph()
+	yes := stInstance(g, 3, 1) // from 3 nothing is reachable
+	no := stInstance(g, 1, 3)  // 1 -> 2 -> 3
+	runSchemeCase(t, schemeCase{
+		name:    "st-unreachability-directed",
+		scheme:  Unreachability{},
+		yes:     []*core.Instance{yes},
+		no:      []*core.Instance{no},
+		maxBits: func(*core.Instance) int { return 1 },
+	})
+}
+
+func TestUnreachabilityDirectedBackEdgeSubtlety(t *testing.T) {
+	// The §4.1 remark: undirected path marking breaks in directed graphs,
+	// but the S-partition works. Build a digraph where t can reach s but
+	// not vice versa.
+	g := graph.NewBuilder(graph.Directed).
+		AddEdge(3, 2).AddEdge(2, 1).AddEdge(1, 4).Graph()
+	in := stInstance(g, 4, 3) // 4 reaches nothing; 3 reaches everything
+	p, _, err := core.ProveAndCheck(in, Unreachability{})
+	if err != nil {
+		t.Fatalf("directed unreachability: %v", err)
+	}
+	if p.Size() != 1 {
+		t.Errorf("proof size %d, want 1", p.Size())
+	}
+}
+
+func TestSpanningTreeScheme(t *testing.T) {
+	g := graph.Cycle(8)
+	tree := pathEdges(1, 2, 3, 4, 5, 6, 7, 8) // path = spanning tree of C8
+	nonTree := pathEdges(1, 2, 3, 4, 5, 6, 7, 8, 1)
+	twoComp := append(pathEdges(1, 2, 3, 4), pathEdges(5, 6, 7, 8)...)
+	grid := graph.Grid(3, 3)
+	gridTree := pathEdges(1, 2, 3, 6, 9, 8, 7, 4) // snake missing node 5
+	gridTree = append(gridTree, graph.NormEdge(4, 5))
+	runSchemeCase(t, schemeCase{
+		name:                  "spanning-tree",
+		skipRelabelProofReuse: true,
+		scheme:                SpanningTree{},
+		yes: []*core.Instance{
+			markedInstance(g, tree...),
+			markedInstance(grid, gridTree...),
+		},
+		no: []*core.Instance{
+			markedInstance(g, nonTree...), // full cycle: not acyclic
+			markedInstance(g, twoComp...), // two paths: not spanning
+			markedInstance(g),             // nothing marked
+		},
+	})
+}
+
+func TestLeaderElectionScheme(t *testing.T) {
+	runSchemeCase(t, schemeCase{
+		name:                  "leader-election",
+		skipRelabelProofReuse: true,
+		scheme:                LeaderElection{},
+		yes: []*core.Instance{
+			leaderInstance(graph.Cycle(9), 4),
+			leaderInstance(graph.RandomConnected(15, 0.2, 3), 11),
+		},
+		no: []*core.Instance{
+			leaderInstance(graph.Cycle(9)),       // no leader
+			leaderInstance(graph.Cycle(9), 2, 7), // two leaders
+		},
+	})
+}
+
+func TestForestScheme(t *testing.T) {
+	runSchemeCase(t, schemeCase{
+		name:                  "forest",
+		skipRelabelProofReuse: true,
+		scheme:                Forest{},
+		yes: []*core.Instance{
+			core.NewInstance(graph.RandomTree(12, 9)),
+			core.NewInstance(graph.DisjointUnion(graph.Path(5), graph.Star(4).ShiftIDs(20))),
+			core.NewInstance(graph.Path(1)),
+		},
+		no: []*core.Instance{
+			core.NewInstance(graph.Cycle(6)),
+			core.NewInstance(graph.DisjointUnion(graph.Path(5), graph.Cycle(3).ShiftIDs(20))),
+		},
+	})
+}
+
+func TestParityCountSchemes(t *testing.T) {
+	runSchemeCase(t, schemeCase{
+		name:                  "odd-n",
+		skipRelabelProofReuse: true,
+		scheme:                ParityCount{WantOdd: true},
+		yes: []*core.Instance{
+			core.NewInstance(graph.Cycle(9)),
+			core.NewInstance(graph.RandomConnected(15, 0.2, 1)),
+		},
+		no: []*core.Instance{
+			core.NewInstance(graph.Cycle(8)),
+			core.NewInstance(graph.RandomConnected(16, 0.2, 2)),
+		},
+	})
+	runSchemeCase(t, schemeCase{
+		name:                  "even-n",
+		skipRelabelProofReuse: true,
+		scheme:                ParityCount{WantOdd: false},
+		yes:                   []*core.Instance{core.NewInstance(graph.Cycle(8))},
+		no:                    []*core.Instance{core.NewInstance(graph.Cycle(9))},
+	})
+}
+
+func TestNonBipartiteScheme(t *testing.T) {
+	runSchemeCase(t, schemeCase{
+		name:                  "non-bipartite",
+		skipRelabelProofReuse: true,
+		scheme:                NonBipartite{},
+		yes: []*core.Instance{
+			core.NewInstance(graph.Cycle(9)),
+			core.NewInstance(graph.Petersen()),
+			core.NewInstance(graph.Complete(4)),
+			core.NewInstance(graph.Wheel(6)),
+		},
+		no: []*core.Instance{
+			core.NewInstance(graph.Cycle(8)),
+			core.NewInstance(graph.CompleteBipartite(3, 3)),
+			core.NewInstance(graph.RandomTree(10, 2)),
+		},
+	})
+}
+
+func TestMaximalMatchingScheme(t *testing.T) {
+	g := graph.Path(6)
+	runSchemeCase(t, schemeCase{
+		name:   "maximal-matching",
+		scheme: MaximalMatching{},
+		yes: []*core.Instance{
+			markedInstance(g, graph.NormEdge(2, 3), graph.NormEdge(4, 5)),
+			markedInstance(graph.Cycle(7), graph.NormEdge(1, 2), graph.NormEdge(3, 4), graph.NormEdge(5, 6)),
+		},
+		no: []*core.Instance{
+			markedInstance(g, graph.NormEdge(2, 3)),                       // 5-6 extendable
+			markedInstance(g, graph.NormEdge(1, 2), graph.NormEdge(2, 3)), // not a matching
+			markedInstance(g), // empty: extendable
+		},
+		maxBits: func(*core.Instance) int { return 0 },
+	})
+}
+
+func TestLCLSchemes(t *testing.T) {
+	g := graph.Cycle(6)
+	mis := core.NewInstance(g)
+	mis.SetNodeLabel(1, setLabel).SetNodeLabel(4, setLabel)
+	badMIS := core.NewInstance(g)
+	badMIS.SetNodeLabel(1, setLabel).SetNodeLabel(2, setLabel).SetNodeLabel(4, setLabel)
+	sparseMIS := core.NewInstance(g)
+	sparseMIS.SetNodeLabel(1, setLabel) // 3,4,5 undominated... 3 and 5? nbrs of 4: 3,5 unlabelled -> 4 undominated
+	runSchemeCase(t, schemeCase{
+		name:    "lcl-mis",
+		scheme:  MISLCL(),
+		yes:     []*core.Instance{mis},
+		no:      []*core.Instance{badMIS, sparseMIS},
+		maxBits: func(*core.Instance) int { return 0 },
+	})
+
+	col := core.NewInstance(graph.Cycle(4))
+	col.SetNodeLabel(1, "a").SetNodeLabel(2, "b").SetNodeLabel(3, "a").SetNodeLabel(4, "b")
+	badCol := core.NewInstance(graph.Cycle(4))
+	badCol.SetNodeLabel(1, "a").SetNodeLabel(2, "a").SetNodeLabel(3, "b").SetNodeLabel(4, "b")
+	runSchemeCase(t, schemeCase{
+		name:    "lcl-coloring",
+		scheme:  ColoringLCL(),
+		yes:     []*core.Instance{col},
+		no:      []*core.Instance{badCol},
+		maxBits: func(*core.Instance) int { return 0 },
+	})
+}
+
+func TestHamiltonianCycleCheckScheme(t *testing.T) {
+	k5 := graph.Complete(5)
+	ham := pathEdges(1, 2, 3, 4, 5, 1)
+	twoCycles := append(pathEdges(1, 2, 3, 1), pathEdges(4, 5)...)
+	k6 := graph.Complete(6)
+	twoTriangles := append(pathEdges(1, 2, 3, 1), pathEdges(4, 5, 6, 4)...)
+	runSchemeCase(t, schemeCase{
+		name:                  "hamiltonian-cycle",
+		skipRelabelProofReuse: true,
+		scheme:                HamiltonianCycleCheck{},
+		yes: []*core.Instance{
+			markedInstance(k5, ham...),
+			markedInstance(graph.Cycle(8), pathEdges(1, 2, 3, 4, 5, 6, 7, 8, 1)...),
+		},
+		no: []*core.Instance{
+			markedInstance(k5, twoCycles...),
+			markedInstance(k6, twoTriangles...), // the critical disjoint-cycles attack
+			markedInstance(k5, pathEdges(1, 2, 3, 4, 5)...),
+		},
+	})
+}
+
+func TestHamiltonianPropertyScheme(t *testing.T) {
+	runSchemeCase(t, schemeCase{
+		name:                  "hamiltonian-property",
+		skipRelabelProofReuse: true,
+		scheme:                HamiltonianProperty{},
+		yes: []*core.Instance{
+			core.NewInstance(graph.Cycle(7)),
+			core.NewInstance(graph.Complete(5)),
+			core.NewInstance(graph.Hypercube(3)),
+		},
+		no: []*core.Instance{
+			core.NewInstance(graph.Petersen()),
+			core.NewInstance(graph.Star(4)),
+			core.NewInstance(graph.Grid(3, 3)),
+		},
+	})
+}
+
+func TestMaxMatchingCycleScheme(t *testing.T) {
+	c8max := pathEdges(1, 2)
+	c8max = append(c8max, graph.NormEdge(3, 4), graph.NormEdge(5, 6), graph.NormEdge(7, 8))
+	c9max := []graph.Edge{graph.NormEdge(1, 2), graph.NormEdge(3, 4), graph.NormEdge(5, 6), graph.NormEdge(7, 8)}
+	c9small := []graph.Edge{graph.NormEdge(1, 2), graph.NormEdge(4, 5)}
+	runSchemeCase(t, schemeCase{
+		name:                  "max-matching-cycle",
+		skipRelabelProofReuse: true,
+		scheme:                MaxMatchingCycle{},
+		yes: []*core.Instance{
+			markedInstance(graph.Cycle(8), c8max...),
+			markedInstance(graph.Cycle(9), c9max...),
+		},
+		no: []*core.Instance{
+			markedInstance(graph.Cycle(9), c9small...), // 2 < 4 edges
+			markedInstance(graph.Cycle(8)),             // empty
+		},
+	})
+}
+
+func TestComplementScheme(t *testing.T) {
+	// co-Eulerian: "some node has odd degree", on connected graphs.
+	co := Complement{Inner: Eulerian{}.Verifier(), InnerName: "eulerian"}
+	runSchemeCase(t, schemeCase{
+		name:                  "co-eulerian",
+		skipRelabelProofReuse: true,
+		scheme:                co,
+		yes: []*core.Instance{
+			core.NewInstance(graph.Path(5)),
+			core.NewInstance(graph.Petersen()),
+		},
+		no: []*core.Instance{
+			core.NewInstance(graph.Cycle(6)),
+			core.NewInstance(graph.Complete(5)),
+		},
+	})
+}
+
+func TestSigma11Schemes(t *testing.T) {
+	threeCol := ThreeColorableSigma11(func(g *graph.Graph) map[int]int {
+		return graphalg.KColor(g, 3)
+	})
+	runSchemeCase(t, schemeCase{
+		name:                  "sigma11-3col",
+		skipRelabelProofReuse: true,
+		scheme:                threeCol,
+		yes: []*core.Instance{
+			core.NewInstance(graph.Petersen()),
+			core.NewInstance(graph.Cycle(7)),
+		},
+		no: []*core.Instance{
+			core.NewInstance(graph.Complete(4)),
+			core.NewInstance(graph.Wheel(5)),
+		},
+	})
+	runSchemeCase(t, schemeCase{
+		name:                  "sigma11-radius1",
+		skipRelabelProofReuse: true,
+		scheme:                DominatingWitnessSigma11(),
+		yes: []*core.Instance{
+			core.NewInstance(graph.Star(5)),
+			core.NewInstance(graph.Wheel(6)),
+			core.NewInstance(graph.Complete(4)),
+		},
+		no: []*core.Instance{
+			core.NewInstance(graph.Cycle(6)),
+			core.NewInstance(graph.Path(4)),
+		},
+	})
+	runSchemeCase(t, schemeCase{
+		name:                  "sigma11-independent",
+		skipRelabelProofReuse: true,
+		scheme:                IndependentSetOfTrianglesSigma11(),
+		yes: []*core.Instance{
+			core.NewInstance(graph.Cycle(5)),
+			core.NewInstance(graph.Complete(3)),
+		},
+		// Property is satisfiable on every non-empty graph, so there are
+		// no no-instances; the conformance value is completeness +
+		// adversarial rejection of malformed proofs, which the yes-side
+		// random-tamper checks below cover.
+	})
+}
+
+func TestSigma11BruteForceProverAgrees(t *testing.T) {
+	// The exhaustive fallback must find the same yes/no answers as the
+	// targeted prover on tiny instances.
+	targeted := ThreeColorableSigma11(func(g *graph.Graph) map[int]int {
+		return graphalg.KColor(g, 3)
+	})
+	brute := targeted
+	brute.FindWitness = nil
+	brute.BruteForceLimit = 15
+	for _, g := range []*graph.Graph{graph.Cycle(4), graph.Complete(4), graph.Path(5)} {
+		in := core.NewInstance(g)
+		_, errT := targeted.Prove(in)
+		_, errB := brute.Prove(in)
+		if (errT == nil) != (errB == nil) {
+			t.Errorf("%v: targeted err=%v, brute err=%v", g, errT, errB)
+		}
+	}
+}

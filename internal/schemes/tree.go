@@ -1,0 +1,226 @@
+package schemes
+
+import (
+	"fmt"
+
+	"lcp/internal/core"
+	"lcp/internal/graphalg"
+)
+
+// Θ(log n) schemes built on the rooted-spanning-tree certificate (§5.1).
+// Family: connected graphs.
+
+// SpanningTree verifies that the marked edges form a spanning tree
+// (Table 1b; Korman–Kutten–Peleg). The certificate is the §5.1 rooted
+// tree over exactly the marked edges: every marked edge must be a parent
+// edge, so marked edges = tree edges.
+type SpanningTree struct{}
+
+// Name implements core.Scheme.
+func (SpanningTree) Name() string { return "spanning-tree" }
+
+// Verifier implements core.Scheme.
+func (SpanningTree) Verifier() core.Verifier {
+	return core.VerifierFunc{R: 1, F: func(w *core.View) bool {
+		me := w.Center
+		l, ok := checkTreeLabel(w, treeOpts{})
+		if !ok {
+			return false
+		}
+		// The parent edge must be marked.
+		if l.Dist > 0 && !w.EdgeMarked(me, l.Parent) {
+			return false
+		}
+		// Every marked incident edge is a parent edge of one endpoint.
+		for _, u := range w.Neighbors(me) {
+			if !w.EdgeMarked(me, u) {
+				continue
+			}
+			lu, _, okU := labelOf(w, u)
+			if !okU {
+				return false
+			}
+			if l.Parent != u && lu.Parent != me {
+				return false
+			}
+		}
+		return true
+	}}
+}
+
+// Prove implements core.Scheme.
+func (SpanningTree) Prove(in *core.Instance) (core.Proof, error) {
+	if !graphalg.Connected(in.G) {
+		return nil, fmt.Errorf("%w: spanning-tree requires a connected graph", core.ErrNotInProperty)
+	}
+	marked := in.MarkedEdges()
+	if len(marked) != in.G.N()-1 {
+		return nil, core.ErrNotInProperty
+	}
+	// The marked edges must themselves form a connected spanning tree.
+	b := make(map[int][]int)
+	for _, e := range marked {
+		if !in.G.HasEdge(e.U, e.V) {
+			return nil, core.ErrNotInProperty
+		}
+		b[e.U] = append(b[e.U], e.V)
+		b[e.V] = append(b[e.V], e.U)
+	}
+	root := in.G.Nodes()[0]
+	// BFS over marked edges only.
+	parent := map[int]int{root: root}
+	depth := map[int]int{root: 0}
+	queue := []int{root}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range b[u] {
+			if _, ok := parent[v]; !ok {
+				parent[v] = u
+				depth[v] = depth[u] + 1
+				queue = append(queue, v)
+			}
+		}
+	}
+	if len(parent) != in.G.N() {
+		return nil, core.ErrNotInProperty
+	}
+	p := make(core.Proof, in.G.N())
+	for v, par := range parent {
+		p[v] = treeLabel{Root: root, Parent: par, Dist: uint64(depth[v])}.encode()
+	}
+	return p, nil
+}
+
+var _ core.Scheme = SpanningTree{}
+
+// LeaderElection verifies that exactly one node carries the leader label
+// (Table 1b, §5.1): the certificate is a spanning tree rooted at the
+// leader, so "I am the leader iff I am the root".
+type LeaderElection struct{}
+
+// Name implements core.Scheme.
+func (LeaderElection) Name() string { return "leader-election" }
+
+// Verifier implements core.Scheme.
+func (LeaderElection) Verifier() core.Verifier {
+	return core.VerifierFunc{R: 1, F: func(w *core.View) bool {
+		l, ok := checkTreeLabel(w, treeOpts{})
+		if !ok {
+			return false
+		}
+		isLeader := w.Label(w.Center) == core.LabelLeader
+		return isLeader == (l.Dist == 0)
+	}}
+}
+
+// Prove implements core.Scheme.
+func (LeaderElection) Prove(in *core.Instance) (core.Proof, error) {
+	if !graphalg.Connected(in.G) {
+		return nil, fmt.Errorf("%w: leader-election requires a connected graph", core.ErrNotInProperty)
+	}
+	leaders := in.FindLabel(core.LabelLeader)
+	if len(leaders) != 1 {
+		return nil, core.ErrNotInProperty
+	}
+	return buildTreeProof(in, leaders[0], false, nil, false, nil, nil), nil
+}
+
+var _ core.Scheme = LeaderElection{}
+
+// Forest is the LogLCP scheme for "G is acyclic" (§5.1: "Spanning trees
+// can be used to prove that the graph is acyclic: we simply show that
+// each component is a tree"). Certificate: per component, a rooted tree
+// in which every incident edge must be a parent edge of one endpoint.
+// Works on disconnected inputs because root agreement is only ever
+// checked between neighbours.
+type Forest struct{}
+
+// Name implements core.Scheme.
+func (Forest) Name() string { return "forest" }
+
+// Verifier implements core.Scheme.
+func (Forest) Verifier() core.Verifier {
+	return core.VerifierFunc{R: 1, F: func(w *core.View) bool {
+		me := w.Center
+		l, ok := checkTreeLabel(w, treeOpts{})
+		if !ok {
+			return false
+		}
+		// Every incident edge is a tree edge: me's parent edge or the
+		// parent edge of the other endpoint. An extra (cycle-closing)
+		// edge fails at both endpoints.
+		for _, u := range w.Neighbors(me) {
+			lu, _, okU := labelOf(w, u)
+			if !okU {
+				return false
+			}
+			if l.Parent != u && lu.Parent != me {
+				return false
+			}
+		}
+		return true
+	}}
+}
+
+// Prove implements core.Scheme.
+func (Forest) Prove(in *core.Instance) (core.Proof, error) {
+	if !graphalg.IsForest(in.G) {
+		return nil, core.ErrNotInProperty
+	}
+	p := make(core.Proof, in.G.N())
+	for _, comp := range graphalg.Components(in.G) {
+		root := comp[0]
+		parent, depth := spanningTreeOf(in, root)
+		for _, v := range comp {
+			p[v] = treeLabel{Root: root, Parent: parent[v], Dist: uint64(depth[v])}.encode()
+		}
+	}
+	return p, nil
+}
+
+var _ core.Scheme = Forest{}
+
+// ParityCount is the LogLCP counting scheme of §5.1: a spanning tree with
+// subtree counters convinces the root of n(G); the root then checks
+// n mod 2. WantOdd selects the property ("odd n(G)" vs "even n(G)").
+// Family: connected graphs (the paper's Table 1a row uses cycles, a
+// subfamily).
+type ParityCount struct {
+	WantOdd bool
+}
+
+// Name implements core.Scheme.
+func (s ParityCount) Name() string {
+	if s.WantOdd {
+		return "odd-n"
+	}
+	return "even-n"
+}
+
+// Verifier implements core.Scheme.
+func (s ParityCount) Verifier() core.Verifier {
+	return core.VerifierFunc{R: 1, F: func(w *core.View) bool {
+		_, ok := checkTreeLabel(w, treeOpts{
+			needC1: true,
+			rootCheck: func(_ *core.View, l treeLabel) bool {
+				return (l.Count1%2 == 1) == s.WantOdd
+			},
+		})
+		return ok
+	}}
+}
+
+// Prove implements core.Scheme.
+func (s ParityCount) Prove(in *core.Instance) (core.Proof, error) {
+	if !graphalg.Connected(in.G) {
+		return nil, fmt.Errorf("%w: counting requires a connected graph", core.ErrNotInProperty)
+	}
+	if (in.G.N()%2 == 1) != s.WantOdd {
+		return nil, core.ErrNotInProperty
+	}
+	root := in.G.Nodes()[0]
+	return buildTreeProof(in, root, true, nil, false, nil, nil), nil
+}
+
+var _ core.Scheme = ParityCount{}

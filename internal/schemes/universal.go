@@ -1,0 +1,369 @@
+package schemes
+
+import (
+	"fmt"
+	"sort"
+
+	"lcp/internal/bitstr"
+	"lcp/internal/core"
+	"lcp/internal/graph"
+	"lcp/internal/graphalg"
+)
+
+// §6: the universal O(n²)-bit scheme for any computable pure graph
+// property of connected graphs, and its instantiations — symmetric
+// graphs (Θ(n²)), non-3-colourability (Ω(n²/log n)), and the witnessed
+// symmetric variant with a polynomial-time verifier.
+//
+// The certificate at every node is the same string: a canonical encoding
+// of (V(G), E(G)) with the true identifiers. Each node checks that
+//
+//   - its own encoding decodes;
+//   - all neighbours carry the identical string (agreement propagates
+//     over the connected graph);
+//   - the encoding lists exactly its own neighbourhood for its own
+//     identifier (each node audits its own row);
+//
+// so the decoded graph must equal the real graph, and each node then
+// decides the property on the decoded graph by local computation, which
+// the LOCAL model does not charge for.
+
+// Universal wraps any computable predicate into an O(n²) scheme.
+type Universal struct {
+	PropertyName string
+	Holds        func(*graph.Graph) bool
+}
+
+// Name implements core.Scheme.
+func (u Universal) Name() string { return "universal-" + u.PropertyName }
+
+// Verifier implements core.Scheme.
+func (u Universal) Verifier() core.Verifier {
+	return universalVerifier(func(g *graph.Graph, _ *core.View) bool {
+		return u.Holds(g)
+	})
+}
+
+// universalVerifier builds the shared certificate checker with a custom
+// decision on the decoded graph.
+func universalVerifier(decide func(decoded *graph.Graph, w *core.View) bool) core.Verifier {
+	return core.VerifierFunc{R: 1, F: func(w *core.View) bool {
+		me := w.Center
+		mine := w.ProofOf(me)
+		decoded, err := decodeUniversalPayload(mine)
+		if err != nil {
+			return false
+		}
+		for _, u := range w.Neighbors(me) {
+			if !w.ProofOf(u).Equal(mine) {
+				return false
+			}
+		}
+		// Audit my own row: the encoding's neighbourhood of me is
+		// exactly my real neighbourhood.
+		if !decoded.Has(me) {
+			return false
+		}
+		enc := decoded.Neighbors(me)
+		real := w.Neighbors(me)
+		if len(enc) != len(real) {
+			return false
+		}
+		for i := range enc {
+			if enc[i] != real[i] {
+				return false
+			}
+		}
+		return decide(decoded, w)
+	}}
+}
+
+// universalPayload wraps graph.Encode with an optional witness suffix;
+// decodeUniversalPayload tolerates the suffix by re-encoding.
+func decodeUniversalPayload(s bitstr.String) (*graph.Graph, error) {
+	// graph.Decode demands exact length, so parse the header to find the
+	// graph prefix... simpler: encode length-prefixed.
+	r := bitstr.NewReader(s)
+	glen := int(r.ReadUint(32))
+	if r.Err() || glen < 0 || glen > s.Len()-32 {
+		return nil, fmt.Errorf("lcp: malformed universal certificate")
+	}
+	var w bitstr.Writer
+	for i := 0; i < glen; i++ {
+		w.WriteBit(r.ReadBit())
+	}
+	if r.Err() {
+		return nil, fmt.Errorf("lcp: truncated universal certificate")
+	}
+	return graph.Decode(w.String())
+}
+
+// encodeUniversalPayload length-prefixes the graph encoding and appends a
+// witness (possibly empty).
+func encodeUniversalPayload(g *graph.Graph, witness bitstr.String) bitstr.String {
+	enc := graph.Encode(g)
+	var w bitstr.Writer
+	w.WriteUint(uint64(enc.Len()), 32)
+	w.WriteBitString(enc)
+	w.WriteBitString(witness)
+	return w.String()
+}
+
+// witnessSuffix returns the bits after the encoded graph.
+func witnessSuffix(s bitstr.String) (bitstr.String, error) {
+	r := bitstr.NewReader(s)
+	glen := int(r.ReadUint(32))
+	if r.Err() || glen < 0 || glen > s.Len()-32 {
+		return bitstr.Empty, fmt.Errorf("lcp: malformed universal certificate")
+	}
+	var skip bitstr.Writer
+	for i := 0; i < glen; i++ {
+		skip.WriteBit(r.ReadBit())
+	}
+	var out bitstr.Writer
+	for r.Remaining() > 0 {
+		out.WriteBit(r.ReadBit())
+	}
+	if r.Err() {
+		return bitstr.Empty, fmt.Errorf("lcp: truncated universal certificate")
+	}
+	return out.String(), nil
+}
+
+// Prove implements core.Scheme.
+func (u Universal) Prove(in *core.Instance) (core.Proof, error) {
+	if !graphalg.Connected(in.G) {
+		return nil, fmt.Errorf("%w: universal scheme requires a connected graph", core.ErrNotInProperty)
+	}
+	if !u.Holds(in.G) {
+		return nil, core.ErrNotInProperty
+	}
+	cert := encodeUniversalPayload(in.G, bitstr.Empty)
+	p := make(core.Proof, in.G.N())
+	for _, v := range in.G.Nodes() {
+		p[v] = cert
+	}
+	return p, nil
+}
+
+var _ core.Scheme = Universal{}
+
+// Symmetric is the Θ(n²) scheme for "G has a non-trivial automorphism"
+// (§6.1), with an explicit automorphism witness appended to the
+// certificate so that verification is polynomial-time (the witness costs
+// O(n log n) extra bits, within the O(n²) budget).
+type Symmetric struct{}
+
+// Name implements core.Scheme.
+func (Symmetric) Name() string { return "symmetric" }
+
+// Verifier implements core.Scheme.
+func (Symmetric) Verifier() core.Verifier {
+	return universalVerifier(func(decoded *graph.Graph, w *core.View) bool {
+		suffix, err := witnessSuffix(w.ProofOf(w.Center))
+		if err != nil {
+			return false
+		}
+		perm, err := decodePermutation(decoded, suffix)
+		if err != nil {
+			return false
+		}
+		if !graphalg.IsAutomorphism(decoded, perm) {
+			return false
+		}
+		for v, u := range perm {
+			if v != u {
+				return true // non-trivial
+			}
+		}
+		return false
+	})
+}
+
+// Prove implements core.Scheme.
+func (Symmetric) Prove(in *core.Instance) (core.Proof, error) {
+	if !graphalg.Connected(in.G) {
+		return nil, fmt.Errorf("%w: symmetric scheme requires a connected graph", core.ErrNotInProperty)
+	}
+	aut := graphalg.NontrivialAutomorphism(in.G)
+	if aut == nil {
+		return nil, core.ErrNotInProperty
+	}
+	cert := encodeUniversalPayload(in.G, encodePermutation(in.G, aut))
+	p := make(core.Proof, in.G.N())
+	for _, v := range in.G.Nodes() {
+		p[v] = cert
+	}
+	return p, nil
+}
+
+var _ core.Scheme = Symmetric{}
+
+// encodePermutation writes a node permutation as images in node order.
+func encodePermutation(g *graph.Graph, perm map[int]int) bitstr.String {
+	idW := bitstr.WidthFor(uint64(g.MaxID()))
+	var w bitstr.Writer
+	w.WriteUint(uint64(idW), widthField)
+	for _, v := range g.Nodes() {
+		w.WriteUint(uint64(perm[v]), idW)
+	}
+	return w.String()
+}
+
+func decodePermutation(g *graph.Graph, s bitstr.String) (map[int]int, error) {
+	r := bitstr.NewReader(s)
+	idW := int(r.ReadUint(widthField))
+	perm := make(map[int]int, g.N())
+	for _, v := range g.Nodes() {
+		perm[v] = int(r.ReadUint(idW))
+	}
+	if r.Err() || !r.AtEnd() {
+		return nil, fmt.Errorf("lcp: malformed permutation witness")
+	}
+	return perm, nil
+}
+
+// NonThreeColorable is the O(n²) scheme for "χ(G) > 3" (§6.3). The
+// verifier decides by exact 3-colouring search on the decoded graph;
+// §6.3's lower bound shows no scheme can do better than Ω(n²/log n), so
+// brute force is essentially optimal here.
+func NonThreeColorable() Universal {
+	return Universal{
+		PropertyName: "non-3-colorable",
+		Holds: func(g *graph.Graph) bool {
+			return graphalg.KColor(g, 3) == nil
+		},
+	}
+}
+
+// SymmetricUnwitnessed is the plain universal scheme for symmetry; used
+// by experiments to compare certificate sizes with the witnessed variant.
+func SymmetricUnwitnessed() Universal {
+	return Universal{
+		PropertyName: "symmetric",
+		Holds: func(g *graph.Graph) bool {
+			return graphalg.NontrivialAutomorphism(g) != nil
+		},
+	}
+}
+
+// FixpointFree is the Θ(n) scheme for "the tree G has a fixpoint-free
+// automorphism" (§6.2). On trees the structure certificate shrinks to
+// Θ(n): a balanced-parentheses walk shared by all nodes plus each node's
+// own preorder index (Θ(log n) bits). Each node checks that its
+// neighbours' indices are exactly the decoded tree's neighbours of its
+// own index; the index map is then a covering map of the decoded tree,
+// and connected covers of trees are isomorphisms. The fixpoint-free
+// decision runs on the decoded tree (unbounded local computation; no
+// witness would fit in Θ(n) bits).
+type FixpointFree struct{}
+
+// Name implements core.Scheme.
+func (FixpointFree) Name() string { return "fixpoint-free-tree" }
+
+// Verifier implements core.Scheme.
+func (FixpointFree) Verifier() core.Verifier {
+	return core.VerifierFunc{R: 1, F: func(w *core.View) bool {
+		me := w.Center
+		shape, myIdx, err := decodeTreeCert(w.ProofOf(me))
+		if err != nil {
+			return false
+		}
+		children, err := graph.DecodeTreeShape(shape)
+		if err != nil {
+			return false
+		}
+		n := len(children)
+		if myIdx >= n {
+			return false
+		}
+		nbrs := graph.TreeShapeNeighbors(children)
+		// My neighbours' indices must be exactly my decoded neighbours,
+		// with no duplicates, and all must share the identical shape.
+		var got []int
+		seen := map[int]bool{}
+		for _, u := range w.Neighbors(me) {
+			shapeU, idxU, errU := decodeTreeCert(w.ProofOf(u))
+			if errU != nil || !shapeU.Equal(shape) {
+				return false
+			}
+			if seen[idxU] {
+				return false
+			}
+			seen[idxU] = true
+			got = append(got, idxU)
+		}
+		sort.Ints(got)
+		want := nbrs[myIdx]
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		// Decide on the decoded tree.
+		return treeShapeHasFixpointFreeAutomorphism(children)
+	}}
+}
+
+// decodeTreeCert splits a §6.2 certificate into shape and index.
+func decodeTreeCert(s bitstr.String) (bitstr.String, int, error) {
+	r := bitstr.NewReader(s)
+	shapeLen := int(r.ReadUint(32))
+	if r.Err() || shapeLen < 0 || shapeLen > s.Len() {
+		return bitstr.Empty, 0, fmt.Errorf("lcp: malformed tree certificate")
+	}
+	var shape bitstr.Writer
+	for i := 0; i < shapeLen; i++ {
+		shape.WriteBit(r.ReadBit())
+	}
+	idxW := int(r.ReadUint(widthField))
+	idx := int(r.ReadUint(idxW))
+	if r.Err() || !r.AtEnd() {
+		return bitstr.Empty, 0, fmt.Errorf("lcp: malformed tree certificate")
+	}
+	return shape.String(), idx, nil
+}
+
+func encodeTreeCert(shape bitstr.String, idx, n int) bitstr.String {
+	var w bitstr.Writer
+	w.WriteUint(uint64(shape.Len()), 32)
+	w.WriteBitString(shape)
+	idxW := bitstr.WidthFor(uint64(n))
+	w.WriteUint(uint64(idxW), widthField)
+	w.WriteUint(uint64(idx), idxW)
+	return w.String()
+}
+
+// treeShapeHasFixpointFreeAutomorphism rebuilds the abstract tree on
+// indices 1..n and searches for a fixpoint-free automorphism.
+func treeShapeHasFixpointFreeAutomorphism(children [][]int) bool {
+	b := graph.NewBuilder(graph.Undirected)
+	for i := range children {
+		b.AddNode(i + 1)
+		for _, c := range children[i] {
+			b.AddEdge(i+1, c+1)
+		}
+	}
+	return graphalg.FixpointFreeAutomorphism(b.Graph()) != nil
+}
+
+// Prove implements core.Scheme.
+func (FixpointFree) Prove(in *core.Instance) (core.Proof, error) {
+	if !graphalg.IsTree(in.G) {
+		return nil, fmt.Errorf("%w: fixpoint-free scheme requires the tree family", core.ErrNotInProperty)
+	}
+	if graphalg.FixpointFreeAutomorphism(in.G) == nil {
+		return nil, core.ErrNotInProperty
+	}
+	enc := graph.EncodeTree(in.G, in.G.Nodes()[0])
+	p := make(core.Proof, in.G.N())
+	for _, v := range in.G.Nodes() {
+		p[v] = encodeTreeCert(enc.Shape, enc.Preorder[v], in.G.N())
+	}
+	return p, nil
+}
+
+var _ core.Scheme = FixpointFree{}

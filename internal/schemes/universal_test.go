@@ -1,0 +1,187 @@
+package schemes
+
+import (
+	"testing"
+
+	"lcp/internal/core"
+	"lcp/internal/graph"
+	"lcp/internal/graphalg"
+)
+
+func TestUniversalSchemeArbitraryPredicate(t *testing.T) {
+	// "G has an even number of edges" — silly, global, computable.
+	evenEdges := Universal{
+		PropertyName: "even-m",
+		Holds:        func(g *graph.Graph) bool { return g.M()%2 == 0 },
+	}
+	runSchemeCase(t, schemeCase{
+		name:                  "universal-even-m",
+		skipRelabelProofReuse: true,
+		scheme:                evenEdges,
+		yes: []*core.Instance{
+			core.NewInstance(graph.Cycle(8)),
+			core.NewInstance(graph.Path(5)),
+		},
+		no: []*core.Instance{
+			core.NewInstance(graph.Cycle(9)),
+			core.NewInstance(graph.Path(4)),
+		},
+		maxBits: func(in *core.Instance) int {
+			n := in.G.N()
+			return n*n + 64*n + 128 // O(n²) certificate with headers
+		},
+	})
+}
+
+func TestSymmetricScheme(t *testing.T) {
+	asym := graph.NewBuilder(graph.Undirected).
+		AddPath(1, 2).AddPath(3, 4, 2).AddPath(5, 6, 7, 2).Graph() // spider(1,2,3)
+	runSchemeCase(t, schemeCase{
+		name:                  "symmetric",
+		skipRelabelProofReuse: true,
+		scheme:                Symmetric{},
+		yes: []*core.Instance{
+			core.NewInstance(graph.Cycle(7)),
+			core.NewInstance(graph.Petersen()),
+			core.NewInstance(graph.Star(3)),
+		},
+		no: []*core.Instance{
+			core.NewInstance(asym),
+		},
+	})
+}
+
+func TestSymmetricSchemeAgreesWithUnwitnessed(t *testing.T) {
+	for _, g := range []*graph.Graph{graph.Cycle(5), graph.Star(4), graph.Grid(2, 3)} {
+		in := core.NewInstance(g)
+		_, errW := Symmetric{}.Prove(in)
+		_, errU := SymmetricUnwitnessed().Prove(in)
+		if (errW == nil) != (errU == nil) {
+			t.Errorf("%v: witnessed %v vs unwitnessed %v", g, errW, errU)
+		}
+	}
+}
+
+func TestSymmetricCertificateTamperedGraphEncoding(t *testing.T) {
+	// The Θ(n²) certificate encodes the whole graph; swapping in the
+	// encoding of a DIFFERENT (symmetric) graph must be caught by the
+	// row-audit even though the automorphism witness is internally valid.
+	in := core.NewInstance(graph.Path(3)) // P3 is symmetric (flip)
+	if _, _, err := core.ProveAndCheck(in, Symmetric{}); err != nil {
+		t.Fatal(err)
+	}
+	// Transplant the certificate of C4 (also symmetric, different graph).
+	other := core.NewInstance(graph.Cycle(4))
+	q, _, err := core.ProveAndCheck(other, Symmetric{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cross := core.Proof{}
+	for _, v := range in.G.Nodes() {
+		cross[v] = q[other.G.Nodes()[0]]
+	}
+	if core.Check(in, cross, Symmetric{}.Verifier()).Accepted() {
+		t.Error("foreign certificate accepted: row audit failed")
+	}
+}
+
+func TestNonThreeColorableScheme(t *testing.T) {
+	// Moser spindle would be nice; K4 and W5 are simpler χ>3 graphs.
+	runSchemeCase(t, schemeCase{
+		name:                  "universal-non-3-colorable",
+		skipRelabelProofReuse: true,
+		scheme:                NonThreeColorable(),
+		yes: []*core.Instance{
+			core.NewInstance(graph.Complete(4)),
+			core.NewInstance(graph.Wheel(5)),
+			core.NewInstance(graph.Complete(5)),
+		},
+		no: []*core.Instance{
+			core.NewInstance(graph.Petersen()),
+			core.NewInstance(graph.Cycle(7)),
+		},
+	})
+}
+
+func TestFixpointFreeScheme(t *testing.T) {
+	// Yes: even path (end-to-end flip is fixpoint-free), the ⊙ of two
+	// equal asymmetric trees.
+	spider := func(base int) *graph.Graph {
+		return graph.NewBuilder(graph.Undirected).
+			AddPath(base+1, base+2).AddPath(base+3, base+4, base+2).
+			AddPath(base+5, base+6, base+7, base+2).Graph()
+	}
+	twin := graph.DisjointUnion(spider(0), spider(100))
+	twinJoined := twin.WithEdges([]graph.Edge{{U: 1, V: 101}}, nil)
+	runSchemeCase(t, schemeCase{
+		name:                  "fixpoint-free-tree",
+		skipRelabelProofReuse: true,
+		scheme:                FixpointFree{},
+		yes: []*core.Instance{
+			core.NewInstance(graph.Path(2)),
+			core.NewInstance(graph.Path(6)),
+			core.NewInstance(twinJoined),
+		},
+		no: []*core.Instance{
+			core.NewInstance(graph.Path(5)), // odd path: center fixed
+			core.NewInstance(graph.Star(3)), // center fixed
+			core.NewInstance(spider(0)),     // asymmetric
+		},
+	})
+}
+
+func TestFixpointFreeProofSizeLinear(t *testing.T) {
+	// Θ(n): certificate ≈ 2n + O(log n) bits; check the constant stays
+	// small across sizes.
+	for _, half := range []int{4, 8, 16, 32} {
+		n := 2 * half
+		g := graph.Path(n)
+		p, _, err := core.ProveAndCheck(core.NewInstance(g), FixpointFree{})
+		if err != nil {
+			t.Fatalf("P%d: %v", n, err)
+		}
+		if p.Size() > 2*n+64 {
+			t.Errorf("P%d: proof size %d exceeds 2n+64", n, p.Size())
+		}
+		if p.Size() < 2*n {
+			t.Errorf("P%d: proof size %d below the 2n parentheses walk?", n, p.Size())
+		}
+	}
+}
+
+func TestFixpointFreeRejectsCoveringAttack(t *testing.T) {
+	// Classic covering-map attack: give every node of C6 the certificate
+	// of a 3-path... trees can't be covered by larger connected graphs,
+	// but the verifier must also reject when the instance is NOT a tree
+	// (family promise violated adversarially). C6 covers P3? No — but C6
+	// maps onto the path graph by folding; folding is not a local
+	// isomorphism at the fold points, so some node must reject.
+	c6 := core.NewInstance(graph.Cycle(6))
+	// Build the certificate of P2 (single edge, fixpoint-free flip) and
+	// try to fool C6 nodes by alternating indices 0,1.
+	p2 := graph.Path(2)
+	enc := graph.EncodeTree(p2, 1)
+	proof := core.Proof{}
+	for i, v := range c6.G.Nodes() {
+		proof[v] = encodeTreeCert(enc.Shape, i%2, 2)
+	}
+	if core.Check(c6, proof, FixpointFree{}.Verifier()).Accepted() {
+		t.Error("C6 disguised as P2 accepted: covering detection failed")
+	}
+}
+
+func TestGraphalgChromaticMatchesScheme(t *testing.T) {
+	// Cross-validation: NonThreeColorable agrees with exact χ on a batch
+	// of small graphs.
+	graphs := []*graph.Graph{
+		graph.Complete(4), graph.Petersen(), graph.Wheel(5), graph.Wheel(6),
+		graph.Cycle(5), graph.Grid(3, 3),
+	}
+	for _, g := range graphs {
+		_, err := NonThreeColorable().Prove(core.NewInstance(g))
+		want := graphalg.ChromaticNumber(g) > 3
+		if (err == nil) != want {
+			t.Errorf("%v: scheme says %v, χ says %v", g, err == nil, want)
+		}
+	}
+}

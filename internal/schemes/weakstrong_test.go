@@ -1,0 +1,173 @@
+package schemes
+
+import (
+	"testing"
+
+	"lcp/internal/core"
+	"lcp/internal/graph"
+	"lcp/internal/graphalg"
+)
+
+// §7.2: weak vs strong proof labelling schemes. In a STRONG scheme the
+// adversary picks both the instance and the solution, and a certificate
+// must still exist. The tests below enumerate EVERY feasible solution of
+// small instances and certify each one — establishing empirically that
+// our problem schemes are strong, exactly as the paper claims for its
+// constructions ("we can take any spanning tree and augment it with a
+// proof of size O(log n)").
+
+// spanningTreesOf enumerates all spanning trees of g (by brute force over
+// edge subsets of size n−1).
+func spanningTreesOf(g *graph.Graph) [][]graph.Edge {
+	edges := g.Edges()
+	n := g.N()
+	var out [][]graph.Edge
+	var pick func(start int, cur []graph.Edge)
+	pick = func(start int, cur []graph.Edge) {
+		if len(cur) == n-1 {
+			b := graph.NewBuilder(graph.Undirected)
+			for _, v := range g.Nodes() {
+				b.AddNode(v)
+			}
+			for _, e := range cur {
+				b.AddEdge(e.U, e.V)
+			}
+			if graphalg.IsTree(b.Graph()) {
+				out = append(out, append([]graph.Edge{}, cur...))
+			}
+			return
+		}
+		if start >= len(edges) || len(edges)-start < n-1-len(cur) {
+			return
+		}
+		pick(start+1, append(cur, edges[start]))
+		pick(start+1, cur)
+	}
+	pick(0, nil)
+	return out
+}
+
+func TestSpanningTreeSchemeIsStrong(t *testing.T) {
+	// K4 has 16 spanning trees; every single one must be certifiable.
+	g := graph.Complete(4)
+	trees := spanningTreesOf(g)
+	if len(trees) != 16 {
+		t.Fatalf("K4 has %d spanning trees, want 16 (Cayley)", len(trees))
+	}
+	for i, tree := range trees {
+		in := core.NewInstance(g)
+		for _, e := range tree {
+			in.MarkEdge(e.U, e.V)
+		}
+		if _, _, err := core.ProveAndCheck(in, SpanningTree{}); err != nil {
+			t.Errorf("spanning tree %d (%v) not certifiable: %v", i, tree, err)
+		}
+	}
+}
+
+func TestLeaderElectionSchemeIsStrong(t *testing.T) {
+	// Every node of a graph can be the adversary's chosen leader.
+	g := graph.Petersen()
+	for _, leader := range g.Nodes() {
+		in := core.NewInstance(g).SetNodeLabel(leader, core.LabelLeader)
+		if _, _, err := core.ProveAndCheck(in, LeaderElection{}); err != nil {
+			t.Errorf("leader %d not certifiable: %v", leader, err)
+		}
+	}
+}
+
+func TestMaximumMatchingBipartiteSchemeIsStrong(t *testing.T) {
+	// Enumerate ALL maximum matchings of a small bipartite graph; each
+	// must get a König certificate relative to itself.
+	g := graph.CompleteBipartite(3, 3)
+	maxSize := graphalg.MaximumMatchingSize(g) // 3
+	var all []graphalg.Matching
+	edges := g.Edges()
+	var rec func(start int, cur graphalg.Matching, used map[int]bool)
+	rec = func(start int, cur graphalg.Matching, used map[int]bool) {
+		if len(cur) == maxSize {
+			cp := graphalg.Matching{}
+			for e := range cur {
+				cp[e] = true
+			}
+			all = append(all, cp)
+			return
+		}
+		for i := start; i < len(edges); i++ {
+			e := edges[i]
+			if used[e.U] || used[e.V] {
+				continue
+			}
+			cur[e] = true
+			used[e.U], used[e.V] = true, true
+			rec(i+1, cur, used)
+			delete(cur, e)
+			delete(used, e.U)
+			delete(used, e.V)
+		}
+	}
+	rec(0, graphalg.Matching{}, map[int]bool{})
+	if len(all) != 6 {
+		t.Fatalf("K33 has %d perfect matchings, want 6 (3!)", len(all))
+	}
+	for i, m := range all {
+		in := core.NewInstance(g)
+		for e := range m {
+			in.MarkEdge(e.U, e.V)
+		}
+		if _, _, err := core.ProveAndCheck(in, MaximumMatchingBipartite{}); err != nil {
+			t.Errorf("maximum matching %d not certifiable: %v", i, err)
+		}
+	}
+}
+
+func TestHamiltonianCycleSchemeIsStrong(t *testing.T) {
+	// All Hamiltonian cycles of K5 ((5−1)!/2 = 12 of them) certify.
+	g := graph.Complete(5)
+	count := 0
+	perm := []int{2, 3, 4, 5}
+	var rec func(i int)
+	rec = func(i int) {
+		if i == len(perm) {
+			cycle := append([]int{1}, perm...)
+			// Dedup reversals: require perm[0] < perm[last].
+			if perm[0] > perm[len(perm)-1] {
+				return
+			}
+			in := core.NewInstance(g)
+			for j := range cycle {
+				in.MarkEdge(cycle[j], cycle[(j+1)%len(cycle)])
+			}
+			if _, _, err := core.ProveAndCheck(in, HamiltonianCycleCheck{}); err != nil {
+				t.Errorf("cycle %v not certifiable: %v", cycle, err)
+			}
+			count++
+			return
+		}
+		for j := i; j < len(perm); j++ {
+			perm[i], perm[j] = perm[j], perm[i]
+			rec(i + 1)
+			perm[i], perm[j] = perm[j], perm[i]
+		}
+	}
+	rec(0)
+	if count != 12 {
+		t.Fatalf("certified %d Hamiltonian cycles of K5, want 12", count)
+	}
+}
+
+// TestWeakSchemeExists demonstrates the weak side of §7.2: the
+// Hamiltonian PROPERTY scheme is inherently weak — the prover chooses
+// which cycle to embed in the proof — yet that freedom does not reduce
+// the proof size class (it is still Θ(log n), as the lower bound binds
+// weak schemes too; see internal/lowerbound).
+func TestWeakSchemeExists(t *testing.T) {
+	in := core.NewInstance(graph.Complete(6))
+	p, _, err := core.ProveAndCheck(in, HamiltonianProperty{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Size() == 0 {
+		t.Fatal("property certificate unexpectedly empty")
+	}
+}
