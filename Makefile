@@ -1,0 +1,24 @@
+GO ?= go
+
+.PHONY: check build vet test test-short race bench
+
+check: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+test-short:
+	$(GO) test -short ./...
+
+race:
+	$(GO) test -race -short ./...
+
+bench:
+	$(GO) test -run=NONE -bench='BenchmarkAblationViewConstruction|BenchmarkDistributedRuntime' -benchmem .
+	$(GO) test -run=NONE -bench=. -benchmem ./internal/dist/

@@ -1,0 +1,3 @@
+module lcp
+
+go 1.24.0

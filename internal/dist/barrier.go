@@ -1,0 +1,41 @@
+package dist
+
+import "sync"
+
+// barrier is a reusable round barrier: await blocks until all n
+// participants have arrived, then releases them together and resets for
+// the next round. The runtime uses one barrier per network, re-awaited
+// once per communication round, so the goroutine-per-node automata stay
+// in lockstep without allocating per-round synchronization state.
+type barrier struct {
+	mu    sync.Mutex
+	cond  sync.Cond
+	n     int
+	count int
+	phase uint64 // incremented each time the barrier trips (sense reversal)
+}
+
+func newBarrier(n int) *barrier {
+	b := &barrier{n: n}
+	b.cond.L = &b.mu
+	return b
+}
+
+// await blocks until n participants (including the caller) have reached
+// the barrier for the current phase.
+func (b *barrier) await() {
+	b.mu.Lock()
+	phase := b.phase
+	b.count++
+	if b.count == b.n {
+		b.count = 0
+		b.phase++
+		b.cond.Broadcast()
+		b.mu.Unlock()
+		return
+	}
+	for b.phase == phase {
+		b.cond.Wait()
+	}
+	b.mu.Unlock()
+}

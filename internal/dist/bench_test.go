@@ -1,0 +1,91 @@
+package dist_test
+
+// Scheduler benchmarks: how the runtime's tunables (round barrier vs
+// free-running α-synchronization, decision fan-out, per-port buffering)
+// move the needle on different topologies. The root bench_test.go holds
+// the headline three-way comparison (sequential / parallel-shared /
+// message-passing); these benches explain *why* the message-passing
+// numbers look the way they do.
+
+import (
+	"fmt"
+	"testing"
+
+	"lcp"
+	"lcp/internal/core"
+	"lcp/internal/dist"
+)
+
+func benchCheckWith(b *testing.B, in *core.Instance, opt dist.Options) {
+	b.Helper()
+	scheme := lcp.OddNScheme()
+	proof, err := scheme.Prove(in)
+	if err != nil {
+		b.Fatal(err)
+	}
+	v := scheme.Verifier()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := dist.CheckWith(in, proof, v, opt)
+		if err != nil || !res.Accepted() {
+			b.Fatalf("rejected: %v", err)
+		}
+	}
+}
+
+func BenchmarkSchedulerSynchronization(b *testing.B) {
+	in := lcp.NewInstance(lcp.Cycle(255))
+	for _, tc := range []struct {
+		name string
+		opt  dist.Options
+	}{
+		{"lockstep-barrier", dist.Options{}},
+		{"free-running", dist.Options{FreeRunning: true}},
+		{"free-running-buf8", dist.Options{FreeRunning: true, PortBuffer: 8}},
+	} {
+		b.Run(tc.name, func(b *testing.B) { benchCheckWith(b, in, tc.opt) })
+	}
+}
+
+func BenchmarkSchedulerFanout(b *testing.B) {
+	in := lcp.NewInstance(lcp.Cycle(255))
+	for _, fanout := range []int{1, 2, 0 /* GOMAXPROCS */, -1 /* unbounded */} {
+		b.Run(fmt.Sprintf("fanout=%d", fanout), func(b *testing.B) {
+			benchCheckWith(b, in, dist.Options{Fanout: fanout})
+		})
+	}
+}
+
+func BenchmarkSchedulerTopology(b *testing.B) {
+	for _, tc := range []struct {
+		name string
+		g    *lcp.Graph
+	}{
+		{"cycle-255", lcp.Cycle(255)},
+		{"grid-15x17", lcp.Grid(15, 17)}, // 255 nodes: odd, so odd-n proves
+		{"tree-255", lcp.RandomTree(255, 7)},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			benchCheckWith(b, lcp.NewInstance(tc.g), dist.Options{})
+		})
+	}
+}
+
+func BenchmarkParallelViewsWorkers(b *testing.B) {
+	in := lcp.NewInstance(lcp.Cycle(255))
+	scheme := lcp.OddNScheme()
+	proof, err := scheme.Prove(in)
+	if err != nil {
+		b.Fatal(err)
+	}
+	v := scheme.Verifier()
+	for _, workers := range []int{1, 2, 4, 0 /* GOMAXPROCS */} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if !dist.CheckParallelViewsWith(in, proof, v, dist.Options{Workers: workers}).Accepted() {
+					b.Fatal("rejected")
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,240 @@
+// Package dist is the LOCAL-model runtime for locally checkable proofs
+// (Göös & Suomela, PODC 2011): it executes the verifiers of package core
+// on a synchronous message-passing network with one goroutine per node
+// and one channel per port.
+//
+// Execution follows the model of §2.1 literally. Every node starts
+// knowing only its own identifier, proof string, input labels and
+// incident edges. In each communication round it sends what it learned in
+// the previous round to all neighbours and merges what arrives; after r
+// rounds it has assembled exactly the radius-r view (G[v,r], P[v,r], v)
+// and decides locally. Collect is therefore observationally equivalent to
+// core.BuildView and Check to core.Check — a property the tests assert —
+// but the information only ever travels along edges.
+//
+// Three execution strategies are exposed, matching the three variants
+// benchmarked at the repository root:
+//
+//   - core.Check: sequential BFS views (the reference runner);
+//   - CheckParallelViews: a shared-memory worker pool over BFS views,
+//     sized by GOMAXPROCS — the fast path when the whole instance lives
+//     in one address space;
+//   - Check: the full goroutine-per-node message-passing runtime.
+//
+// The scheduler is tunable via Options: a bounded fan-out for the local
+// decision phase, a reusable round barrier (or free-running
+// α-synchronization via per-port message counting), and per-port,
+// per-round message buffers.
+package dist
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"lcp/internal/core"
+)
+
+// Options tunes the runtime's scheduler. The zero value is the default
+// configuration used by Check, Collect and CheckParallelViews.
+type Options struct {
+	// Fanout bounds how many nodes may run their local decision (view
+	// assembly + verifier call) concurrently once flooding has finished.
+	// The network itself keeps one goroutine per node regardless; the
+	// bound only throttles the CPU-heavy phase so n goroutines do not
+	// thrash the scheduler. 0 means GOMAXPROCS; negative means
+	// unbounded.
+	Fanout int
+	// PortBuffer is the capacity of each port channel, in round
+	// batches. 0 picks the default: 1 in lockstep mode (a batch is
+	// always drained before the round barrier trips) and 2 in
+	// free-running mode (adjacent nodes skew by at most one round, so
+	// two slots make sends wait-free).
+	PortBuffer int
+	// FreeRunning disables the global round barrier. Rounds are then
+	// aligned only by per-port message counting (each node sends and
+	// receives exactly one batch per port per round), the classic
+	// α-synchronizer. Verdicts are identical; the trade is barrier
+	// latency against per-round buffer reuse.
+	FreeRunning bool
+	// Workers sizes the CheckParallelViews worker pool. 0 means
+	// GOMAXPROCS.
+	Workers int
+}
+
+func (o Options) fanout() int {
+	switch {
+	case o.Fanout > 0:
+		return o.Fanout
+	case o.Fanout < 0:
+		return 0 // unbounded
+	default:
+		return runtime.GOMAXPROCS(0)
+	}
+}
+
+func (o Options) portBuffer() int {
+	if o.PortBuffer > 0 {
+		return o.PortBuffer
+	}
+	if o.FreeRunning {
+		return 2
+	}
+	return 1
+}
+
+func (o Options) workers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// nodeVerdict is one node's contribution to the run result.
+type nodeVerdict struct {
+	id  int
+	ok  bool
+	err error
+}
+
+// Check runs the verifier on the message-passing runtime: one goroutine
+// per node floods for Radius() rounds, assembles its view, and decides.
+// The result is verdict-for-verdict identical to core.Check. The error is
+// non-nil only if the network could not run (nil arguments) or a verifier
+// panicked inside a node goroutine.
+func Check(in *core.Instance, p core.Proof, v core.Verifier) (*core.Result, error) {
+	return CheckWith(in, p, v, Options{})
+}
+
+// CheckWith is Check with an explicit scheduler configuration.
+func CheckWith(in *core.Instance, p core.Proof, v core.Verifier, opt Options) (*core.Result, error) {
+	if in == nil || in.G == nil {
+		return nil, fmt.Errorf("dist: nil instance")
+	}
+	if v == nil {
+		return nil, fmt.Errorf("dist: nil verifier")
+	}
+	res := &core.Result{Outputs: make(map[int]bool, in.G.N())}
+	if in.G.N() == 0 {
+		return res, nil
+	}
+
+	net := buildNetwork(in, p, opt)
+	radius := v.Radius()
+	rounds := radius
+	if rounds < 0 {
+		rounds = 0
+	}
+	verdicts := make(chan nodeVerdict, len(net.nodes))
+	var sem chan struct{}
+	if k := opt.fanout(); k > 0 {
+		sem = make(chan struct{}, k)
+	}
+	for _, nd := range net.nodes {
+		go func(nd *node) {
+			nd.flood(rounds, net.bar)
+			if sem != nil {
+				sem <- struct{}{}
+				defer func() { <-sem }()
+			}
+			out := nodeVerdict{id: nd.id}
+			defer func() {
+				if r := recover(); r != nil {
+					out.err = fmt.Errorf("dist: verifier panicked at node %d: %v", nd.id, r)
+				}
+				verdicts <- out
+			}()
+			out.ok = v.Verify(nd.assemble(in, radius))
+		}(nd)
+	}
+	var firstErr error
+	for range net.nodes {
+		nv := <-verdicts
+		if nv.err != nil && firstErr == nil {
+			firstErr = nv.err
+		}
+		res.Outputs[nv.id] = nv.ok
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return res, nil
+}
+
+// Collect assembles the radius-r view of center by running the flooding
+// protocol: every node participates in r communication rounds, after
+// which center reconstructs (G[v,r], P[v,r], v) from what reached it. The
+// result is identical to core.BuildView(in, p, center, radius) — the
+// property test in the package asserts this — but is produced without
+// any shared-memory traversal of the graph.
+func Collect(in *core.Instance, p core.Proof, center, radius int) *core.View {
+	return CollectWith(in, p, center, radius, Options{})
+}
+
+// CollectWith is Collect with an explicit scheduler configuration.
+func CollectWith(in *core.Instance, p core.Proof, center, radius int, opt Options) *core.View {
+	if !in.G.Has(center) {
+		panic(fmt.Sprintf("dist: unknown node %d", center))
+	}
+	net := buildNetwork(in, p, opt)
+	rounds := radius
+	if rounds < 0 {
+		rounds = 0
+	}
+	views := make(chan *core.View, 1)
+	var wg sync.WaitGroup
+	for _, nd := range net.nodes {
+		wg.Add(1)
+		go func(nd *node) {
+			defer wg.Done()
+			nd.flood(rounds, net.bar)
+			if nd.id == center {
+				views <- nd.assemble(in, radius)
+			}
+		}(nd)
+	}
+	wg.Wait()
+	return <-views
+}
+
+// CheckParallelViews is the shared-memory fast path: a worker pool sized
+// by GOMAXPROCS builds BFS views and verifies them in parallel. It
+// returns the same result as core.Check without message passing —
+// benchmark foil for the full runtime.
+func CheckParallelViews(in *core.Instance, p core.Proof, v core.Verifier) *core.Result {
+	return CheckParallelViewsWith(in, p, v, Options{})
+}
+
+// CheckParallelViewsWith is CheckParallelViews with an explicit worker
+// pool size.
+func CheckParallelViewsWith(in *core.Instance, p core.Proof, v core.Verifier, opt Options) *core.Result {
+	nodes := in.G.Nodes()
+	outs := make([]bool, len(nodes))
+	workers := opt.workers()
+	if workers > len(nodes) {
+		workers = len(nodes)
+	}
+	radius := v.Radius()
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(nodes) {
+					return
+				}
+				outs[i] = v.Verify(core.BuildView(in, p, nodes[i], radius))
+			}
+		}()
+	}
+	wg.Wait()
+	res := &core.Result{Outputs: make(map[int]bool, len(nodes))}
+	for i, id := range nodes {
+		res.Outputs[id] = outs[i]
+	}
+	return res
+}

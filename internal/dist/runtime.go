@@ -1,0 +1,267 @@
+package dist
+
+import (
+	"sort"
+
+	"lcp/internal/bitstr"
+	"lcp/internal/core"
+	"lcp/internal/graph"
+)
+
+// The message-passing machinery: a network of one goroutine per node,
+// channels as ports, and round-synchronized flooding that assembles each
+// node's radius-r view incrementally. Nothing in this file calls
+// core.BuildView — views are reconstructed purely from what arrived over
+// the wires (plus the globally known input, which the model hands to
+// every node up front).
+
+// record is the unit of knowledge flooded through the network: everything
+// a single node knows at round 0 — its identifier, proof string, input
+// label, and incident edges with their labels and weights. Records are
+// immutable once built, so forwarding shares them freely across ports.
+type record struct {
+	id       int
+	proof    bitstr.String
+	hasProof bool
+	label    string
+	hasLabel bool
+	edges    []edgeRec
+}
+
+// edgeRec is one incident edge as the owning node sees it: the edge key
+// exactly as the frozen graph stores it (normalized for undirected
+// graphs, the ordered arc for directed ones) plus its input labelling.
+type edgeRec struct {
+	e         graph.Edge
+	label     string
+	hasLabel  bool
+	weight    int64
+	hasWeight bool
+}
+
+// batch is the per-round message payload on one port: the records the
+// sender learned in the previous round. An empty batch still gets sent —
+// message counting is what keeps the rounds synchronized.
+type batch []record
+
+// initialRecord builds node v's round-0 knowledge from the instance.
+func initialRecord(in *core.Instance, p core.Proof, v int) record {
+	rec := record{id: v}
+	if s, ok := p[v]; ok {
+		rec.proof, rec.hasProof = s, true
+	}
+	if l, ok := in.NodeLabel[v]; ok {
+		rec.label, rec.hasLabel = l, true
+	}
+	addEdge := func(e graph.Edge) {
+		er := edgeRec{e: e}
+		if l, ok := in.EdgeLabel[e]; ok {
+			er.label, er.hasLabel = l, true
+		}
+		if w, ok := in.Weights[e]; ok {
+			er.weight, er.hasWeight = w, true
+		}
+		rec.edges = append(rec.edges, er)
+	}
+	if in.G.Directed() {
+		for _, w := range in.G.Neighbors(v) {
+			addEdge(graph.Edge{U: v, V: w})
+		}
+		for _, w := range in.G.InNeighbors(v) {
+			addEdge(graph.Edge{U: w, V: v})
+		}
+	} else {
+		for _, w := range in.G.Neighbors(v) {
+			addEdge(graph.NormEdge(v, w))
+		}
+	}
+	return rec
+}
+
+// commNeighbors returns the nodes adjacent to v in the LOCAL model's
+// communication graph: the underlying undirected graph, so for directed
+// instances arcs are usable in both directions (§2.1: views follow
+// undirected reachability).
+func commNeighbors(g *graph.Graph, v int) []int {
+	if !g.Directed() {
+		return g.Neighbors(v)
+	}
+	seen := make(map[int]bool)
+	var out []int
+	for _, w := range g.Neighbors(v) {
+		if !seen[w] {
+			seen[w] = true
+			out = append(out, w)
+		}
+	}
+	for _, w := range g.InNeighbors(v) {
+		if !seen[w] {
+			seen[w] = true
+			out = append(out, w)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// node is the per-goroutine automaton state.
+type node struct {
+	id    int
+	in    []<-chan batch // one port per communication neighbour
+	out   []chan<- batch
+	known map[int]record // id -> record, everything learned so far
+	dist  map[int]int    // id -> round of first arrival (= BFS distance)
+	// cur is the batch to send this round (learned last round); next
+	// accumulates this round's discoveries. The two swap every round so
+	// message buffers are reused instead of reallocated (safe in
+	// lockstep mode: a batch is fully drained before the barrier trips).
+	cur, next batch
+}
+
+func newNode(in *core.Instance, p core.Proof, id int) *node {
+	rec := initialRecord(in, p, id)
+	return &node{
+		id:    id,
+		known: map[int]record{id: rec},
+		dist:  map[int]int{id: 0},
+		cur:   batch{rec},
+	}
+}
+
+// flood runs the synchronous flooding protocol for the given number of
+// rounds. Each round: send the previous round's discoveries on every
+// port, receive exactly one batch per port, merge first-arrivals. When
+// bar is non-nil every round ends at the reusable global barrier; when
+// nil, per-port message counting alone keeps rounds aligned
+// (α-synchronization), and batches are freshly allocated because a slow
+// receiver may still hold the previous round's slice.
+func (nd *node) flood(rounds int, bar *barrier) {
+	for r := 1; r <= rounds; r++ {
+		for _, port := range nd.out {
+			port <- nd.cur
+		}
+		if bar != nil {
+			// Reuse the already-drained previous buffer.
+			nd.next = nd.next[:0]
+		} else {
+			nd.next = nil
+		}
+		for _, port := range nd.in {
+			for _, rec := range <-port {
+				if _, seen := nd.known[rec.id]; !seen {
+					nd.known[rec.id] = rec
+					nd.dist[rec.id] = r
+					nd.next = append(nd.next, rec)
+				}
+			}
+		}
+		nd.cur, nd.next = nd.next, nd.cur
+		if bar != nil {
+			bar.await()
+		}
+	}
+}
+
+// assemble reconstructs the radius-r view from flooded knowledge. The
+// instance is consulted only for model-level conventions that every node
+// knows a priori: the graph kind, the globally shared input in.Global,
+// and whether the instance carries node/edge labellings at all (the
+// nil-map conventions BuildView mirrors into the view).
+func (nd *node) assemble(in *core.Instance, radius int) *core.View {
+	ids := make([]int, 0, len(nd.known))
+	for id := range nd.known {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+
+	b := graph.NewBuilder(in.G.Kind())
+	for _, id := range ids {
+		b.AddNode(id)
+	}
+	// Collect the induced edges: every incident edge reported by a ball
+	// member whose other endpoint is also in the ball. Both endpoints
+	// report each edge, so dedupe on the edge key.
+	kept := make(map[graph.Edge]edgeRec)
+	for _, id := range ids {
+		for _, er := range nd.known[id].edges {
+			if _, inBallU := nd.known[er.e.U]; !inBallU {
+				continue
+			}
+			if _, inBallV := nd.known[er.e.V]; !inBallV {
+				continue
+			}
+			if _, dup := kept[er.e]; !dup {
+				kept[er.e] = er
+				b.AddEdge(er.e.U, er.e.V)
+			}
+		}
+	}
+
+	w := &core.View{
+		Center: nd.id,
+		Radius: radius,
+		G:      b.Graph(),
+		Dist:   make(map[int]int, len(nd.dist)),
+		Proof:  make(core.Proof, len(ids)),
+		Global: in.Global,
+	}
+	for id, d := range nd.dist {
+		w.Dist[id] = d
+	}
+	for _, id := range ids {
+		rec := nd.known[id]
+		if rec.hasProof {
+			w.Proof[id] = rec.proof
+		}
+	}
+	if in.NodeLabel != nil {
+		w.NodeLabel = make(map[int]string)
+		for _, id := range ids {
+			if rec := nd.known[id]; rec.hasLabel {
+				w.NodeLabel[id] = rec.label
+			}
+		}
+	}
+	if in.EdgeLabel != nil || in.Weights != nil {
+		w.EdgeLabel = make(map[graph.Edge]string)
+		w.Weights = make(map[graph.Edge]int64)
+		for e, er := range kept {
+			if er.hasLabel {
+				w.EdgeLabel[e] = er.label
+			}
+			if er.hasWeight {
+				w.Weights[e] = er.weight
+			}
+		}
+	}
+	return w
+}
+
+// network wires one node automaton per graph vertex with a dedicated
+// channel per directed port (u → v for every communication edge).
+type network struct {
+	nodes []*node
+	bar   *barrier // nil in free-running mode
+}
+
+func buildNetwork(in *core.Instance, p core.Proof, opt Options) *network {
+	ids := in.G.Nodes()
+	net := &network{nodes: make([]*node, len(ids))}
+	byID := make(map[int]*node, len(ids))
+	for i, id := range ids {
+		net.nodes[i] = newNode(in, p, id)
+		byID[id] = net.nodes[i]
+	}
+	buf := opt.portBuffer()
+	for _, nd := range net.nodes {
+		for _, w := range commNeighbors(in.G, nd.id) {
+			ch := make(chan batch, buf)
+			nd.out = append(nd.out, ch)
+			byID[w].in = append(byID[w].in, ch)
+		}
+	}
+	if !opt.FreeRunning {
+		net.bar = newBarrier(len(ids))
+	}
+	return net
+}
