@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet test test-short race bench
+.PHONY: check build vet test test-short race bench bench-smoke
 
 check: build vet test
 
@@ -20,5 +20,11 @@ race:
 	$(GO) test -race -short ./...
 
 bench:
-	$(GO) test -run=NONE -bench='BenchmarkAblationViewConstruction|BenchmarkDistributedRuntime' -benchmem .
+	$(GO) test -run=NONE -bench='BenchmarkAblationViewConstruction|BenchmarkDistributedRuntime|BenchmarkEngineAmortized' -benchmem .
 	$(GO) test -run=NONE -bench=. -benchmem ./internal/dist/
+
+# bench-smoke runs every benchmark exactly once so CI catches benches
+# that no longer compile or fail their own assertions, without paying
+# for a real measurement.
+bench-smoke:
+	$(GO) test -run=NONE -bench=. -benchtime=1x ./...

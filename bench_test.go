@@ -13,8 +13,10 @@ package lcp_test
 import (
 	"fmt"
 	"testing"
+	"time"
 
 	"lcp"
+	"lcp/internal/core"
 	"lcp/internal/dist"
 	"lcp/internal/lowerbound"
 	"lcp/internal/ports"
@@ -306,6 +308,72 @@ func BenchmarkDistributedRuntime(b *testing.B) {
 				b.Fatalf("rejected: %v", err)
 			}
 		}
+	})
+}
+
+// BenchmarkEngineAmortized is the headline number for the amortized
+// engine: the same 100 proofs (one honest, 99 single-bit tamperings)
+// verified on Cycle(255), once with the one-shot sequential runner that
+// rebuilds every radius-r view per proof, once on an Engine whose views
+// are cached. The gap is the per-proof view-construction cost the
+// engine amortizes away; BENCH_engine.json tracks it.
+func BenchmarkEngineAmortized(b *testing.B) {
+	in := lcp.NewInstance(lcp.Cycle(255))
+	scheme := lcp.OddNScheme()
+	honest, err := scheme.Prove(in)
+	if err != nil {
+		b.Fatal(err)
+	}
+	v := scheme.Verifier()
+	proofs := make([]lcp.Proof, 100)
+	proofs[0] = honest
+	for i := 1; i < len(proofs); i++ {
+		proofs[i] = core.FlipBit(honest, int64(i))
+	}
+	perProof := func(b *testing.B, total time.Duration) {
+		b.Helper()
+		b.ReportMetric(float64(total.Nanoseconds())/float64(b.N*len(proofs)), "ns/proof")
+	}
+	b.Run("one-shot-core-check", func(b *testing.B) {
+		start := time.Now()
+		for i := 0; i < b.N; i++ {
+			for _, p := range proofs {
+				if lcp.Check(in, p, v) == nil {
+					b.Fatal("nil result")
+				}
+			}
+		}
+		perProof(b, time.Since(start))
+	})
+	b.Run("engine-cached-views", func(b *testing.B) {
+		eng := lcp.NewEngine(in)
+		eng.CheckProof(proofs[0], v) // warm the radius cache
+		b.ResetTimer()
+		start := time.Now()
+		for i := 0; i < b.N; i++ {
+			for _, p := range proofs {
+				if eng.CheckProof(p, v) == nil {
+					b.Fatal("nil result")
+				}
+			}
+		}
+		perProof(b, time.Since(start))
+	})
+	b.Run("engine-single-worker", func(b *testing.B) {
+		// Same cached views without parallelism: isolates amortization
+		// from the worker pool.
+		eng := lcp.NewEngineWith(in, lcp.EngineOptions{Workers: 1})
+		eng.CheckProof(proofs[0], v)
+		b.ResetTimer()
+		start := time.Now()
+		for i := 0; i < b.N; i++ {
+			for _, p := range proofs {
+				if eng.CheckProof(p, v) == nil {
+					b.Fatal("nil result")
+				}
+			}
+		}
+		perProof(b, time.Since(start))
 	})
 }
 

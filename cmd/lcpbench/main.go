@@ -67,14 +67,18 @@ func main() {
 				ok = false
 				continue
 			}
-			res := lcp.Check(in, proof, exp.Scheme.Verifier())
+			// One engine per generated instance: both verification
+			// passes (and any future per-size re-checks) share the
+			// cached radius-r views.
+			eng := lcp.NewEngine(in)
+			res := eng.CheckProof(proof, exp.Scheme.Verifier())
 			if !res.Accepted() {
 				row += fmt.Sprintf(" %9s", "REJ")
 				ok = false
 				continue
 			}
 			if *distributed {
-				dres, derr := lcp.CheckDistributed(in, proof, exp.Scheme.Verifier())
+				dres, derr := eng.CheckDistributed(proof, exp.Scheme.Verifier())
 				if derr != nil || !dres.Accepted() {
 					row += fmt.Sprintf(" %9s", "DREJ")
 					ok = false

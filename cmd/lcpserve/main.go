@@ -1,0 +1,75 @@
+// Command lcpserve is the long-lived locally-checkable-proof
+// verification daemon: an HTTP/JSON front end over the amortized
+// engine. Register an instance once, then fire as many proofs at it as
+// you like — the radius-r views are built on the first check and shared
+// by every later one.
+//
+//	lcpserve -addr :8080
+//
+//	# register an instance (textio format, see internal/textio)
+//	curl -s localhost:8080/instances --data-binary @instance.lcp
+//	# -> {"id":"i1","nodes":16,"edges":16,"scheme":"bipartite",...}
+//
+//	# verify a proof against it
+//	curl -s localhost:8080/check -d '{"instance":"i1","proof":{"1":"0","2":"1"}}'
+//
+//	# stream verdicts, stopping at the first alarm
+//	curl -sN localhost:8080/check/stream -d '{"instance":"i1","proof":{},"stop_on_reject":true}'
+//
+// See the package comment of internal/serve for the full endpoint list
+// and examples/proofservice for an end-to-end driver.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"lcp"
+	"lcp/internal/dist"
+	"lcp/internal/engine"
+	"lcp/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	workers := flag.Int("workers", 0, "verification worker pool size (0 = GOMAXPROCS)")
+	shards := flag.Int("shards", 0, "dist runtimes per instance for distributed checks (0 = 1)")
+	freeRunning := flag.Bool("free-running", false, "run dist runtimes without a global round barrier")
+	flag.Parse()
+
+	handler := serve.New(lcp.BuiltinSchemes(), engine.Options{
+		Workers: *workers,
+		Shards:  *shards,
+		Dist:    dist.Options{FreeRunning: *freeRunning},
+	})
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           handler,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "lcpserve: listening on %s\n", *addr)
+
+	select {
+	case err := <-errc:
+		log.Fatalf("lcpserve: %v", err)
+	case <-ctx.Done():
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+			log.Fatalf("lcpserve: shutdown: %v", err)
+		}
+	}
+}

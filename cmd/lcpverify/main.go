@@ -84,9 +84,17 @@ func check(path string) error {
 	if err != nil {
 		return err
 	}
-	res, err := lcp.CheckDistributed(doc.Instance, doc.Proof, scheme.Verifier())
+	// One engine per document: the certificate is checked on both the
+	// shared-memory path and the message-passing runtime, with the
+	// radius-r views and network wiring built once and shared.
+	eng := lcp.NewEngine(doc.Instance)
+	res := eng.CheckProof(doc.Proof, scheme.Verifier())
+	dres, err := eng.CheckDistributed(doc.Proof, scheme.Verifier())
 	if err != nil {
 		return err
+	}
+	if res.Accepted() != dres.Accepted() {
+		return fmt.Errorf("runner disagreement: shared-memory %s, message-passing %s", res, dres)
 	}
 	fmt.Printf("%s: scheme=%s n=%d proof=%d bits/node: %s\n",
 		path, scheme.Name(), doc.Instance.G.N(), doc.Proof.Size(), res)

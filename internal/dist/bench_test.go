@@ -71,6 +71,46 @@ func BenchmarkSchedulerTopology(b *testing.B) {
 	}
 }
 
+// BenchmarkNetworkReuse measures what the reusable Network entry point
+// amortizes: "one-shot" pays wiring plus flooding per proof (with the
+// node/record pool recycling allocations across runs), "reused-network"
+// wires once and only floods. The allocs/op gap is the per-run cost of
+// channels and node state; BENCH_dist.json tracks both against the
+// pre-pooling baseline.
+func BenchmarkNetworkReuse(b *testing.B) {
+	in := lcp.NewInstance(lcp.Cycle(255))
+	scheme := lcp.OddNScheme()
+	proof, err := scheme.Prove(in)
+	if err != nil {
+		b.Fatal(err)
+	}
+	v := scheme.Verifier()
+	b.Run("one-shot", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			res, err := dist.Check(in, proof, v)
+			if err != nil || !res.Accepted() {
+				b.Fatalf("rejected: %v", err)
+			}
+		}
+	})
+	b.Run("reused-network", func(b *testing.B) {
+		nw, err := dist.NewNetwork(in, dist.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer nw.Close()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			res, err := nw.Check(proof, v)
+			if err != nil || !res.Accepted() {
+				b.Fatalf("rejected: %v", err)
+			}
+		}
+	})
+}
+
 func BenchmarkParallelViewsWorkers(b *testing.B) {
 	in := lcp.NewInstance(lcp.Cycle(255))
 	scheme := lcp.OddNScheme()

@@ -115,51 +115,13 @@ func CheckWith(in *core.Instance, p core.Proof, v core.Verifier, opt Options) (*
 	if v == nil {
 		return nil, fmt.Errorf("dist: nil verifier")
 	}
-	res := &core.Result{Outputs: make(map[int]bool, in.G.N())}
 	if in.G.N() == 0 {
-		return res, nil
+		return &core.Result{Outputs: map[int]bool{}}, nil
 	}
-
-	net := buildNetwork(in, p, opt)
-	radius := v.Radius()
-	rounds := radius
-	if rounds < 0 {
-		rounds = 0
-	}
-	verdicts := make(chan nodeVerdict, len(net.nodes))
-	var sem chan struct{}
-	if k := opt.fanout(); k > 0 {
-		sem = make(chan struct{}, k)
-	}
-	for _, nd := range net.nodes {
-		go func(nd *node) {
-			nd.flood(rounds, net.bar)
-			if sem != nil {
-				sem <- struct{}{}
-				defer func() { <-sem }()
-			}
-			out := nodeVerdict{id: nd.id}
-			defer func() {
-				if r := recover(); r != nil {
-					out.err = fmt.Errorf("dist: verifier panicked at node %d: %v", nd.id, r)
-				}
-				verdicts <- out
-			}()
-			out.ok = v.Verify(nd.assemble(in, radius))
-		}(nd)
-	}
-	var firstErr error
-	for range net.nodes {
-		nv := <-verdicts
-		if nv.err != nil && firstErr == nil {
-			firstErr = nv.err
-		}
-		res.Outputs[nv.id] = nv.ok
-	}
-	if firstErr != nil {
-		return nil, firstErr
-	}
-	return res, nil
+	net := buildNetwork(in, opt)
+	res, err := net.run(in, p, v, opt)
+	net.release()
+	return res, err
 }
 
 // Collect assembles the radius-r view of center by running the flooding
@@ -177,7 +139,10 @@ func CollectWith(in *core.Instance, p core.Proof, center, radius int, opt Option
 	if !in.G.Has(center) {
 		panic(fmt.Sprintf("dist: unknown node %d", center))
 	}
-	net := buildNetwork(in, p, opt)
+	net := buildNetwork(in, opt)
+	for _, nd := range net.nodes {
+		nd.seed(p)
+	}
 	rounds := radius
 	if rounds < 0 {
 		rounds = 0
@@ -195,7 +160,9 @@ func CollectWith(in *core.Instance, p core.Proof, center, radius int, opt Option
 		}(nd)
 	}
 	wg.Wait()
-	return <-views
+	v := <-views
+	net.release()
+	return v
 }
 
 // CheckParallelViews is the shared-memory fast path: a worker pool sized

@@ -1,0 +1,70 @@
+package dist
+
+import (
+	"fmt"
+	"sync"
+
+	"lcp/internal/core"
+)
+
+// Network is a long-lived instance of the message-passing runtime: the
+// node automata, port channels and round barrier are wired once per
+// instance and then re-checked against many proofs. Construction is the
+// expensive part of a run (per-node state, one channel per directed
+// port); Check only swaps the proof bits into the round-0 records and
+// floods, so repeated verification of the same graph amortizes the
+// wiring — the engine's message-passing path and cmd/lcpserve both sit
+// on top of this type.
+type Network struct {
+	in  *core.Instance
+	opt Options
+
+	mu  sync.Mutex // one run at a time; the wiring is single-occupancy
+	net *network   // nil after Close
+}
+
+// NewNetwork wires a reusable network for the instance. The options fix
+// the scheduler configuration for every subsequent run.
+func NewNetwork(in *core.Instance, opt Options) (*Network, error) {
+	if in == nil || in.G == nil {
+		return nil, fmt.Errorf("dist: nil instance")
+	}
+	nw := &Network{in: in, opt: opt}
+	if in.G.N() > 0 {
+		nw.net = buildNetwork(in, opt)
+	}
+	return nw, nil
+}
+
+// Instance returns the instance the network was wired for.
+func (nw *Network) Instance() *core.Instance { return nw.in }
+
+// Check runs the verifier against the proof on the prewired network.
+// Verdicts are identical to a fresh dist.Check (and hence to
+// core.Check). Concurrent calls serialize: the wiring carries one run
+// at a time.
+func (nw *Network) Check(p core.Proof, v core.Verifier) (*core.Result, error) {
+	if v == nil {
+		return nil, fmt.Errorf("dist: nil verifier")
+	}
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	if nw.in.G.N() == 0 {
+		return &core.Result{Outputs: map[int]bool{}}, nil
+	}
+	if nw.net == nil {
+		return nil, fmt.Errorf("dist: network is closed")
+	}
+	return nw.net.run(nw.in, p, v, nw.opt)
+}
+
+// Close releases the node automata back to the runtime's pool. The
+// network must not be checked again afterwards.
+func (nw *Network) Close() {
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	if nw.net != nil {
+		nw.net.release()
+		nw.net = nil
+	}
+}

@@ -1,7 +1,9 @@
 package dist
 
 import (
+	"fmt"
 	"sort"
+	"sync"
 
 	"lcp/internal/bitstr"
 	"lcp/internal/core"
@@ -44,12 +46,12 @@ type edgeRec struct {
 // message counting is what keeps the rounds synchronized.
 type batch []record
 
-// initialRecord builds node v's round-0 knowledge from the instance.
-func initialRecord(in *core.Instance, p core.Proof, v int) record {
-	rec := record{id: v}
-	if s, ok := p[v]; ok {
-		rec.proof, rec.hasProof = s, true
-	}
+// initialRecord builds node v's round-0 knowledge from the instance,
+// except for the proof string, which changes between runs of a reusable
+// network and is injected by node.seed. The edges slice is appended onto
+// buf so a pooled node reuses its previous backing array.
+func initialRecord(in *core.Instance, v int, buf []edgeRec) record {
+	rec := record{id: v, edges: buf[:0]}
 	if l, ok := in.NodeLabel[v]; ok {
 		rec.label, rec.hasLabel = l, true
 	}
@@ -78,35 +80,10 @@ func initialRecord(in *core.Instance, p core.Proof, v int) record {
 	return rec
 }
 
-// commNeighbors returns the nodes adjacent to v in the LOCAL model's
-// communication graph: the underlying undirected graph, so for directed
-// instances arcs are usable in both directions (§2.1: views follow
-// undirected reachability).
-func commNeighbors(g *graph.Graph, v int) []int {
-	if !g.Directed() {
-		return g.Neighbors(v)
-	}
-	seen := make(map[int]bool)
-	var out []int
-	for _, w := range g.Neighbors(v) {
-		if !seen[w] {
-			seen[w] = true
-			out = append(out, w)
-		}
-	}
-	for _, w := range g.InNeighbors(v) {
-		if !seen[w] {
-			seen[w] = true
-			out = append(out, w)
-		}
-	}
-	sort.Ints(out)
-	return out
-}
-
 // node is the per-goroutine automaton state.
 type node struct {
 	id    int
+	base  record         // round-0 knowledge minus the proof (constant across runs)
 	in    []<-chan batch // one port per communication neighbour
 	out   []chan<- batch
 	known map[int]record // id -> record, everything learned so far
@@ -118,14 +95,52 @@ type node struct {
 	cur, next batch
 }
 
-func newNode(in *core.Instance, p core.Proof, id int) *node {
-	rec := initialRecord(in, p, id)
-	return &node{
-		id:    id,
-		known: map[int]record{id: rec},
-		dist:  map[int]int{id: 0},
-		cur:   batch{rec},
+// nodePool recycles node automata — and with them the record edge
+// slices, batch buffers, port slices, and knowledge maps — across runs.
+// One-shot runners (Check, Collect) return their nodes after the
+// verdicts are in; reusable Networks hold on to theirs until Close.
+var nodePool = sync.Pool{New: func() any { return new(node) }}
+
+func newNode(in *core.Instance, id int) *node {
+	nd := nodePool.Get().(*node)
+	nd.id = id
+	nd.base = initialRecord(in, id, nd.base.edges)
+	if nd.known == nil {
+		nd.known = make(map[int]record)
+		nd.dist = make(map[int]int)
 	}
+	return nd
+}
+
+// seed resets the automaton for a fresh run with the given proof: the
+// knowledge maps shrink back to the node's own record (now carrying its
+// proof string) and the message buffers rewind without reallocating.
+func (nd *node) seed(p core.Proof) {
+	rec := nd.base
+	if s, ok := p[nd.id]; ok {
+		rec.proof, rec.hasProof = s, true
+	}
+	clear(nd.known)
+	clear(nd.dist)
+	nd.known[nd.id] = rec
+	nd.dist[nd.id] = 0
+	nd.cur = append(nd.cur[:0], rec)
+	nd.next = nd.next[:0]
+}
+
+// release returns the node to the pool. Callers must guarantee that no
+// goroutine of the finished run still touches it (verdicts collected,
+// waitgroups drained): pooled nodes are handed to unrelated networks.
+func (nd *node) release() {
+	clear(nd.known)
+	clear(nd.dist)
+	clear(nd.cur)
+	clear(nd.next)
+	nd.cur, nd.next = nd.cur[:0], nd.next[:0]
+	clear(nd.in)
+	clear(nd.out)
+	nd.in, nd.out = nd.in[:0], nd.out[:0]
+	nodePool.Put(nd)
 }
 
 // flood runs the synchronous flooding protocol for the given number of
@@ -238,23 +253,25 @@ func (nd *node) assemble(in *core.Instance, radius int) *core.View {
 }
 
 // network wires one node automaton per graph vertex with a dedicated
-// channel per directed port (u → v for every communication edge).
+// channel per directed port (u → v for every communication edge). The
+// wiring is proof-free: each run seeds the nodes with the proof under
+// test, so one network serves arbitrarily many proofs.
 type network struct {
 	nodes []*node
 	bar   *barrier // nil in free-running mode
 }
 
-func buildNetwork(in *core.Instance, p core.Proof, opt Options) *network {
+func buildNetwork(in *core.Instance, opt Options) *network {
 	ids := in.G.Nodes()
 	net := &network{nodes: make([]*node, len(ids))}
 	byID := make(map[int]*node, len(ids))
 	for i, id := range ids {
-		net.nodes[i] = newNode(in, p, id)
+		net.nodes[i] = newNode(in, id)
 		byID[id] = net.nodes[i]
 	}
 	buf := opt.portBuffer()
 	for _, nd := range net.nodes {
-		for _, w := range commNeighbors(in.G, nd.id) {
+		for _, w := range in.G.UndirectedNeighbors(nd.id) {
 			ch := make(chan batch, buf)
 			nd.out = append(nd.out, ch)
 			byID[w].in = append(byID[w].in, ch)
@@ -264,4 +281,63 @@ func buildNetwork(in *core.Instance, p core.Proof, opt Options) *network {
 		net.bar = newBarrier(len(ids))
 	}
 	return net
+}
+
+// release returns every node automaton to the pool. Only one-shot
+// runners call this; a reusable Network keeps its wiring alive.
+func (net *network) release() {
+	for _, nd := range net.nodes {
+		nd.release()
+	}
+	net.nodes = nil
+}
+
+// run executes one complete verification pass: seed every node with the
+// proof, flood for the verifier's radius, assemble views, decide. The
+// network is reusable immediately afterwards — all ports are drained
+// when the verdicts are in.
+func (net *network) run(in *core.Instance, p core.Proof, v core.Verifier, opt Options) (*core.Result, error) {
+	res := &core.Result{Outputs: make(map[int]bool, len(net.nodes))}
+	radius := v.Radius()
+	rounds := radius
+	if rounds < 0 {
+		rounds = 0
+	}
+	for _, nd := range net.nodes {
+		nd.seed(p)
+	}
+	verdicts := make(chan nodeVerdict, len(net.nodes))
+	var sem chan struct{}
+	if k := opt.fanout(); k > 0 {
+		sem = make(chan struct{}, k)
+	}
+	for _, nd := range net.nodes {
+		go func(nd *node) {
+			nd.flood(rounds, net.bar)
+			if sem != nil {
+				sem <- struct{}{}
+				defer func() { <-sem }()
+			}
+			out := nodeVerdict{id: nd.id}
+			defer func() {
+				if r := recover(); r != nil {
+					out.err = fmt.Errorf("dist: verifier panicked at node %d: %v", nd.id, r)
+				}
+				verdicts <- out
+			}()
+			out.ok = v.Verify(nd.assemble(in, radius))
+		}(nd)
+	}
+	var firstErr error
+	for range net.nodes {
+		nv := <-verdicts
+		if nv.err != nil && firstErr == nil {
+			firstErr = nv.err
+		}
+		res.Outputs[nv.id] = nv.ok
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return res, nil
 }

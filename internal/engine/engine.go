@@ -1,0 +1,316 @@
+// Package engine is the long-lived, amortized verification service for
+// locally checkable proofs: one Engine per instance, many proofs.
+//
+// The one-shot runners (core.Check, dist.Check) pay for view
+// construction on every call — a BFS ball, an induced subgraph, and the
+// label restriction per node. But an LCP workload verifies the same
+// graph against many proofs (tampering sweeps, adversary searches,
+// Table-1 regeneration, a verification service's request stream), and
+// the radius-r view (G[v,r], v) depends only on the graph and the input
+// labelling, never on the proof. The Engine therefore precomputes one
+// proof-free view skeleton per node per radius, caches it, and serves
+// each CheckProof by swapping the proof restriction into a shallow copy
+// of the skeleton. The cache is keyed and invalidated per radius, so
+// verifiers with different horizons share the instance without
+// interfering.
+//
+// Three serving shapes are exposed:
+//
+//   - CheckProof / CheckBatch: sharded over a bounded worker pool
+//     (contiguous node ranges, the shared-memory path);
+//   - CheckStream: verdicts stream over a channel as each node decides,
+//     with early exit on context cancellation — callers stop paying the
+//     moment the first rejection arrives;
+//   - CheckDistributed: the message-passing path, sharded across
+//     multiple reusable dist.Network runtimes (each shard owns a node
+//     range and floods inside its radius-r halo).
+//
+// Verdicts are identical to core.Check on every path; the property
+// tests sweep the whole catalog, including tampered and truncated
+// proofs, to assert it.
+package engine
+
+import (
+	"context"
+	"runtime"
+	"sync"
+
+	"lcp/internal/core"
+	"lcp/internal/dist"
+)
+
+// Options configures an Engine. The zero value serves with GOMAXPROCS
+// workers and a single message-passing runtime.
+type Options struct {
+	// Workers bounds the worker pool of the shared-memory paths
+	// (CheckProof, CheckBatch, CheckStream) and of skeleton
+	// construction. 0 means GOMAXPROCS.
+	Workers int
+	// Shards is the number of dist runtimes the message-passing path
+	// spans. Each shard owns a contiguous node range and runs a
+	// reusable dist.Network over the range's radius-r halo. 0 means 1.
+	Shards int
+	// Dist tunes the scheduler of every sharded runtime.
+	Dist dist.Options
+}
+
+func (o Options) workers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+func (o Options) shards() int {
+	if o.Shards > 0 {
+		return o.Shards
+	}
+	return 1
+}
+
+// Verdict is one node's decision, as streamed by CheckStream.
+type Verdict struct {
+	Node   int
+	Accept bool
+}
+
+// Engine is a long-lived verification service for a single instance.
+// It is safe for concurrent use; the first check at a given radius
+// builds that radius's caches, later checks reuse them.
+type Engine struct {
+	in  *core.Instance
+	opt Options
+
+	// Caches are per radius, each behind its own build guard so a cold
+	// build at one radius never blocks warm checks at another (or a
+	// second caller at the same radius from doubling the work).
+	mu    sync.Mutex
+	views map[int]*viewCache // radius -> proof-free skeletons, aligned with in.G.Nodes()
+	nets  map[int]*netCache  // radius -> sharded message-passing runtimes
+}
+
+type viewCache struct {
+	once  sync.Once
+	views []*core.View
+}
+
+type netCache struct {
+	once sync.Once
+	sn   *shardedNets
+	err  error
+}
+
+// New builds an engine for the instance. The instance (graph, labels,
+// weights, globals) must not be mutated while the engine serves; if it
+// is, call Invalidate to drop the stale caches.
+func New(in *core.Instance, opt Options) *Engine {
+	if in == nil || in.G == nil {
+		panic("engine: nil instance")
+	}
+	return &Engine{
+		in:    in,
+		opt:   opt,
+		views: make(map[int]*viewCache),
+		nets:  make(map[int]*netCache),
+	}
+}
+
+// Instance returns the instance the engine serves.
+func (e *Engine) Instance() *core.Instance { return e.in }
+
+// Invalidate drops every cached view skeleton and sharded runtime.
+// Checks already in flight keep using the caches they resolved (a
+// dropped sharded runtime finishes its current runs and is then
+// garbage collected); new checks rebuild.
+func (e *Engine) Invalidate() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.views = make(map[int]*viewCache)
+	e.nets = make(map[int]*netCache)
+}
+
+// InvalidateRadius drops the caches of a single radius, leaving other
+// radii warm.
+func (e *Engine) InvalidateRadius(radius int) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	delete(e.views, radius)
+	delete(e.nets, radius)
+}
+
+// viewsFor returns the per-node skeletons for the radius, building and
+// caching them on first use. Skeletons are core.Views with a nil Proof;
+// checks shallow-copy them and splice the proof restriction in, so the
+// maps inside are shared read-only across all concurrent checks.
+func (e *Engine) viewsFor(radius int) []*core.View {
+	e.mu.Lock()
+	c, ok := e.views[radius]
+	if !ok {
+		c = &viewCache{}
+		e.views[radius] = c
+	}
+	e.mu.Unlock()
+	c.once.Do(func() {
+		nodes := e.in.G.Nodes()
+		vs := make([]*core.View, len(nodes))
+		forEachRange(len(nodes), e.opt.workers(), func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				w := core.BuildView(e.in, nil, nodes[i], radius)
+				w.Proof = nil
+				vs[i] = w
+			}
+		})
+		c.views = vs
+	})
+	return c.views
+}
+
+// verifyOnSkeleton runs the verifier on a cached skeleton with the
+// proof restriction spliced in.
+func verifyOnSkeleton(skel *core.View, p core.Proof, v core.Verifier) bool {
+	w := *skel
+	ball := skel.G.Nodes()
+	w.Proof = make(core.Proof, len(ball))
+	for _, u := range ball {
+		if s, ok := p[u]; ok {
+			w.Proof[u] = s
+		}
+	}
+	return v.Verify(&w)
+}
+
+// CheckProof verifies one proof on the cached views, sharding the node
+// set across the worker pool. Verdict-for-verdict identical to
+// core.Check(in, p, v), at a fraction of the per-proof cost once the
+// radius is warm.
+func (e *Engine) CheckProof(p core.Proof, v core.Verifier) *core.Result {
+	views := e.viewsFor(v.Radius())
+	nodes := e.in.G.Nodes()
+	outs := make([]bool, len(nodes))
+	forEachRange(len(nodes), e.opt.workers(), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			outs[i] = verifyOnSkeleton(views[i], p, v)
+		}
+	})
+	res := &core.Result{Outputs: make(map[int]bool, len(nodes))}
+	for i, id := range nodes {
+		res.Outputs[id] = outs[i]
+	}
+	return res
+}
+
+// CheckBatch verifies many proofs against the same cached views,
+// returning one result per proof in order.
+func (e *Engine) CheckBatch(proofs []core.Proof, v core.Verifier) []*core.Result {
+	e.viewsFor(v.Radius()) // warm once, outside the per-proof loop
+	out := make([]*core.Result, len(proofs))
+	for i, p := range proofs {
+		out[i] = e.CheckProof(p, v)
+	}
+	return out
+}
+
+// CheckStream verifies the proof and streams each node's verdict as it
+// is decided. The channel closes when every node has reported or the
+// context is cancelled — cancel on the first rejected Verdict to stop
+// paying for the rest of the graph. Verdict order is whatever the
+// worker pool produces; the Node field identifies the decider.
+//
+// Unlike CheckProof, stream workers cannot re-raise a verifier panic on
+// the consumer's goroutine; an untrusted verifier should be wrapped in
+// its own recover before streaming (internal/serve does this).
+func (e *Engine) CheckStream(ctx context.Context, p core.Proof, v core.Verifier) <-chan Verdict {
+	out := make(chan Verdict)
+	go func() {
+		defer close(out)
+		views := e.viewsFor(v.Radius())
+		nodes := e.in.G.Nodes()
+		var wg sync.WaitGroup
+		for _, r := range splitRange(len(nodes), e.opt.workers()) {
+			wg.Add(1)
+			go func(lo, hi int) {
+				defer wg.Done()
+				for i := lo; i < hi; i++ {
+					if ctx.Err() != nil {
+						return
+					}
+					verdict := Verdict{Node: nodes[i], Accept: verifyOnSkeleton(views[i], p, v)}
+					select {
+					case out <- verdict:
+					case <-ctx.Done():
+						return
+					}
+				}
+			}(r[0], r[1])
+		}
+		wg.Wait()
+	}()
+	return out
+}
+
+// CheckFirstReject streams internally and returns the first rejecting
+// node, cancelling the remaining work as soon as it is found. ok
+// reports whether a rejection exists; on fully accepting proofs it is
+// false and the whole graph was checked.
+func (e *Engine) CheckFirstReject(ctx context.Context, p core.Proof, v core.Verifier) (node int, ok bool) {
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	for verdict := range e.CheckStream(ctx, p, v) {
+		if !verdict.Accept {
+			return verdict.Node, true
+		}
+	}
+	return 0, false
+}
+
+// splitRange partitions n items into at most parts contiguous [lo, hi)
+// ranges of near-equal size.
+func splitRange(n, parts int) [][2]int {
+	if parts > n {
+		parts = n
+	}
+	if parts <= 0 {
+		return nil
+	}
+	out := make([][2]int, 0, parts)
+	lo := 0
+	for i := 0; i < parts; i++ {
+		hi := lo + (n-lo)/(parts-i)
+		out = append(out, [2]int{lo, hi})
+		lo = hi
+	}
+	return out
+}
+
+// forEachRange runs fn over the range partition on one goroutine per
+// part and waits for all of them. A panic inside a worker (a panicking
+// verifier, say) is re-raised on the caller's goroutine after the join,
+// mirroring what a sequential core.Check would do — so callers (and
+// net/http handlers above them) can recover it instead of the process
+// dying in a bare goroutine.
+func forEachRange(n, parts int, fn func(lo, hi int)) {
+	ranges := splitRange(n, parts)
+	if len(ranges) == 1 {
+		fn(ranges[0][0], ranges[0][1])
+		return
+	}
+	var wg sync.WaitGroup
+	var panicOnce sync.Once
+	var panicked any
+	for _, r := range ranges {
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			defer func() {
+				if p := recover(); p != nil {
+					panicOnce.Do(func() { panicked = p })
+				}
+			}()
+			fn(lo, hi)
+		}(r[0], r[1])
+	}
+	wg.Wait()
+	if panicked != nil {
+		panic(panicked)
+	}
+}

@@ -1,0 +1,353 @@
+package engine_test
+
+// Property tests for the amortized engine: every serving shape must be
+// verdict-for-verdict identical to core.Check, across the whole scheme
+// catalog, including adversarial (tampered, truncated, random) proofs,
+// and regardless of worker/shard configuration.
+
+import (
+	"context"
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+
+	"lcp"
+	"lcp/internal/core"
+	"lcp/internal/dist"
+	"lcp/internal/engine"
+)
+
+func resultsEqual(t *testing.T, ctx string, got, want *core.Result) {
+	t.Helper()
+	if !reflect.DeepEqual(got.Outputs, want.Outputs) {
+		t.Fatalf("%s: outputs differ:\n got %v\nwant %v", ctx, got.Outputs, want.Outputs)
+	}
+	if !reflect.DeepEqual(got.Rejectors(), want.Rejectors()) {
+		t.Fatalf("%s: rejectors differ: %v vs %v", ctx, got.Rejectors(), want.Rejectors())
+	}
+}
+
+// checkAllPaths runs one proof through every engine path and demands
+// agreement with the sequential reference.
+func checkAllPaths(t *testing.T, ctx string, e *engine.Engine, in *core.Instance, p core.Proof, v core.Verifier) {
+	t.Helper()
+	want := core.Check(in, p, v)
+	resultsEqual(t, ctx+" [check-proof]", e.CheckProof(p, v), want)
+
+	dres, err := e.CheckDistributed(p, v)
+	if err != nil {
+		t.Fatalf("%s: CheckDistributed: %v", ctx, err)
+	}
+	resultsEqual(t, ctx+" [sharded-dist]", dres, want)
+
+	stream := &core.Result{Outputs: make(map[int]bool, in.G.N())}
+	for verdict := range e.CheckStream(context.Background(), p, v) {
+		if _, dup := stream.Outputs[verdict.Node]; dup {
+			t.Fatalf("%s: duplicate verdict for node %d", ctx, verdict.Node)
+		}
+		stream.Outputs[verdict.Node] = verdict.Accept
+	}
+	resultsEqual(t, ctx+" [stream]", stream, want)
+}
+
+func TestEngineAgreesWithCoreAcrossCatalog(t *testing.T) {
+	const n = 14
+	for _, exp := range lcp.Catalog() {
+		exp := exp
+		t.Run(exp.ID, func(t *testing.T) {
+			t.Parallel()
+			size := n
+			if size < exp.MinN {
+				size = exp.MinN
+			}
+			v := exp.Scheme.Verifier()
+			in := exp.MakeYes(size, 1)
+			// Shards chosen to exercise real halo clipping at this size.
+			e := engine.New(in, engine.Options{Workers: 3, Shards: 3})
+			p, err := exp.Scheme.Prove(in)
+			if err != nil {
+				t.Fatalf("prove yes-instance: %v", err)
+			}
+			checkAllPaths(t, "honest", e, in, p, v)
+			for seed := int64(0); seed < 3; seed++ {
+				checkAllPaths(t, fmt.Sprintf("tampered-%d", seed), e, in, core.FlipBit(p, seed), v)
+			}
+			checkAllPaths(t, "truncated", e, in, p.Truncated(1), v)
+			if exp.MakeNo != nil {
+				no := exp.MakeNo(size, 2)
+				ne := engine.New(no, engine.Options{Workers: 2, Shards: 4})
+				checkAllPaths(t, "no-empty-proof", ne, no, core.Proof{}, v)
+				for _, bits := range []int{1, 16} {
+					checkAllPaths(t, fmt.Sprintf("no-random-%d", bits), ne, no,
+						core.RandomProof(no, bits, 9), v)
+				}
+			}
+		})
+	}
+}
+
+// TestEngineWorkerShardConfigurations: the verdict map is invariant
+// under every worker/shard split, on an instance where nodes reject.
+func TestEngineWorkerShardConfigurations(t *testing.T) {
+	in := lcp.NewInstance(lcp.Cycle(16)) // even cycle
+	v := lcp.OddNScheme().Verifier()     // rejects somewhere
+	p := core.RandomProof(in, 8, 4)
+	want := core.Check(in, p, v)
+	if want.Accepted() {
+		t.Fatal("setup: random odd-n proof unexpectedly accepted on even cycle")
+	}
+	for _, opt := range []engine.Options{
+		{},
+		{Workers: 1},
+		{Workers: 1, Shards: 1},
+		{Workers: 5, Shards: 2},
+		{Workers: 2, Shards: 7},
+		{Shards: 16}, // one node per shard
+		{Shards: 99}, // more shards than nodes
+		{Shards: 3, Dist: dist.Options{FreeRunning: true}},
+	} {
+		e := engine.New(in, opt)
+		checkAllPaths(t, fmt.Sprintf("opts=%+v", opt), e, in, p, v)
+	}
+}
+
+// TestEngineCachedViewsSurviveManyProofs: a single engine serves a long
+// proof stream with per-radius caches warm, never diverging from the
+// reference.
+func TestEngineCachedViewsSurviveManyProofs(t *testing.T) {
+	in := lcp.NewInstance(lcp.Cycle(21))
+	scheme := lcp.OddNScheme()
+	p, err := scheme.Prove(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := scheme.Verifier()
+	e := engine.New(in, engine.Options{Shards: 2})
+	for i := 0; i < 50; i++ {
+		proof := core.FlipBit(p, int64(i))
+		want := core.Check(in, proof, v)
+		resultsEqual(t, fmt.Sprintf("proof %d", i), e.CheckProof(proof, v), want)
+	}
+}
+
+// TestEngineStreamEarlyExit: cancelling after the first rejection stops
+// the stream without waiting for the rest of the graph.
+func TestEngineStreamEarlyExit(t *testing.T) {
+	in := lcp.NewInstance(lcp.Cycle(64)) // even cycle: odd-n must reject
+	v := lcp.OddNScheme().Verifier()
+	e := engine.New(in, engine.Options{})
+	node, found := e.CheckFirstReject(context.Background(), core.Proof{}, v)
+	if !found {
+		t.Fatal("odd-n on even cycle with empty proof: expected a rejection")
+	}
+	if !in.G.Has(node) {
+		t.Fatalf("rejecting node %d not in graph", node)
+	}
+	// On an accepting proof, no rejection is found.
+	yes := lcp.NewInstance(lcp.Cycle(9))
+	p, err := lcp.OddNScheme().Prove(yes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if node, found := engine.New(yes, engine.Options{}).CheckFirstReject(context.Background(), p, v); found {
+		t.Fatalf("honest proof: unexpected rejection at %d", node)
+	}
+}
+
+// TestEngineStreamCancelledContext: a cancelled context closes the
+// stream promptly instead of delivering all n verdicts.
+func TestEngineStreamCancelledContext(t *testing.T) {
+	in := lcp.NewInstance(lcp.Cycle(128))
+	v := lcp.OddNScheme().Verifier()
+	e := engine.New(in, engine.Options{Workers: 2})
+	ctx, cancel := context.WithCancel(context.Background())
+	got := 0
+	for range e.CheckStream(ctx, core.Proof{}, v) {
+		got++
+		if got == 3 {
+			cancel()
+		}
+	}
+	cancel()
+	if got >= in.G.N() {
+		t.Fatalf("cancelled stream still delivered all %d verdicts", got)
+	}
+}
+
+// TestEngineCheckBatch matches per-proof results element-wise.
+func TestEngineCheckBatch(t *testing.T) {
+	in := lcp.NewInstance(lcp.Cycle(21))
+	scheme := lcp.OddNScheme()
+	p, err := scheme.Prove(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := scheme.Verifier()
+	proofs := []core.Proof{p, nil, p.Truncated(1)}
+	for seed := int64(0); seed < 5; seed++ {
+		proofs = append(proofs, core.FlipBit(p, seed))
+	}
+	results := engine.New(in, engine.Options{}).CheckBatch(proofs, v)
+	if len(results) != len(proofs) {
+		t.Fatalf("got %d results for %d proofs", len(results), len(proofs))
+	}
+	for i, res := range results {
+		resultsEqual(t, fmt.Sprintf("batch[%d]", i), res, core.Check(in, proofs[i], v))
+	}
+}
+
+// TestEngineConcurrentChecks: many goroutines share one engine.
+func TestEngineConcurrentChecks(t *testing.T) {
+	in := lcp.NewInstance(lcp.Cycle(33))
+	scheme := lcp.OddNScheme()
+	p, err := scheme.Prove(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := scheme.Verifier()
+	e := engine.New(in, engine.Options{Shards: 2})
+	var wg sync.WaitGroup
+	errs := make(chan error, 32)
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			proof := p
+			if i%2 == 1 {
+				proof = core.FlipBit(p, int64(i))
+			}
+			want := core.Check(in, proof, v)
+			var got *core.Result
+			switch i % 3 {
+			case 0:
+				got = e.CheckProof(proof, v)
+			case 1:
+				var err error
+				got, err = e.CheckDistributed(proof, v)
+				if err != nil {
+					errs <- err
+					return
+				}
+			default:
+				got = &core.Result{Outputs: map[int]bool{}}
+				for verdict := range e.CheckStream(context.Background(), proof, v) {
+					got.Outputs[verdict.Node] = verdict.Accept
+				}
+			}
+			if !reflect.DeepEqual(got.Outputs, want.Outputs) {
+				errs <- fmt.Errorf("goroutine %d: outputs diverge", i)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// TestEngineInvalidate: caches rebuild after invalidation and verdicts
+// stay correct.
+func TestEngineInvalidate(t *testing.T) {
+	in := lcp.NewInstance(lcp.Cycle(11))
+	scheme := lcp.OddNScheme()
+	p, err := scheme.Prove(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := scheme.Verifier()
+	e := engine.New(in, engine.Options{Shards: 2})
+	want := core.Check(in, p, v)
+	resultsEqual(t, "warm", e.CheckProof(p, v), want)
+	e.InvalidateRadius(v.Radius())
+	resultsEqual(t, "after radius invalidate", e.CheckProof(p, v), want)
+	if _, err := e.CheckDistributed(p, v); err != nil {
+		t.Fatal(err)
+	}
+	e.Invalidate()
+	resultsEqual(t, "after full invalidate", e.CheckProof(p, v), want)
+	dres, err := e.CheckDistributed(p, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resultsEqual(t, "dist after full invalidate", dres, want)
+}
+
+// TestEngineMultipleRadiiShareInstance: verifiers with different
+// horizons get per-radius caches that do not interfere.
+func TestEngineMultipleRadiiShareInstance(t *testing.T) {
+	in := lcp.NewInstance(lcp.Grid(4, 5))
+	p := core.RandomProof(in, 4, 1)
+	e := engine.New(in, engine.Options{Shards: 3})
+	for _, r := range []int{0, 2, 1, 2, 0} {
+		v := core.VerifierFunc{R: r, F: func(w *core.View) bool {
+			return w.Radius == r && len(w.Dist) == w.G.N()
+		}}
+		resultsEqual(t, fmt.Sprintf("radius %d", r), e.CheckProof(p, v), core.Check(in, p, v))
+		dres, err := e.CheckDistributed(p, v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resultsEqual(t, fmt.Sprintf("dist radius %d", r), dres, core.Check(in, p, v))
+	}
+}
+
+// TestEngineEmptyGraph: degenerate instance serves empty results.
+func TestEngineEmptyGraph(t *testing.T) {
+	e := engine.New(lcp.NewInstance(lcp.NewBuilder().Graph()), engine.Options{Shards: 4})
+	v := lcp.BipartiteScheme().Verifier()
+	if res := e.CheckProof(core.Proof{}, v); len(res.Outputs) != 0 || !res.Accepted() {
+		t.Errorf("empty graph CheckProof: %v", res)
+	}
+	res, err := e.CheckDistributed(core.Proof{}, v)
+	if err != nil || len(res.Outputs) != 0 {
+		t.Errorf("empty graph CheckDistributed: %v, %v", res, err)
+	}
+	for range e.CheckStream(context.Background(), core.Proof{}, v) {
+		t.Error("empty graph stream delivered a verdict")
+	}
+}
+
+// TestEngineCheckProofRepanicsOnCallerGoroutine: a verifier panic in a
+// pool worker surfaces as a panic of CheckProof itself (recoverable by
+// the caller), not a process-killing panic in a bare goroutine.
+func TestEngineCheckProofRepanicsOnCallerGoroutine(t *testing.T) {
+	in := lcp.NewInstance(lcp.Cycle(16))
+	v := core.VerifierFunc{R: 1, F: func(w *core.View) bool {
+		if w.Center == 7 {
+			panic("node 7 misbehaves")
+		}
+		return true
+	}}
+	for _, workers := range []int{1, 4} {
+		e := engine.New(in, engine.Options{Workers: workers})
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("workers=%d: want verifier panic to reach the caller", workers)
+				}
+			}()
+			e.CheckProof(core.Proof{}, v)
+		}()
+	}
+}
+
+// TestEngineDirectedInstances: halo sharding follows undirected
+// reachability on directed graphs.
+func TestEngineDirectedInstances(t *testing.T) {
+	b := lcp.NewDirectedBuilder()
+	for i := 1; i < 10; i++ {
+		b.AddEdge(i, i+1)
+	}
+	b.AddEdge(10, 1).AddEdge(4, 1).AddEdge(7, 2)
+	in := core.NewInstance(b.Graph()).SetNodeLabel(1, core.LabelS).SetNodeLabel(9, core.LabelT)
+	p := core.RandomProof(in, 4, 11)
+	v := core.VerifierFunc{R: 2, F: func(w *core.View) bool {
+		// Depends on arcs, labels and proofs in the view, so any halo
+		// clipping bug flips verdicts somewhere.
+		return w.G.M()%2 == 0 || w.ProofOf(w.Center).Len() > 0 || w.Label(w.Center) != ""
+	}}
+	e := engine.New(in, engine.Options{Shards: 3})
+	checkAllPaths(t, "directed", e, in, p, v)
+}

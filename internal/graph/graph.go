@@ -196,6 +196,35 @@ func (g *Graph) InNeighbors(id int) []int {
 // Degree returns the degree of id (out-degree for directed graphs).
 func (g *Graph) Degree(id int) int { return len(g.Neighbors(id)) }
 
+// UndirectedNeighbors returns the neighbours of id in the underlying
+// undirected graph: Neighbors(id) as-is for undirected graphs, the
+// sorted union of out- and in-neighbours for directed ones. This is the
+// adjacency of the LOCAL model's communication graph (§2.1: views and
+// message passing follow undirected reachability even on directed
+// instances); BallAround, the dist runtime's port wiring, and the
+// engine's shard halos all derive from it.
+func (g *Graph) UndirectedNeighbors(id int) []int {
+	if g.kind != Directed {
+		return g.Neighbors(id)
+	}
+	seen := make(map[int]bool)
+	var out []int
+	for _, w := range g.Neighbors(id) {
+		if !seen[w] {
+			seen[w] = true
+			out = append(out, w)
+		}
+	}
+	for _, w := range g.InNeighbors(id) {
+		if !seen[w] {
+			seen[w] = true
+			out = append(out, w)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
 // HasEdge reports whether the edge (u, v) exists. For undirected graphs
 // the order of u and v is irrelevant. Unknown endpoints simply yield
 // false: verifiers probe views with arbitrary identifiers.
@@ -284,20 +313,11 @@ func (g *Graph) BallAround(center int, radius int) (nodes []int, dist map[int]in
 	for d := 1; d <= radius && len(frontier) > 0; d++ {
 		var next []int
 		for _, u := range frontier {
-			for _, v := range g.Neighbors(u) {
+			for _, v := range g.UndirectedNeighbors(u) {
 				if _, seen := dist[v]; !seen {
 					dist[v] = d
 					next = append(next, v)
 					nodes = append(nodes, v)
-				}
-			}
-			if g.kind == Directed {
-				for _, v := range g.InNeighbors(u) {
-					if _, seen := dist[v]; !seen {
-						dist[v] = d
-						next = append(next, v)
-						nodes = append(nodes, v)
-					}
 				}
 			}
 		}

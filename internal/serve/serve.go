@@ -1,0 +1,532 @@
+// Package serve implements the HTTP/JSON verification service behind
+// cmd/lcpserve: the repo's first traffic-serving surface.
+//
+// The service is built for the amortized workload the engine package
+// targets — the same graph verified against many proofs. Clients
+// register an instance once (POST /instances, body in the textio text
+// format) and the server wires a long-lived engine for it; every
+// subsequent check against that instance reuses the cached radius-r
+// views and sharded runtimes and only pays for the proof under test.
+//
+// Endpoints:
+//
+//	POST   /instances      register a textio document; returns {"id": ...}
+//	GET    /instances      list registered instances
+//	DELETE /instances/{id} evict an instance and its caches
+//	POST   /prove          run a scheme's prover; returns the proof
+//	POST   /check          verify one proof; returns the verdict
+//	POST   /check/batch    verify many proofs in one request
+//	POST   /check/stream   NDJSON: one verdict line per node as decided,
+//	                       optional early exit on the first rejection
+//	GET    /schemes        list the scheme registry
+//	GET    /healthz        liveness probe
+//
+// Check requests address a registered instance by id, or carry a
+// one-shot textio document inline; the scheme defaults to the
+// document's "scheme" directive and the proof to its "proof" lines.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"lcp/internal/bitstr"
+	"lcp/internal/core"
+	"lcp/internal/engine"
+	"lcp/internal/textio"
+)
+
+// maxBodyBytes bounds request bodies (instances and proof batches).
+const maxBodyBytes = 16 << 20
+
+// Server is the HTTP verification service. Create with New; it
+// implements http.Handler and is safe for concurrent use.
+type Server struct {
+	schemes map[string]core.Scheme
+	opt     engine.Options
+	mux     *http.ServeMux
+
+	mu        sync.Mutex
+	instances map[string]*instanceEntry
+	nextID    int
+}
+
+type instanceEntry struct {
+	ID     string
+	Doc    *textio.Document
+	Engine *engine.Engine
+}
+
+// New builds a server over the given scheme registry (normally
+// lcp.BuiltinSchemes()). The engine options apply to every instance the
+// server wires.
+func New(schemes map[string]core.Scheme, opt engine.Options) *Server {
+	s := &Server{
+		schemes:   schemes,
+		opt:       opt,
+		mux:       http.NewServeMux(),
+		instances: make(map[string]*instanceEntry),
+	}
+	s.mux.HandleFunc("POST /instances", s.handleCreateInstance)
+	s.mux.HandleFunc("GET /instances", s.handleListInstances)
+	s.mux.HandleFunc("DELETE /instances/{id}", s.handleDeleteInstance)
+	s.mux.HandleFunc("POST /prove", s.handleProve)
+	s.mux.HandleFunc("POST /check", s.handleCheck)
+	s.mux.HandleFunc("POST /check/batch", s.handleCheckBatch)
+	s.mux.HandleFunc("POST /check/stream", s.handleCheckStream)
+	s.mux.HandleFunc("GET /schemes", s.handleSchemes)
+	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+	})
+	return s
+}
+
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	s.mux.ServeHTTP(w, r)
+}
+
+// ---- wire types ----
+
+type checkRequest struct {
+	// Instance is the id of a registered instance; Document is an
+	// inline textio document for one-shot checks. Exactly one is set.
+	Instance string `json:"instance,omitempty"`
+	Document string `json:"document,omitempty"`
+	// Scheme overrides the document's scheme directive.
+	Scheme string `json:"scheme,omitempty"`
+	// Proof maps node id to a bit string ("0110"); empty means the
+	// document's proof lines.
+	Proof map[string]string `json:"proof,omitempty"`
+	// Proofs is the batch variant (POST /check/batch only).
+	Proofs []map[string]string `json:"proofs,omitempty"`
+	// Distributed selects the sharded message-passing path.
+	Distributed bool `json:"distributed,omitempty"`
+	// StopOnReject makes /check/stream cancel remaining work as soon
+	// as the first rejection streams out.
+	StopOnReject bool `json:"stop_on_reject,omitempty"`
+}
+
+type checkResponse struct {
+	Accepted  bool  `json:"accepted"`
+	Nodes     int   `json:"nodes"`
+	ProofBits int   `json:"proof_bits"`
+	Rejectors []int `json:"rejectors,omitempty"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+type instanceInfo struct {
+	ID     string `json:"id"`
+	Nodes  int    `json:"nodes"`
+	Edges  int    `json:"edges"`
+	Scheme string `json:"scheme,omitempty"`
+	Proof  bool   `json:"has_proof"`
+}
+
+// ---- helpers ----
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+func decodeJSON(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return false
+	}
+	return true
+}
+
+// rejectFields enforces per-endpoint strictness on the shared request
+// shape: a field that the endpoint would silently ignore is a client
+// bug (e.g. a "proofs" array sent to /check would otherwise fall back
+// to the document's stored proof and report a verdict for a proof that
+// was never checked), so it is rejected outright.
+func rejectFields(w http.ResponseWriter, req *checkRequest, endpoint string) bool {
+	bad := func(field string) bool {
+		writeError(w, http.StatusBadRequest, "%q is not accepted by %s", field, endpoint)
+		return false
+	}
+	if req.Proofs != nil && endpoint != "/check/batch" {
+		return bad("proofs")
+	}
+	if req.Proof != nil && (endpoint == "/check/batch" || endpoint == "/prove") {
+		return bad("proof")
+	}
+	if req.StopOnReject && endpoint != "/check/stream" {
+		return bad("stop_on_reject")
+	}
+	if req.Distributed && (endpoint == "/prove" || endpoint == "/check/stream") {
+		return bad("distributed")
+	}
+	return true
+}
+
+// parseProof decodes the JSON proof map into a core.Proof against the
+// instance's node set.
+func parseProof(in *core.Instance, m map[string]string) (core.Proof, error) {
+	p := make(core.Proof, len(m))
+	for key, bits := range m {
+		id, err := strconv.Atoi(key)
+		if err != nil {
+			return nil, fmt.Errorf("bad proof node id %q", key)
+		}
+		if !in.G.Has(id) {
+			return nil, fmt.Errorf("proof references unknown node %d", id)
+		}
+		var w bitstr.Writer
+		for _, r := range bits {
+			switch r {
+			case '0':
+				w.WriteBit(false)
+			case '1':
+				w.WriteBit(true)
+			default:
+				return nil, fmt.Errorf("node %d: bad proof bit %q", id, r)
+			}
+		}
+		p[id] = w.String()
+	}
+	return p, nil
+}
+
+// formatProof renders a proof as the JSON wire map.
+func formatProof(p core.Proof) map[string]string {
+	out := make(map[string]string, len(p))
+	for id, s := range p {
+		out[strconv.Itoa(id)] = s.String()
+	}
+	return out
+}
+
+// safeVerifier wraps a scheme's verifier so that a panic while
+// verifying one node fails closed: the node rejects instead of the
+// panic escaping into an engine worker goroutine and taking the daemon
+// down. Built-in verifiers do not panic on any input the property
+// tests throw at them, but the service must not bet its life on that.
+type safeVerifier struct{ v core.Verifier }
+
+func (s safeVerifier) Radius() int { return s.v.Radius() }
+
+func (s safeVerifier) Verify(w *core.View) (ok bool) {
+	defer func() {
+		if recover() != nil {
+			ok = false
+		}
+	}()
+	return s.v.Verify(w)
+}
+
+// resolve turns a check request into (engine, verifier, proof). For
+// registered instances the long-lived engine is returned; for inline
+// documents a one-shot engine is wired on the spot.
+func (s *Server) resolve(req *checkRequest) (*engine.Engine, *textio.Document, core.Scheme, error) {
+	var entry *instanceEntry
+	switch {
+	case req.Instance != "" && req.Document != "":
+		return nil, nil, nil, fmt.Errorf("set either instance or document, not both")
+	case req.Instance != "":
+		s.mu.Lock()
+		entry = s.instances[req.Instance]
+		s.mu.Unlock()
+		if entry == nil {
+			return nil, nil, nil, fmt.Errorf("unknown instance %q", req.Instance)
+		}
+	case req.Document != "":
+		doc, err := textio.Parse(strings.NewReader(req.Document))
+		if err != nil {
+			return nil, nil, nil, fmt.Errorf("parse document: %v", err)
+		}
+		entry = &instanceEntry{Doc: doc, Engine: engine.New(doc.Instance, s.opt)}
+	default:
+		return nil, nil, nil, fmt.Errorf("missing instance id or inline document")
+	}
+	name := req.Scheme
+	if name == "" {
+		name = entry.Doc.SchemeName
+	}
+	if name == "" {
+		return nil, nil, nil, fmt.Errorf("no scheme: set \"scheme\" in the request or a scheme directive in the document")
+	}
+	scheme, ok := s.schemes[name]
+	if !ok {
+		return nil, nil, nil, fmt.Errorf("unknown scheme %q (GET /schemes lists them)", name)
+	}
+	return entry.Engine, entry.Doc, scheme, nil
+}
+
+// requestProof picks the proof for a single-proof request: the inline
+// JSON proof if present, the document's proof lines otherwise.
+func requestProof(e *engine.Engine, doc *textio.Document, req *checkRequest) (core.Proof, error) {
+	if req.Proof != nil {
+		return parseProof(e.Instance(), req.Proof)
+	}
+	return doc.Proof, nil
+}
+
+// ---- handlers ----
+
+func (s *Server) handleCreateInstance(w http.ResponseWriter, r *http.Request) {
+	// The body is already bounded by MaxBytesReader; parse it straight
+	// off the wire.
+	doc, err := textio.Parse(r.Body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "parse instance: %v", err)
+		return
+	}
+	s.mu.Lock()
+	s.nextID++
+	entry := &instanceEntry{
+		ID:     fmt.Sprintf("i%d", s.nextID),
+		Doc:    doc,
+		Engine: engine.New(doc.Instance, s.opt),
+	}
+	s.instances[entry.ID] = entry
+	s.mu.Unlock()
+	writeJSON(w, http.StatusCreated, s.info(entry))
+}
+
+func (s *Server) info(entry *instanceEntry) instanceInfo {
+	return instanceInfo{
+		ID:     entry.ID,
+		Nodes:  entry.Doc.Instance.G.N(),
+		Edges:  entry.Doc.Instance.G.M(),
+		Scheme: entry.Doc.SchemeName,
+		Proof:  len(entry.Doc.Proof) > 0,
+	}
+}
+
+func (s *Server) handleListInstances(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	out := make([]instanceInfo, 0, len(s.instances))
+	for _, entry := range s.instances {
+		out = append(out, s.info(entry))
+	}
+	s.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleDeleteInstance(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	entry := s.instances[id]
+	delete(s.instances, id)
+	s.mu.Unlock()
+	if entry == nil {
+		writeError(w, http.StatusNotFound, "unknown instance %q", id)
+		return
+	}
+	// Checks already in flight finish on the engine they resolved; the
+	// engine and its caches are garbage collected once they drain.
+	writeJSON(w, http.StatusOK, map[string]string{"deleted": id})
+}
+
+func (s *Server) handleProve(w http.ResponseWriter, r *http.Request) {
+	var req checkRequest
+	if !decodeJSON(w, r, &req) || !rejectFields(w, &req, "/prove") {
+		return
+	}
+	e, _, scheme, err := s.resolve(&req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	proof, err := scheme.Prove(e.Instance())
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, "prove: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"scheme":        scheme.Name(),
+		"proof":         formatProof(proof),
+		"bits_per_node": proof.Size(),
+	})
+}
+
+func (s *Server) checkOne(e *engine.Engine, scheme core.Scheme, p core.Proof, distributed bool) (*core.Result, error) {
+	if distributed {
+		return e.CheckDistributed(p, safeVerifier{scheme.Verifier()})
+	}
+	return e.CheckProof(p, safeVerifier{scheme.Verifier()}), nil
+}
+
+func toResponse(e *engine.Engine, p core.Proof, res *core.Result) checkResponse {
+	return checkResponse{
+		Accepted:  res.Accepted(),
+		Nodes:     e.Instance().G.N(),
+		ProofBits: p.Size(),
+		Rejectors: res.Rejectors(),
+	}
+}
+
+func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) {
+	var req checkRequest
+	if !decodeJSON(w, r, &req) || !rejectFields(w, &req, "/check") {
+		return
+	}
+	e, doc, scheme, err := s.resolve(&req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	p, err := requestProof(e, doc, &req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	res, err := s.checkOne(e, scheme, p, req.Distributed)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "check: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, toResponse(e, p, res))
+}
+
+func (s *Server) handleCheckBatch(w http.ResponseWriter, r *http.Request) {
+	var req checkRequest
+	if !decodeJSON(w, r, &req) || !rejectFields(w, &req, "/check/batch") {
+		return
+	}
+	e, _, scheme, err := s.resolve(&req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if len(req.Proofs) == 0 {
+		writeError(w, http.StatusBadRequest, "batch request needs a \"proofs\" array")
+		return
+	}
+	proofs := make([]core.Proof, len(req.Proofs))
+	for i, m := range req.Proofs {
+		p, err := parseProof(e.Instance(), m)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "proofs[%d]: %v", i, err)
+			return
+		}
+		proofs[i] = p
+	}
+	var results []*core.Result
+	if req.Distributed {
+		results = make([]*core.Result, len(proofs))
+		for i, p := range proofs {
+			res, err := e.CheckDistributed(p, safeVerifier{scheme.Verifier()})
+			if err != nil {
+				writeError(w, http.StatusInternalServerError, "proofs[%d]: %v", i, err)
+				return
+			}
+			results[i] = res
+		}
+	} else {
+		results = e.CheckBatch(proofs, safeVerifier{scheme.Verifier()})
+	}
+	out := make([]checkResponse, len(results))
+	accepted := 0
+	for i, res := range results {
+		out[i] = toResponse(e, proofs[i], res)
+		if res.Accepted() {
+			accepted++
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"results":  out,
+		"accepted": accepted,
+		"checked":  len(out),
+	})
+}
+
+// verdictLine is one NDJSON verdict of /check/stream; summaryLine is
+// the trailing line that closes every stream.
+type verdictLine struct {
+	Node   int  `json:"node"`
+	Accept bool `json:"accept"`
+}
+
+type summaryLine struct {
+	Done         bool `json:"done"`
+	Accepted     bool `json:"accepted"`
+	Checked      int  `json:"checked"`
+	Nodes        int  `json:"nodes"`
+	StoppedEarly bool `json:"stopped_early"`
+}
+
+func (s *Server) handleCheckStream(w http.ResponseWriter, r *http.Request) {
+	var req checkRequest
+	if !decodeJSON(w, r, &req) || !rejectFields(w, &req, "/check/stream") {
+		return
+	}
+	e, doc, scheme, err := s.resolve(&req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	p, err := requestProof(e, doc, &req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+
+	// The request context cancels the stream when the client hangs up;
+	// stop_on_reject additionally cancels it on the first rejection.
+	ctx, cancel := context.WithCancel(r.Context())
+	defer cancel()
+	checked := 0
+	accepted := true
+	stopped := false
+	for verdict := range e.CheckStream(ctx, p, safeVerifier{scheme.Verifier()}) {
+		checked++
+		if !verdict.Accept {
+			accepted = false
+		}
+		_ = enc.Encode(verdictLine{Node: verdict.Node, Accept: verdict.Accept})
+		if flusher != nil {
+			flusher.Flush()
+		}
+		if !verdict.Accept && req.StopOnReject {
+			stopped = true
+			cancel()
+			break
+		}
+	}
+	// Drain: CheckStream's workers exit on the cancelled context.
+	_ = enc.Encode(summaryLine{
+		Done:         true,
+		Accepted:     accepted && checked == e.Instance().G.N(),
+		Checked:      checked,
+		Nodes:        e.Instance().G.N(),
+		StoppedEarly: stopped,
+	})
+	if flusher != nil {
+		flusher.Flush()
+	}
+}
+
+func (s *Server) handleSchemes(w http.ResponseWriter, r *http.Request) {
+	names := make([]string, 0, len(s.schemes))
+	for name := range s.schemes {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	writeJSON(w, http.StatusOK, names)
+}

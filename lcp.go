@@ -25,6 +25,7 @@ package lcp
 import (
 	"lcp/internal/core"
 	"lcp/internal/dist"
+	"lcp/internal/engine"
 	"lcp/internal/graph"
 	"lcp/internal/schemes"
 )
@@ -119,6 +120,29 @@ func CheckDistributed(in *Instance, p Proof, v Verifier) (*Result, error) {
 func ProveAndCheck(in *Instance, s Scheme) (Proof, *Result, error) {
 	return core.ProveAndCheck(in, s)
 }
+
+// The long-lived verification engine: build once per instance, verify
+// many proofs. Check and CheckDistributed rebuild every radius-r view
+// per call; the Engine caches them (per radius, shared across proofs)
+// and serves CheckProof / CheckBatch / CheckStream / CheckDistributed
+// at a fraction of the per-proof cost. Prefer it whenever the same
+// instance meets more than a handful of proofs — tampering sweeps,
+// adversary searches, or a verification service's request stream.
+type (
+	// Engine is the amortized verification service for one instance.
+	Engine = engine.Engine
+	// EngineOptions tunes workers, message-passing shards, and the
+	// sharded runtimes' scheduler.
+	EngineOptions = engine.Options
+	// Verdict is one node's decision as streamed by Engine.CheckStream.
+	Verdict = engine.Verdict
+)
+
+// NewEngine builds a default-configured engine for the instance.
+func NewEngine(in *Instance) *Engine { return engine.New(in, engine.Options{}) }
+
+// NewEngineWith builds an engine with an explicit configuration.
+func NewEngineWith(in *Instance, opt EngineOptions) *Engine { return engine.New(in, opt) }
 
 // Built-in schemes (Table 1 of the paper). Each constructor returns a
 // ready-to-use Scheme.
