@@ -1,14 +1,20 @@
 GO ?= go
 
-.PHONY: check build vet test test-short race bench bench-smoke
+.PHONY: check build vet doclint test test-short race bench bench-smoke
 
-check: build vet test
+check: build vet doclint test
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+# doclint fails on packages without a package comment: the package
+# comments are the paper-to-code map (see docs/ARCHITECTURE.md), so a
+# missing one is a documentation regression, not a style nit.
+doclint:
+	$(GO) run ./cmd/doclint $$($(GO) list -f '{{.Dir}}' ./...)
 
 test:
 	$(GO) test ./...
@@ -23,8 +29,9 @@ bench:
 	$(GO) test -run=NONE -bench='BenchmarkAblationViewConstruction|BenchmarkDistributedRuntime|BenchmarkEngineAmortized' -benchmem .
 	$(GO) test -run=NONE -bench=. -benchmem ./internal/dist/
 
-# bench-smoke runs every benchmark exactly once so CI catches benches
-# that no longer compile or fail their own assertions, without paying
-# for a real measurement.
+# bench-smoke runs every benchmark exactly once — including the sharded
+# scheduler benches (BenchmarkSchedulerSharded and the message-passing-
+# sharded ablation) — so CI catches benches that no longer compile or
+# fail their own assertions, without paying for a real measurement.
 bench-smoke:
 	$(GO) test -run=NONE -bench=. -benchtime=1x ./...

@@ -509,4 +509,12 @@ func BenchmarkAblationViewConstruction(b *testing.B) {
 			}
 		}
 	})
+	b.Run("message-passing-sharded", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			res, err := dist.CheckWith(in, proof, v, dist.Options{Sharded: true})
+			if err != nil || !res.Accepted() {
+				b.Fatal("rejected")
+			}
+		}
+	})
 }

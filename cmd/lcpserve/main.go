@@ -43,12 +43,18 @@ func main() {
 	workers := flag.Int("workers", 0, "verification worker pool size (0 = GOMAXPROCS)")
 	shards := flag.Int("shards", 0, "dist runtimes per instance for distributed checks (0 = 1)")
 	freeRunning := flag.Bool("free-running", false, "run dist runtimes without a global round barrier")
+	sharded := flag.Bool("sharded", false, "batch dist nodes onto shared scheduler goroutines instead of one goroutine per node (the throughput layout for large instances)")
+	distShards := flag.Int("dist-shards", 0, "scheduler goroutines per dist runtime in -sharded mode (0 = GOMAXPROCS)")
 	flag.Parse()
 
 	handler := serve.New(lcp.BuiltinSchemes(), engine.Options{
 		Workers: *workers,
 		Shards:  *shards,
-		Dist:    dist.Options{FreeRunning: *freeRunning},
+		Dist: dist.Options{
+			FreeRunning: *freeRunning,
+			Sharded:     *sharded,
+			Shards:      *distShards,
+		},
 	})
 	srv := &http.Server{
 		Addr:              *addr,

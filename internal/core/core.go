@@ -223,20 +223,65 @@ func (p Proof) Truncated(bits int) Proof {
 }
 
 // View is the radius-r neighbourhood (G[v,r], P[v,r], v) a verifier sees.
+//
+// Verifiers must read proof bits through ProofOf (or BallProof when the
+// restriction is needed as a whole) — never the Proof field directly:
+// the field is nil on the engine's cached flat-proof views, where the
+// restriction lives in Flat instead, and a direct read silently sees an
+// empty proof there. The two accessors are identical under both
+// representations; the raw fields are exported for runtimes and tests
+// that construct views, not for verifier logic.
 type View struct {
 	Center    int
 	Radius    int
 	G         *graph.Graph // the induced subgraph G[v,r]
 	Dist      map[int]int  // distance from Center within the ball
-	Proof     Proof        // restricted to the ball
+	Proof     Proof        // restricted to the ball; nil when Flat is set — use ProofOf/BallProof
 	NodeLabel map[int]string
 	EdgeLabel map[graph.Edge]string
 	Weights   map[graph.Edge]int64
 	Global    Global
+	// Flat, when non-nil, is an array-backed proof table for the WHOLE
+	// instance, shared read-only by every view of one check; ProofOf
+	// restricts it to the ball through Dist. Exactly one of Proof and
+	// Flat is set. The engine's cached-skeleton path uses Flat so that
+	// no per-ball proof map is built per node per proof; one-shot views
+	// (BuildView, dist.Collect) carry the restricted map.
+	Flat *FlatProof
 }
 
-// ProofOf returns the proof string of a node in the view (ε if absent).
-func (w *View) ProofOf(v int) bitstr.String { return w.Proof[v] }
+// ProofOf returns the proof string of a node in the view (ε if the node
+// carries no proof or lies outside the ball).
+func (w *View) ProofOf(v int) bitstr.String {
+	if w.Flat != nil {
+		if _, inBall := w.Dist[v]; inBall {
+			return w.Flat.At(v)
+		}
+		return bitstr.String{}
+	}
+	return w.Proof[v]
+}
+
+// BallProof returns the view's proof restriction as a map-backed Proof,
+// whichever representation the view carries, entry-for-entry identical
+// to what BuildView materializes (explicit ε entries included).
+// Verifiers that need the restriction as a value — to re-address it, or
+// to hand it to Restrict for an inner verifier (the §7.1 M2 translation
+// does both) — must use this instead of reading the Proof field, which
+// is nil on the engine's flat-proof views. The result must be treated
+// as read-only: on the map path it aliases the view's own restriction.
+func (w *View) BallProof() Proof {
+	if w.Flat == nil {
+		return w.Proof
+	}
+	p := make(Proof, len(w.Dist))
+	for v := range w.Dist {
+		if s, ok := w.Flat.Entry(v); ok {
+			p[v] = s
+		}
+	}
+	return p
+}
 
 // Label returns the input label of a node in the view.
 func (w *View) Label(v int) string { return w.NodeLabel[v] }

@@ -1,0 +1,72 @@
+package core
+
+import (
+	"lcp/internal/bitstr"
+
+	"lcp/internal/graph"
+)
+
+// FlatProof is a dense, array-backed proof representation: the bit
+// string of node id lives at position g.Index(id) of a flat slice,
+// aligned with g.Nodes().
+//
+// The map-backed Proof is the right shape for provers and adversaries
+// (sparse edits, relabelling, splicing), but the engine's hot path — one
+// proof checked at every node of a cached skeleton — used to restrict
+// the map into a fresh per-ball map for every node of every proof:
+// O(Σ|ball(v)|) allocations and map inserts per check. A FlatProof is
+// loaded once per check in O(n) and then shared read-only by every
+// node's view; the per-node restriction disappears entirely, with ball
+// membership enforced by View.ProofOf against the view's distance map.
+//
+// Presence is tracked separately from the bits so that an explicit ε
+// entry (a node assigned the empty string) survives the representation
+// change: View.BallProof must reproduce exactly the map BuildView would
+// have built, entry-for-entry, not just string-for-string.
+//
+// A FlatProof is mutable via Load and therefore owned by a single check
+// at a time (internal/engine recycles them through a pool); the Views it
+// is attached to must not outlive the check.
+type FlatProof struct {
+	g    *graph.Graph
+	bits []bitstr.String
+	has  []bool
+}
+
+// NewFlatProof allocates an empty flat table aligned with g.Nodes().
+func NewFlatProof(g *graph.Graph) *FlatProof {
+	return &FlatProof{g: g, bits: make([]bitstr.String, g.N()), has: make([]bool, g.N())}
+}
+
+// Load replaces the table contents with p, clearing previous entries.
+// Proof entries addressing nodes outside the graph are ignored, exactly
+// as BuildView ignores them when restricting a map-backed proof.
+func (fp *FlatProof) Load(p Proof) {
+	clear(fp.bits)
+	clear(fp.has)
+	for id, s := range p {
+		if i, ok := fp.g.Lookup(id); ok {
+			fp.bits[i] = s
+			fp.has[i] = true
+		}
+	}
+}
+
+// At returns the proof string of node id (ε for nodes without an entry
+// or outside the graph).
+func (fp *FlatProof) At(id int) bitstr.String {
+	if i, ok := fp.g.Lookup(id); ok {
+		return fp.bits[i]
+	}
+	return bitstr.String{}
+}
+
+// Entry returns the proof string of node id and whether the proof
+// explicitly assigns one — the flat analogue of a map lookup's comma-ok,
+// distinguishing "assigned ε" from "no entry".
+func (fp *FlatProof) Entry(id int) (bitstr.String, bool) {
+	if i, ok := fp.g.Lookup(id); ok && fp.has[i] {
+		return fp.bits[i], true
+	}
+	return bitstr.String{}, false
+}

@@ -71,6 +71,33 @@ func BenchmarkSchedulerTopology(b *testing.B) {
 	}
 }
 
+// BenchmarkSchedulerSharded is the headline scheduler comparison:
+// goroutine-per-node versus the sharded layout on cycles whose node
+// count dwarfs GOMAXPROCS (1023 ≥ 4·GOMAXPROCS on any machine this
+// repo targets). Sharding batches the automata onto O(GOMAXPROCS)
+// goroutines, delivers same-shard messages without channels, and shrinks
+// the round barrier from n participants to one per shard — the ns/op gap
+// to goroutine-per-node is what BENCH_dist.json tracks (acceptance bar:
+// ≥1.3× at n ≥ 4·GOMAXPROCS).
+func BenchmarkSchedulerSharded(b *testing.B) {
+	for _, n := range []int{255, 1023} {
+		in := lcp.NewInstance(lcp.Cycle(n))
+		for _, tc := range []struct {
+			name string
+			opt  dist.Options
+		}{
+			{"goroutine-per-node", dist.Options{}},
+			{"sharded", dist.Options{Sharded: true}},
+			{"sharded-free-running", dist.Options{Sharded: true, FreeRunning: true}},
+		} {
+			b.Run(fmt.Sprintf("cycle-%d/%s", n, tc.name), func(b *testing.B) {
+				b.ReportAllocs()
+				benchCheckWith(b, in, tc.opt)
+			})
+		}
+	}
+}
+
 // BenchmarkNetworkReuse measures what the reusable Network entry point
 // amortizes: "one-shot" pays wiring plus flooding per proof (with the
 // node/record pool recycling allocations across runs), "reused-network"

@@ -1,30 +1,3 @@
-// Package dist is the LOCAL-model runtime for locally checkable proofs
-// (Göös & Suomela, PODC 2011): it executes the verifiers of package core
-// on a synchronous message-passing network with one goroutine per node
-// and one channel per port.
-//
-// Execution follows the model of §2.1 literally. Every node starts
-// knowing only its own identifier, proof string, input labels and
-// incident edges. In each communication round it sends what it learned in
-// the previous round to all neighbours and merges what arrives; after r
-// rounds it has assembled exactly the radius-r view (G[v,r], P[v,r], v)
-// and decides locally. Collect is therefore observationally equivalent to
-// core.BuildView and Check to core.Check — a property the tests assert —
-// but the information only ever travels along edges.
-//
-// Three execution strategies are exposed, matching the three variants
-// benchmarked at the repository root:
-//
-//   - core.Check: sequential BFS views (the reference runner);
-//   - CheckParallelViews: a shared-memory worker pool over BFS views,
-//     sized by GOMAXPROCS — the fast path when the whole instance lives
-//     in one address space;
-//   - Check: the full goroutine-per-node message-passing runtime.
-//
-// The scheduler is tunable via Options: a bounded fan-out for the local
-// decision phase, a reusable round barrier (or free-running
-// α-synchronization via per-port message counting), and per-port,
-// per-round message buffers.
 package dist
 
 import (
@@ -37,14 +10,27 @@ import (
 )
 
 // Options tunes the runtime's scheduler. The zero value is the default
-// configuration used by Check, Collect and CheckParallelViews.
+// configuration used by Check, Collect and CheckParallelViews: one
+// goroutine per node in lockstep.
 type Options struct {
+	// Sharded batches the node automata onto Shards shared worker
+	// goroutines instead of one goroutine per node. Same-shard message
+	// delivery is a direct merge into the neighbour's automaton (no
+	// channel); only cross-shard edges keep their ports. Verdicts are
+	// identical to the goroutine-per-node layout; the trade is model
+	// fidelity (n independent processors) against scheduler pressure
+	// once n ≫ GOMAXPROCS. See shard.go.
+	Sharded bool
+	// Shards is the number of shard goroutines in sharded mode, capped
+	// at the node count. 0 means GOMAXPROCS. Ignored unless Sharded.
+	Shards int
 	// Fanout bounds how many nodes may run their local decision (view
 	// assembly + verifier call) concurrently once flooding has finished.
 	// The network itself keeps one goroutine per node regardless; the
 	// bound only throttles the CPU-heavy phase so n goroutines do not
 	// thrash the scheduler. 0 means GOMAXPROCS; negative means
-	// unbounded.
+	// unbounded. In sharded mode the option is moot: decision
+	// concurrency is the shard count by construction.
 	Fanout int
 	// PortBuffer is the capacity of each port channel, in round
 	// batches. 0 picks the default: 1 in lockstep mode (a batch is
@@ -56,11 +42,23 @@ type Options struct {
 	// aligned only by per-port message counting (each node sends and
 	// receives exactly one batch per port per round), the classic
 	// α-synchronizer. Verdicts are identical; the trade is barrier
-	// latency against per-round buffer reuse.
+	// latency against per-round buffer reuse. In sharded mode the
+	// counting happens at shard granularity: adjacent shards skew by at
+	// most one round.
 	FreeRunning bool
 	// Workers sizes the CheckParallelViews worker pool. 0 means
 	// GOMAXPROCS.
 	Workers int
+	// DecideOnly restricts the decision phase to the listed nodes: every
+	// node still floods (carriers are part of the communication graph
+	// and must forward records), but only the listed ones assemble views
+	// and run the verifier, and only they appear in the Result. nil
+	// means every node decides. The engine's halo shards use this so the
+	// halo-only carrier nodes — whose views are clipped at the halo
+	// boundary and whose verdicts would be discarded anyway — never pay
+	// verifier work (and can never fail a run by panicking on a clipped
+	// view). Unknown identifiers are ignored.
+	DecideOnly []int
 }
 
 func (o Options) fanout() int {
@@ -91,6 +89,47 @@ func (o Options) workers() int {
 	return runtime.GOMAXPROCS(0)
 }
 
+// shardCount resolves the shard goroutine count for an n-node network:
+// 0 when sharding is off, otherwise at least 1 and at most n.
+func (o Options) shardCount(n int) int {
+	if !o.Sharded || n == 0 {
+		return 0
+	}
+	s := o.Shards
+	if s <= 0 {
+		s = runtime.GOMAXPROCS(0)
+	}
+	if s > n {
+		s = n
+	}
+	if s < 1 {
+		s = 1
+	}
+	return s
+}
+
+// SplitRanges partitions n items into at most parts contiguous [lo, hi)
+// ranges of near-equal size; nil when parts <= 0 or n == 0. It is the
+// shared partitioner behind every contiguous-range scheduler in the
+// repository: the shard assignment of this package's sharded layout and
+// the worker/halo sharding of internal/engine.
+func SplitRanges(n, parts int) [][2]int {
+	if parts > n {
+		parts = n
+	}
+	if parts <= 0 || n == 0 {
+		return nil
+	}
+	out := make([][2]int, 0, parts)
+	lo := 0
+	for i := 0; i < parts; i++ {
+		hi := lo + (n-lo)/(parts-i)
+		out = append(out, [2]int{lo, hi})
+		lo = hi
+	}
+	return out
+}
+
 // nodeVerdict is one node's contribution to the run result.
 type nodeVerdict struct {
 	id  int
@@ -107,7 +146,9 @@ func Check(in *core.Instance, p core.Proof, v core.Verifier) (*core.Result, erro
 	return CheckWith(in, p, v, Options{})
 }
 
-// CheckWith is Check with an explicit scheduler configuration.
+// CheckWith is Check with an explicit scheduler configuration —
+// including Options.Sharded, which runs the same protocol on shared
+// shard goroutines instead of one goroutine per node.
 func CheckWith(in *core.Instance, p core.Proof, v core.Verifier, opt Options) (*core.Result, error) {
 	if in == nil || in.G == nil {
 		return nil, fmt.Errorf("dist: nil instance")
@@ -143,24 +184,7 @@ func CollectWith(in *core.Instance, p core.Proof, center, radius int, opt Option
 	for _, nd := range net.nodes {
 		nd.seed(p)
 	}
-	rounds := radius
-	if rounds < 0 {
-		rounds = 0
-	}
-	views := make(chan *core.View, 1)
-	var wg sync.WaitGroup
-	for _, nd := range net.nodes {
-		wg.Add(1)
-		go func(nd *node) {
-			defer wg.Done()
-			nd.flood(rounds, net.bar)
-			if nd.id == center {
-				views <- nd.assemble(in, radius)
-			}
-		}(nd)
-	}
-	wg.Wait()
-	v := <-views
+	v := net.collect(in, center, radius)
 	net.release()
 	return v
 }

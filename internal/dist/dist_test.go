@@ -141,6 +141,9 @@ func TestCollectSchedulerVariants(t *testing.T) {
 		{FreeRunning: true, PortBuffer: 1}, // backpressure: sends may block, must still terminate
 		{Fanout: 1},
 		{Fanout: -1},
+		{Sharded: true},
+		{Sharded: true, Shards: 4},
+		{Sharded: true, Shards: 4, FreeRunning: true},
 	} {
 		got := dist.CollectWith(in, p, want.Center, 2, opt)
 		viewsEqual(t, fmt.Sprintf("opts=%+v", opt), got, want)
@@ -162,8 +165,10 @@ func resultsEqual(t *testing.T, ctx string, got, want *core.Result) {
 	}
 }
 
-// checkAllRunners runs the three execution strategies and demands
-// identical results.
+// checkAllRunners runs every execution strategy — sequential reference,
+// goroutine-per-node message passing, sharded message passing (several
+// shard counts, so shard boundaries fall inside the instance), and the
+// parallel shared-view pool — and demands identical results.
 func checkAllRunners(t *testing.T, ctx string, in *core.Instance, p core.Proof, v core.Verifier) {
 	t.Helper()
 	want := core.Check(in, p, v)
@@ -172,6 +177,16 @@ func checkAllRunners(t *testing.T, ctx string, in *core.Instance, p core.Proof, 
 		t.Fatalf("%s: dist.Check: %v", ctx, err)
 	}
 	resultsEqual(t, ctx+" [message-passing]", got, want)
+	for _, opt := range []dist.Options{
+		{Sharded: true},            // GOMAXPROCS shards
+		{Sharded: true, Shards: 3}, // cross-shard ports guaranteed for n > 3
+	} {
+		sres, err := dist.CheckWith(in, p, v, opt)
+		if err != nil {
+			t.Fatalf("%s: sharded shards=%d: %v", ctx, opt.Shards, err)
+		}
+		resultsEqual(t, fmt.Sprintf("%s [sharded shards=%d]", ctx, opt.Shards), sres, want)
+	}
 	resultsEqual(t, ctx+" [parallel-views]", dist.CheckParallelViews(in, p, v), want)
 }
 
@@ -231,6 +246,11 @@ func TestCheckSchedulerVariants(t *testing.T) {
 		{Fanout: -1},
 		{Workers: 1},
 		{Workers: 3},
+		{Sharded: true},
+		{Sharded: true, Shards: 1},
+		{Sharded: true, Shards: 5},
+		{Sharded: true, Shards: 5, FreeRunning: true},
+		{Sharded: true, Shards: 5, FreeRunning: true, PortBuffer: 1},
 	} {
 		got, err := dist.CheckWith(in, p, v, opt)
 		if err != nil {

@@ -1,0 +1,48 @@
+// Package dist is the LOCAL-model runtime for locally checkable proofs
+// (Göös & Suomela, PODC 2011): it executes the verifiers of package core
+// on a synchronous message-passing network.
+//
+// Execution follows the model of §2.1 literally. Every node starts
+// knowing only its own identifier, proof string, input labels and
+// incident edges. In each communication round it sends what it learned in
+// the previous round to all neighbours and merges what arrives; after r
+// rounds it has assembled exactly the radius-r view (G[v,r], P[v,r], v)
+// and decides locally. Collect is therefore observationally equivalent to
+// core.BuildView and Check to core.Check — a property the tests assert —
+// but the information only ever travels along edges.
+//
+// Two execution layouts run the same protocol:
+//
+//   - goroutine-per-node (the default): one goroutine per node, one
+//     channel per directed port — the faithful reading of "a network of
+//     independent processors";
+//   - sharded (Options.Sharded): the node automata are batched onto
+//     O(GOMAXPROCS) shard goroutines; same-shard delivery is a direct
+//     merge with no channel, only cross-shard edges keep ports, and the
+//     round barrier shrinks from n participants to one per shard. This
+//     is the throughput layout once n ≫ GOMAXPROCS.
+//
+// Together with the shared-memory foils that sidestep message passing
+// entirely, four execution strategies are benchmarked at the repository
+// root (BenchmarkAblationViewConstruction):
+//
+//   - core.Check: sequential BFS views (the reference runner);
+//   - CheckParallelViews: a worker pool over BFS views, sized by
+//     GOMAXPROCS — the fast path when the whole instance lives in one
+//     address space;
+//   - Check: the goroutine-per-node message-passing runtime;
+//   - CheckWith{Sharded: true}: the sharded message-passing runtime.
+//
+// The scheduler is tunable via Options: sharding (count and on/off), a
+// bounded fan-out for the local decision phase, a reusable round barrier
+// (or free-running α-synchronization via per-port message counting), and
+// per-port, per-round message buffers. The reusable Network type wires a
+// network once per instance and re-checks it against many proofs; it
+// keeps a small pool of wirings so concurrent checks do not serialize.
+//
+// Regardless of layout, each node assembles its view incrementally: the
+// induced edges of the ball are collected as records arrive (see
+// node.learn) and the ball graph is frozen through graph.FromParts, so
+// the per-node induced-subgraph rebuild that used to dominate the
+// decision phase is amortized into the flooding rounds.
+package dist

@@ -10,12 +10,19 @@ import (
 	"lcp/internal/graph"
 )
 
-// The message-passing machinery: a network of one goroutine per node,
-// channels as ports, and round-synchronized flooding that assembles each
-// node's radius-r view incrementally. Nothing in this file calls
-// core.BuildView — views are reconstructed purely from what arrived over
-// the wires (plus the globally known input, which the model hands to
-// every node up front).
+// The message-passing machinery: a network of node automata, channels as
+// ports, and round-synchronized flooding that assembles each node's
+// radius-r view incrementally. Nothing in this file calls core.BuildView
+// — views are reconstructed purely from what arrived over the wires
+// (plus the globally known input, which the model hands to every node up
+// front).
+//
+// Two execution layouts share the automata. In goroutine-per-node mode
+// every node runs on its own goroutine and every directed port is a
+// channel. In sharded mode (Options.Sharded) the nodes are batched onto
+// a small number of shard goroutines; delivery between same-shard nodes
+// is a direct merge into the neighbour's automaton — no channel — and
+// only cross-shard edges keep their ports. See shard.go.
 
 // record is the unit of knowledge flooded through the network: everything
 // a single node knows at round 0 — its identifier, proof string, input
@@ -80,14 +87,25 @@ func initialRecord(in *core.Instance, v int, buf []edgeRec) record {
 	return rec
 }
 
-// node is the per-goroutine automaton state.
+// node is the per-automaton state: the unit of execution in
+// goroutine-per-node mode, one entry of a shard's work list in sharded
+// mode.
 type node struct {
-	id    int
-	base  record         // round-0 knowledge minus the proof (constant across runs)
-	in    []<-chan batch // one port per communication neighbour
-	out   []chan<- batch
-	known map[int]record // id -> record, everything learned so far
-	dist  map[int]int    // id -> round of first arrival (= BFS distance)
+	id      int
+	carrier bool           // floods but never decides (Options.DecideOnly)
+	base    record         // round-0 knowledge minus the proof (constant across runs)
+	in      []<-chan batch // one port per cross-shard communication neighbour
+	out     []chan<- batch
+	local   []*node        // sharded mode: same-shard neighbours, merged into directly
+	known   map[int]record // id -> record, everything learned so far
+	dist    map[int]int    // id -> round of first arrival (= BFS distance)
+	// indEdges accumulates the ball's induced edges incrementally: an
+	// edge is appended exactly once, the moment the record of its second
+	// endpoint merges (both endpoints report every incident edge, so the
+	// later arrival finds the earlier one in known). assemble therefore
+	// never rescans the knowledge map for edges, which used to dominate
+	// the per-node view rebuild.
+	indEdges []edgeRec
 	// cur is the batch to send this round (learned last round); next
 	// accumulates this round's discoveries. The two swap every round so
 	// message buffers are reused instead of reallocated (safe in
@@ -124,6 +142,7 @@ func (nd *node) seed(p core.Proof) {
 	clear(nd.dist)
 	nd.known[nd.id] = rec
 	nd.dist[nd.id] = 0
+	nd.indEdges = nd.indEdges[:0]
 	nd.cur = append(nd.cur[:0], rec)
 	nd.next = nd.next[:0]
 }
@@ -134,22 +153,55 @@ func (nd *node) seed(p core.Proof) {
 func (nd *node) release() {
 	clear(nd.known)
 	clear(nd.dist)
+	clear(nd.indEdges)
+	nd.indEdges = nd.indEdges[:0]
 	clear(nd.cur)
 	clear(nd.next)
 	nd.cur, nd.next = nd.cur[:0], nd.next[:0]
 	clear(nd.in)
 	clear(nd.out)
 	nd.in, nd.out = nd.in[:0], nd.out[:0]
+	clear(nd.local)
+	nd.local = nd.local[:0]
+	nd.carrier = false
 	nodePool.Put(nd)
 }
 
+// merge folds one received batch into the automaton: first arrivals are
+// learned, duplicates (the same record racing in over several ports)
+// are dropped.
+func (nd *node) merge(b batch, round int) {
+	for _, rec := range b {
+		if _, seen := nd.known[rec.id]; !seen {
+			nd.learn(rec, round)
+		}
+	}
+}
+
+// learn records a first arrival: the record joins the knowledge maps and
+// the next outgoing batch, and every incident edge whose other endpoint
+// is already known joins the induced edge list. Each induced edge is
+// reported by both endpoints and arrivals are sequential per automaton,
+// so exactly the second endpoint's merge appends it — no dedupe map.
+func (nd *node) learn(rec record, round int) {
+	nd.known[rec.id] = rec
+	nd.dist[rec.id] = round
+	nd.next = append(nd.next, rec)
+	for _, er := range rec.edges {
+		other := er.e.U + er.e.V - rec.id
+		if _, inBall := nd.known[other]; inBall && other != rec.id {
+			nd.indEdges = append(nd.indEdges, er)
+		}
+	}
+}
+
 // flood runs the synchronous flooding protocol for the given number of
-// rounds. Each round: send the previous round's discoveries on every
-// port, receive exactly one batch per port, merge first-arrivals. When
-// bar is non-nil every round ends at the reusable global barrier; when
-// nil, per-port message counting alone keeps rounds aligned
-// (α-synchronization), and batches are freshly allocated because a slow
-// receiver may still hold the previous round's slice.
+// rounds on a dedicated goroutine. Each round: send the previous round's
+// discoveries on every port, receive exactly one batch per port, merge
+// first-arrivals. When bar is non-nil every round ends at the reusable
+// global barrier; when nil, per-port message counting alone keeps rounds
+// aligned (α-synchronization), and batches are freshly allocated because
+// a slow receiver may still hold the previous round's slice.
 func (nd *node) flood(rounds int, bar *barrier) {
 	for r := 1; r <= rounds; r++ {
 		for _, port := range nd.out {
@@ -162,13 +214,7 @@ func (nd *node) flood(rounds int, bar *barrier) {
 			nd.next = nil
 		}
 		for _, port := range nd.in {
-			for _, rec := range <-port {
-				if _, seen := nd.known[rec.id]; !seen {
-					nd.known[rec.id] = rec
-					nd.dist[rec.id] = r
-					nd.next = append(nd.next, rec)
-				}
-			}
+			nd.merge(<-port, r)
 		}
 		nd.cur, nd.next = nd.next, nd.cur
 		if bar != nil {
@@ -181,7 +227,10 @@ func (nd *node) flood(rounds int, bar *barrier) {
 // instance is consulted only for model-level conventions that every node
 // knows a priori: the graph kind, the globally shared input in.Global,
 // and whether the instance carries node/edge labellings at all (the
-// nil-map conventions BuildView mirrors into the view).
+// nil-map conventions BuildView mirrors into the view). The ball graph
+// is frozen through graph.FromParts — the sorted id list plus the
+// incrementally collected induced edges — instead of a Builder, so the
+// per-node rebuild no longer pays for node/edge dedupe maps.
 func (nd *node) assemble(in *core.Instance, radius int) *core.View {
 	ids := make([]int, 0, len(nd.known))
 	for id := range nd.known {
@@ -189,33 +238,15 @@ func (nd *node) assemble(in *core.Instance, radius int) *core.View {
 	}
 	sort.Ints(ids)
 
-	b := graph.NewBuilder(in.G.Kind())
-	for _, id := range ids {
-		b.AddNode(id)
-	}
-	// Collect the induced edges: every incident edge reported by a ball
-	// member whose other endpoint is also in the ball. Both endpoints
-	// report each edge, so dedupe on the edge key.
-	kept := make(map[graph.Edge]edgeRec)
-	for _, id := range ids {
-		for _, er := range nd.known[id].edges {
-			if _, inBallU := nd.known[er.e.U]; !inBallU {
-				continue
-			}
-			if _, inBallV := nd.known[er.e.V]; !inBallV {
-				continue
-			}
-			if _, dup := kept[er.e]; !dup {
-				kept[er.e] = er
-				b.AddEdge(er.e.U, er.e.V)
-			}
-		}
+	edges := make([]graph.Edge, len(nd.indEdges))
+	for i, er := range nd.indEdges {
+		edges[i] = er.e
 	}
 
 	w := &core.View{
 		Center: nd.id,
 		Radius: radius,
-		G:      b.Graph(),
+		G:      graph.FromParts(in.G.Kind(), ids, edges),
 		Dist:   make(map[int]int, len(nd.dist)),
 		Proof:  make(core.Proof, len(ids)),
 		Global: in.Global,
@@ -240,45 +271,83 @@ func (nd *node) assemble(in *core.Instance, radius int) *core.View {
 	if in.EdgeLabel != nil || in.Weights != nil {
 		w.EdgeLabel = make(map[graph.Edge]string)
 		w.Weights = make(map[graph.Edge]int64)
-		for e, er := range kept {
+		for _, er := range nd.indEdges {
 			if er.hasLabel {
-				w.EdgeLabel[e] = er.label
+				w.EdgeLabel[er.e] = er.label
 			}
 			if er.hasWeight {
-				w.Weights[e] = er.weight
+				w.Weights[er.e] = er.weight
 			}
 		}
 	}
 	return w
 }
 
-// network wires one node automaton per graph vertex with a dedicated
-// channel per directed port (u → v for every communication edge). The
-// wiring is proof-free: each run seeds the nodes with the proof under
-// test, so one network serves arbitrarily many proofs.
+// network wires one node automaton per graph vertex. In
+// goroutine-per-node mode every directed port (u → v for every
+// communication edge) is a dedicated channel; in sharded mode the nodes
+// are additionally partitioned into shard work lists and only
+// cross-shard ports get channels. The wiring is proof-free: each run
+// seeds the nodes with the proof under test, so one network serves
+// arbitrarily many proofs.
 type network struct {
-	nodes []*node
-	bar   *barrier // nil in free-running mode
+	nodes    []*node
+	deciders int       // nodes that assemble + verify (all unless DecideOnly)
+	shards   [][]*node // non-nil iff Options.Sharded; partition of nodes
+	bar      *barrier  // nil in free-running mode
 }
 
 func buildNetwork(in *core.Instance, opt Options) *network {
 	ids := in.G.Nodes()
-	net := &network{nodes: make([]*node, len(ids))}
+	net := &network{nodes: make([]*node, len(ids)), deciders: len(ids)}
 	byID := make(map[int]*node, len(ids))
 	for i, id := range ids {
 		net.nodes[i] = newNode(in, id)
 		byID[id] = net.nodes[i]
 	}
+	if opt.DecideOnly != nil {
+		for _, nd := range net.nodes {
+			nd.carrier = true
+		}
+		net.deciders = 0
+		for _, id := range opt.DecideOnly {
+			if nd := byID[id]; nd != nil && nd.carrier {
+				nd.carrier = false
+				net.deciders++
+			}
+		}
+	}
+	// shardOf[i] is the shard owning ids[i]; nil when not sharded.
+	var shardOf []int
+	if groups := SplitRanges(len(ids), opt.shardCount(len(ids))); groups != nil {
+		shardOf = make([]int, len(ids))
+		net.shards = make([][]*node, len(groups))
+		for s, r := range groups {
+			net.shards[s] = net.nodes[r[0]:r[1]]
+			for i := r[0]; i < r[1]; i++ {
+				shardOf[i] = s
+			}
+		}
+	}
 	buf := opt.portBuffer()
-	for _, nd := range net.nodes {
+	for i, nd := range net.nodes {
 		for _, w := range in.G.UndirectedNeighbors(nd.id) {
+			if shardOf != nil && shardOf[in.G.Index(w)] == shardOf[i] {
+				// Same shard: deliver by direct merge, no channel.
+				nd.local = append(nd.local, byID[w])
+				continue
+			}
 			ch := make(chan batch, buf)
 			nd.out = append(nd.out, ch)
 			byID[w].in = append(byID[w].in, ch)
 		}
 	}
 	if !opt.FreeRunning {
-		net.bar = newBarrier(len(ids))
+		participants := len(ids)
+		if net.shards != nil {
+			participants = len(net.shards)
+		}
+		net.bar = newBarrier(participants)
 	}
 	return net
 }
@@ -290,14 +359,16 @@ func (net *network) release() {
 		nd.release()
 	}
 	net.nodes = nil
+	net.shards = nil
 }
 
 // run executes one complete verification pass: seed every node with the
-// proof, flood for the verifier's radius, assemble views, decide. The
-// network is reusable immediately afterwards — all ports are drained
-// when the verdicts are in.
+// proof, flood for the verifier's radius, assemble views, decide. Every
+// worker goroutine — including carriers, which report no verdict — is
+// joined before returning, so the network is reusable (or releasable)
+// immediately afterwards: all ports are drained and no goroutine of
+// this run still touches a node automaton.
 func (net *network) run(in *core.Instance, p core.Proof, v core.Verifier, opt Options) (*core.Result, error) {
-	res := &core.Result{Outputs: make(map[int]bool, len(net.nodes))}
 	radius := v.Radius()
 	rounds := radius
 	if rounds < 0 {
@@ -306,38 +377,102 @@ func (net *network) run(in *core.Instance, p core.Proof, v core.Verifier, opt Op
 	for _, nd := range net.nodes {
 		nd.seed(p)
 	}
-	verdicts := make(chan nodeVerdict, len(net.nodes))
-	var sem chan struct{}
-	if k := opt.fanout(); k > 0 {
-		sem = make(chan struct{}, k)
+	// Deciders never block sending: the channel holds every verdict.
+	verdicts := make(chan nodeVerdict, net.deciders)
+	var wg sync.WaitGroup
+	if net.shards != nil {
+		net.runSharded(in, radius, rounds, v, verdicts, &wg)
+	} else {
+		net.runPerNode(in, radius, rounds, v, opt, verdicts, &wg)
 	}
-	for _, nd := range net.nodes {
-		go func(nd *node) {
-			nd.flood(rounds, net.bar)
-			if sem != nil {
-				sem <- struct{}{}
-				defer func() { <-sem }()
-			}
-			out := nodeVerdict{id: nd.id}
-			defer func() {
-				if r := recover(); r != nil {
-					out.err = fmt.Errorf("dist: verifier panicked at node %d: %v", nd.id, r)
-				}
-				verdicts <- out
-			}()
-			out.ok = v.Verify(nd.assemble(in, radius))
-		}(nd)
-	}
+	res := &core.Result{Outputs: make(map[int]bool, net.deciders)}
 	var firstErr error
-	for range net.nodes {
+	for i := 0; i < net.deciders; i++ {
 		nv := <-verdicts
 		if nv.err != nil && firstErr == nil {
 			firstErr = nv.err
 		}
 		res.Outputs[nv.id] = nv.ok
 	}
+	wg.Wait()
 	if firstErr != nil {
 		return nil, firstErr
 	}
 	return res, nil
+}
+
+// runPerNode is the goroutine-per-node execution layout: every automaton
+// floods and decides on its own goroutine, with the decision phase
+// throttled by the fan-out semaphore.
+func (net *network) runPerNode(in *core.Instance, radius, rounds int, v core.Verifier, opt Options, verdicts chan<- nodeVerdict, wg *sync.WaitGroup) {
+	var sem chan struct{}
+	if k := opt.fanout(); k > 0 {
+		sem = make(chan struct{}, k)
+	}
+	wg.Add(len(net.nodes))
+	for _, nd := range net.nodes {
+		go func(nd *node) {
+			defer wg.Done()
+			nd.flood(rounds, net.bar)
+			if nd.carrier {
+				return
+			}
+			if sem != nil {
+				sem <- struct{}{}
+				defer func() { <-sem }()
+			}
+			verdicts <- decide(nd, in, radius, v)
+		}(nd)
+	}
+}
+
+// decide assembles one node's view and runs the verifier, converting a
+// verifier panic into a per-node error instead of killing the process.
+func decide(nd *node, in *core.Instance, radius int, v core.Verifier) (out nodeVerdict) {
+	out.id = nd.id
+	defer func() {
+		if r := recover(); r != nil {
+			out.err = fmt.Errorf("dist: verifier panicked at node %d: %v", nd.id, r)
+		}
+	}()
+	out.ok = v.Verify(nd.assemble(in, radius))
+	return out
+}
+
+// collect floods the already-seeded network and assembles the view of
+// center. It is Collect's engine under both execution layouts.
+func (net *network) collect(in *core.Instance, center, radius int) *core.View {
+	rounds := radius
+	if rounds < 0 {
+		rounds = 0
+	}
+	var view *core.View
+	var wg sync.WaitGroup
+	if net.shards != nil {
+		for _, group := range net.shards {
+			wg.Add(1)
+			go func(group []*node) {
+				defer wg.Done()
+				floodShard(group, rounds, net.bar)
+				for _, nd := range group {
+					if nd.id == center {
+						view = nd.assemble(in, radius)
+					}
+				}
+			}(group)
+		}
+	} else {
+		for _, nd := range net.nodes {
+			wg.Add(1)
+			go func(nd *node) {
+				defer wg.Done()
+				nd.flood(rounds, net.bar)
+				if nd.id == center {
+					view = nd.assemble(in, radius)
+				}
+			}(nd)
+		}
+	}
+	wg.Wait()
+	return view
 }

@@ -1,0 +1,102 @@
+package dist
+
+import (
+	"sync"
+
+	"lcp/internal/core"
+)
+
+// The sharded execution layout. A goroutine per node is the faithful
+// reading of the LOCAL model, but once n ≫ GOMAXPROCS the runtime spends
+// its time parking goroutines and tripping an n-participant barrier
+// rather than flooding. Sharded mode batches the node automata onto
+// O(GOMAXPROCS) shard goroutines: each shard steps all of its nodes
+// through one communication round together, delivering same-shard
+// messages by a direct merge into the neighbour's automaton (no channel)
+// and using ports only across shard boundaries. The barrier shrinks from
+// n participants to one per shard.
+//
+// The round semantics are unchanged, which is what keeps verdicts
+// identical to the goroutine-per-node layout (and hence to core.Check):
+// within a round every automaton's outgoing batch (cur) is frozen before
+// any delivery happens, so a merge can never leak round-r knowledge into
+// a round-r send. A round runs in four strict phases per shard —
+//
+//	1. send cur on every cross-shard port (non-blocking: each port has a
+//	   free slot by the time the round starts);
+//	2. rewind every owned node's next buffer;
+//	3. deliver cur to same-shard neighbours by direct merge, then
+//	   receive exactly one batch per cross-shard in-port and merge;
+//	4. swap cur/next everywhere and hit the shard barrier.
+//
+// Phases 1–3 only read cur buffers, and a batch sent over a port is
+// drained by the receiving shard before it reaches its own barrier, so
+// lockstep mode reuses batch buffers exactly like the per-node layout.
+// Free-running mode works too: shards align by per-port message
+// counting, adjacent shards skew by at most one round, and the default
+// two-slot port buffer keeps sends wait-free.
+
+// runSharded fans the verdict work out by shard: every shard goroutine
+// floods its node range and then assembles and verifies each owned node
+// in place. The decision fan-out option is moot here — decision
+// concurrency is the shard count by construction.
+func (net *network) runSharded(in *core.Instance, radius, rounds int, v core.Verifier, verdicts chan<- nodeVerdict, wg *sync.WaitGroup) {
+	wg.Add(len(net.shards))
+	for _, group := range net.shards {
+		go func(group []*node) {
+			defer wg.Done()
+			floodShard(group, rounds, net.bar)
+			for _, nd := range group {
+				if nd.carrier {
+					continue
+				}
+				verdicts <- decide(nd, in, radius, v)
+			}
+		}(group)
+	}
+}
+
+// floodShard steps every node of one shard through the flooding
+// protocol, one communication round at a time. bar is the shard-level
+// barrier (nil in free-running mode).
+func floodShard(group []*node, rounds int, bar *barrier) {
+	for r := 1; r <= rounds; r++ {
+		// Phase 1: cross-shard sends. cur buffers are frozen for the
+		// whole delivery phase, mirroring "every node sends what it
+		// learned last round" of the synchronous model.
+		for _, nd := range group {
+			for _, port := range nd.out {
+				port <- nd.cur
+			}
+		}
+		// Phase 2: rewind the accumulation buffers before any merge of
+		// this round can append to them.
+		for _, nd := range group {
+			if bar != nil {
+				nd.next = nd.next[:0]
+			} else {
+				nd.next = nil
+			}
+		}
+		// Phase 3: same-shard delivery by direct merge, then cross-shard
+		// receives. Merges mutate known/dist/next/indEdges only — never
+		// a cur buffer — so ordering within the phase is irrelevant.
+		for _, nd := range group {
+			for _, nb := range nd.local {
+				nb.merge(nd.cur, r)
+			}
+		}
+		for _, nd := range group {
+			for _, port := range nd.in {
+				nd.merge(<-port, r)
+			}
+		}
+		// Phase 4: everything learned this round becomes the next send.
+		for _, nd := range group {
+			nd.cur, nd.next = nd.next, nd.cur
+		}
+		if bar != nil {
+			bar.await()
+		}
+	}
+}

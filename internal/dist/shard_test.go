@@ -1,0 +1,228 @@
+package dist_test
+
+// Edge-case tests for the sharded scheduler. The catalog-wide
+// verdict-identity property lives in dist_test.go (checkAllRunners runs
+// sharded mode alongside every other strategy); this file pins down the
+// degenerate configurations where the shard partition itself could go
+// wrong: more shards than nodes, a single shard (no channels at all),
+// isolated nodes, empty port sets, and panic recovery inside a shard
+// worker.
+
+import (
+	"fmt"
+	"testing"
+
+	"lcp"
+	"lcp/internal/core"
+	"lcp/internal/dist"
+)
+
+// TestShardedMoreShardsThanNodes: the shard count clamps to n, leaving
+// some requested shards empty-handed rather than wedging the barrier.
+func TestShardedMoreShardsThanNodes(t *testing.T) {
+	in := core.NewInstance(lcp.Cycle(5))
+	scheme := lcp.OddNScheme()
+	p, err := scheme.Prove(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := scheme.Verifier()
+	want := core.Check(in, p, v)
+	for _, shards := range []int{5, 6, 99} {
+		got, err := dist.CheckWith(in, p, v, dist.Options{Sharded: true, Shards: shards})
+		if err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		resultsEqual(t, fmt.Sprintf("shards=%d", shards), got, want)
+	}
+}
+
+// TestShardedSingleShardDegenerate: one shard means zero channels — the
+// whole protocol degenerates to a sequential sweep on one goroutine —
+// and the verdicts still match the reference exactly.
+func TestShardedSingleShardDegenerate(t *testing.T) {
+	in := core.NewInstance(lcp.Grid(4, 4))
+	p := core.RandomProof(in, 6, 3)
+	v := lcp.OddNScheme().Verifier()
+	want := core.Check(in, p, v)
+	got, err := dist.CheckWith(in, p, v, dist.Options{Sharded: true, Shards: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resultsEqual(t, "single-shard", got, want)
+	// Collect in the same degenerate mode.
+	center := in.G.Nodes()[5]
+	viewsEqual(t, "single-shard collect",
+		dist.CollectWith(in, p, center, 2, dist.Options{Sharded: true, Shards: 1}),
+		core.BuildView(in, p, center, 2))
+}
+
+// TestShardedIsolatedNodes: nodes with no edges have no ports and no
+// local neighbours in any partition; they must still decide (and their
+// empty radius-r balls must not stall any barrier phase).
+func TestShardedIsolatedNodes(t *testing.T) {
+	b := lcp.NewBuilder()
+	b.AddPath(1, 2, 3, 4)
+	b.AddNode(7) // isolated
+	b.AddNode(9) // isolated
+	in := core.NewInstance(b.Graph())
+	p := core.RandomProof(in, 4, 1)
+	v := core.VerifierFunc{R: 2, F: func(w *core.View) bool {
+		// A degree-0 center must see a singleton ball: any record leaking
+		// into an isolated node's view flips its verdict to reject.
+		if w.Degree(w.Center) == 0 {
+			return w.G.N() == 1
+		}
+		return w.G.N() >= 2
+	}}
+	want := core.Check(in, p, v)
+	for _, shards := range []int{1, 2, 3, 6, 10} {
+		got, err := dist.CheckWith(in, p, v, dist.Options{Sharded: true, Shards: shards})
+		if err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		resultsEqual(t, fmt.Sprintf("isolated shards=%d", shards), got, want)
+	}
+	// An all-isolated graph: no edges anywhere.
+	b2 := lcp.NewBuilder()
+	for i := 1; i <= 6; i++ {
+		b2.AddNode(i)
+	}
+	iso := core.NewInstance(b2.Graph())
+	want = core.Check(iso, nil, v)
+	got, err := dist.CheckWith(iso, nil, v, dist.Options{Sharded: true, Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resultsEqual(t, "all-isolated", got, want)
+}
+
+// TestShardedDisconnectedAcrossShardBoundary: components split across
+// shard boundaries exchange nothing, and flooding never leaks across
+// components even when both live partly in the same shard.
+func TestShardedDisconnectedAcrossShardBoundary(t *testing.T) {
+	g := lcp.DisjointUnion(lcp.Cycle(6), lcp.Cycle(7).ShiftIDs(10))
+	in := core.NewInstance(g)
+	p := core.RandomProof(in, 4, 2)
+	v := lcp.OddNScheme().Verifier()
+	want := core.Check(in, p, v)
+	for _, shards := range []int{2, 3, 5} {
+		got, err := dist.CheckWith(in, p, v, dist.Options{Sharded: true, Shards: shards})
+		if err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		resultsEqual(t, fmt.Sprintf("disconnected shards=%d", shards), got, want)
+	}
+}
+
+// TestShardedRecoversVerifierPanic: a panic while deciding one node of a
+// shard surfaces as an error and the remaining nodes still report.
+func TestShardedRecoversVerifierPanic(t *testing.T) {
+	in := core.NewInstance(lcp.Cycle(12))
+	v := core.VerifierFunc{R: 1, F: func(w *core.View) bool {
+		if w.Center == 5 {
+			panic("node 5 misbehaves")
+		}
+		return true
+	}}
+	if _, err := dist.CheckWith(in, core.Proof{}, v, dist.Options{Sharded: true, Shards: 3}); err == nil {
+		t.Error("want panic surfaced as error")
+	}
+}
+
+// TestShardedNetworkReuse: a reusable Network in sharded mode serves
+// many proofs, and concurrent checks (which draw extra wirings from the
+// pool) all match the reference.
+func TestShardedNetworkReuse(t *testing.T) {
+	in := core.NewInstance(lcp.Cycle(19))
+	scheme := lcp.OddNScheme()
+	p, err := scheme.Prove(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := scheme.Verifier()
+	nw, err := dist.NewNetwork(in, dist.Options{Sharded: true, Shards: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nw.Close()
+	for i := 0; i < 8; i++ {
+		proof := p
+		if i%2 == 1 {
+			proof = core.FlipBit(p, int64(i))
+		}
+		got, err := nw.Check(proof, v)
+		if err != nil {
+			t.Fatalf("run %d: %v", i, err)
+		}
+		resultsEqual(t, fmt.Sprintf("reuse run %d", i), got, core.Check(in, proof, v))
+	}
+}
+
+// TestDecideOnlySubset: carriers flood but never decide — the result
+// contains exactly the listed nodes, their verdicts match the full
+// reference, and a verifier that panics at a carrier never fires. Both
+// execution layouts are covered.
+func TestDecideOnlySubset(t *testing.T) {
+	in := core.NewInstance(lcp.Cycle(11))
+	scheme := lcp.OddNScheme()
+	p, err := scheme.Prove(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deciders := []int{2, 5, 6, 9}
+	isDecider := func(id int) bool {
+		for _, d := range deciders {
+			if d == id {
+				return true
+			}
+		}
+		return false
+	}
+	v := core.VerifierFunc{R: scheme.Verifier().Radius(), F: func(w *core.View) bool {
+		if !isDecider(w.Center) {
+			panic(fmt.Sprintf("carrier %d was asked to decide", w.Center))
+		}
+		return scheme.Verifier().Verify(w)
+	}}
+	want := core.Check(in, p, scheme.Verifier())
+	for _, opt := range []dist.Options{
+		{DecideOnly: deciders},
+		{DecideOnly: deciders, Sharded: true, Shards: 3},
+		{DecideOnly: deciders, Sharded: true, FreeRunning: true},
+	} {
+		got, err := dist.CheckWith(in, p, v, opt)
+		if err != nil {
+			t.Fatalf("opts=%+v: %v", opt, err)
+		}
+		if len(got.Outputs) != len(deciders) {
+			t.Fatalf("opts=%+v: got %d verdicts, want %d", opt, len(got.Outputs), len(deciders))
+		}
+		for _, id := range deciders {
+			out, ok := got.Outputs[id]
+			if !ok || out != want.Outputs[id] {
+				t.Fatalf("opts=%+v: node %d verdict %v/%v, reference %v", opt, id, out, ok, want.Outputs[id])
+			}
+		}
+	}
+}
+
+// TestShardedRadiusZero: zero communication rounds, shard barrier never
+// trips, verdicts still flow.
+func TestShardedRadiusZero(t *testing.T) {
+	in := core.NewInstance(lcp.Path(7)).SetNodeLabel(3, core.LabelLeader)
+	p := core.RandomProof(in, 2, 1)
+	v := core.VerifierFunc{R: 0, F: func(w *core.View) bool {
+		if w.Label(w.Center) == core.LabelLeader {
+			return true
+		}
+		s := w.ProofOf(w.Center)
+		return s.Len() > 0 && s.Bit(0)
+	}}
+	want := core.Check(in, p, v)
+	got, err := dist.CheckWith(in, p, v, dist.Options{Sharded: true, Shards: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resultsEqual(t, "sharded radius-0", got, want)
+}

@@ -1,33 +1,3 @@
-// Package engine is the long-lived, amortized verification service for
-// locally checkable proofs: one Engine per instance, many proofs.
-//
-// The one-shot runners (core.Check, dist.Check) pay for view
-// construction on every call — a BFS ball, an induced subgraph, and the
-// label restriction per node. But an LCP workload verifies the same
-// graph against many proofs (tampering sweeps, adversary searches,
-// Table-1 regeneration, a verification service's request stream), and
-// the radius-r view (G[v,r], v) depends only on the graph and the input
-// labelling, never on the proof. The Engine therefore precomputes one
-// proof-free view skeleton per node per radius, caches it, and serves
-// each CheckProof by swapping the proof restriction into a shallow copy
-// of the skeleton. The cache is keyed and invalidated per radius, so
-// verifiers with different horizons share the instance without
-// interfering.
-//
-// Three serving shapes are exposed:
-//
-//   - CheckProof / CheckBatch: sharded over a bounded worker pool
-//     (contiguous node ranges, the shared-memory path);
-//   - CheckStream: verdicts stream over a channel as each node decides,
-//     with early exit on context cancellation — callers stop paying the
-//     moment the first rejection arrives;
-//   - CheckDistributed: the message-passing path, sharded across
-//     multiple reusable dist.Network runtimes (each shard owns a node
-//     range and floods inside its radius-r halo).
-//
-// Verdicts are identical to core.Check on every path; the property
-// tests sweep the whole catalog, including tampered and truncated
-// proofs, to assert it.
 package engine
 
 import (
@@ -87,6 +57,12 @@ type Engine struct {
 	mu    sync.Mutex
 	views map[int]*viewCache // radius -> proof-free skeletons, aligned with in.G.Nodes()
 	nets  map[int]*netCache  // radius -> sharded message-passing runtimes
+
+	// flats recycles the dense proof tables of the cached-view paths:
+	// one table per in-flight check, loaded in O(n) from the map-backed
+	// proof and then shared read-only by every node's view. Pooling them
+	// keeps the per-check allocation at one Load instead of one table.
+	flats sync.Pool // *core.FlatProof aligned with in.G
 }
 
 type viewCache struct {
@@ -140,8 +116,9 @@ func (e *Engine) InvalidateRadius(radius int) {
 
 // viewsFor returns the per-node skeletons for the radius, building and
 // caching them on first use. Skeletons are core.Views with a nil Proof;
-// checks shallow-copy them and splice the proof restriction in, so the
-// maps inside are shared read-only across all concurrent checks.
+// checks shallow-copy them and attach the check's flat proof table, so
+// the maps inside are shared read-only across all concurrent checks and
+// no per-ball proof restriction is ever materialized.
 func (e *Engine) viewsFor(radius int) []*core.View {
 	e.mu.Lock()
 	c, ok := e.views[radius]
@@ -165,17 +142,27 @@ func (e *Engine) viewsFor(radius int) []*core.View {
 	return c.views
 }
 
-// verifyOnSkeleton runs the verifier on a cached skeleton with the
-// proof restriction spliced in.
-func verifyOnSkeleton(skel *core.View, p core.Proof, v core.Verifier) bool {
-	w := *skel
-	ball := skel.G.Nodes()
-	w.Proof = make(core.Proof, len(ball))
-	for _, u := range ball {
-		if s, ok := p[u]; ok {
-			w.Proof[u] = s
-		}
+// flatFor draws a pooled dense proof table and loads the proof into it.
+// The table is owned by one check; return it with releaseFlat once every
+// view that references it has been verified.
+func (e *Engine) flatFor(p core.Proof) *core.FlatProof {
+	fp, ok := e.flats.Get().(*core.FlatProof)
+	if !ok {
+		fp = core.NewFlatProof(e.in.G)
 	}
+	fp.Load(p)
+	return fp
+}
+
+func (e *Engine) releaseFlat(fp *core.FlatProof) { e.flats.Put(fp) }
+
+// verifyOnSkeleton runs the verifier on a cached skeleton against the
+// check's shared flat proof table. The skeleton is shallow-copied; no
+// per-ball proof map is built — View.ProofOf restricts the table to the
+// ball through the skeleton's distance map.
+func verifyOnSkeleton(skel *core.View, fp *core.FlatProof, v core.Verifier) bool {
+	w := *skel
+	w.Flat = fp
 	return v.Verify(&w)
 }
 
@@ -187,9 +174,11 @@ func (e *Engine) CheckProof(p core.Proof, v core.Verifier) *core.Result {
 	views := e.viewsFor(v.Radius())
 	nodes := e.in.G.Nodes()
 	outs := make([]bool, len(nodes))
+	fp := e.flatFor(p)
+	defer e.releaseFlat(fp)
 	forEachRange(len(nodes), e.opt.workers(), func(lo, hi int) {
 		for i := lo; i < hi; i++ {
-			outs[i] = verifyOnSkeleton(views[i], p, v)
+			outs[i] = verifyOnSkeleton(views[i], fp, v)
 		}
 	})
 	res := &core.Result{Outputs: make(map[int]bool, len(nodes))}
@@ -225,8 +214,10 @@ func (e *Engine) CheckStream(ctx context.Context, p core.Proof, v core.Verifier)
 		defer close(out)
 		views := e.viewsFor(v.Radius())
 		nodes := e.in.G.Nodes()
+		fp := e.flatFor(p)
+		defer e.releaseFlat(fp)
 		var wg sync.WaitGroup
-		for _, r := range splitRange(len(nodes), e.opt.workers()) {
+		for _, r := range dist.SplitRanges(len(nodes), e.opt.workers()) {
 			wg.Add(1)
 			go func(lo, hi int) {
 				defer wg.Done()
@@ -234,7 +225,7 @@ func (e *Engine) CheckStream(ctx context.Context, p core.Proof, v core.Verifier)
 					if ctx.Err() != nil {
 						return
 					}
-					verdict := Verdict{Node: nodes[i], Accept: verifyOnSkeleton(views[i], p, v)}
+					verdict := Verdict{Node: nodes[i], Accept: verifyOnSkeleton(views[i], fp, v)}
 					select {
 					case out <- verdict:
 					case <-ctx.Done():
@@ -263,25 +254,6 @@ func (e *Engine) CheckFirstReject(ctx context.Context, p core.Proof, v core.Veri
 	return 0, false
 }
 
-// splitRange partitions n items into at most parts contiguous [lo, hi)
-// ranges of near-equal size.
-func splitRange(n, parts int) [][2]int {
-	if parts > n {
-		parts = n
-	}
-	if parts <= 0 {
-		return nil
-	}
-	out := make([][2]int, 0, parts)
-	lo := 0
-	for i := 0; i < parts; i++ {
-		hi := lo + (n-lo)/(parts-i)
-		out = append(out, [2]int{lo, hi})
-		lo = hi
-	}
-	return out
-}
-
 // forEachRange runs fn over the range partition on one goroutine per
 // part and waits for all of them. A panic inside a worker (a panicking
 // verifier, say) is re-raised on the caller's goroutine after the join,
@@ -289,7 +261,7 @@ func splitRange(n, parts int) [][2]int {
 // net/http handlers above them) can recover it instead of the process
 // dying in a bare goroutine.
 func forEachRange(n, parts int, fn func(lo, hi int)) {
-	ranges := splitRange(n, parts)
+	ranges := dist.SplitRanges(n, parts)
 	if len(ranges) == 1 {
 		fn(ranges[0][0], ranges[0][1])
 		return

@@ -16,6 +16,7 @@ import (
 	"lcp/internal/core"
 	"lcp/internal/dist"
 	"lcp/internal/engine"
+	"lcp/internal/ports"
 )
 
 func resultsEqual(t *testing.T, ctx string, got, want *core.Result) {
@@ -331,6 +332,77 @@ func TestEngineCheckProofRepanicsOnCallerGoroutine(t *testing.T) {
 			e.CheckProof(core.Proof{}, v)
 		}()
 	}
+}
+
+// TestEngineFlatProofBallRestriction: the cached-view paths share one
+// flat proof table for the whole instance across every node's view; a
+// verifier probing a node outside its radius-r ball must still see ε,
+// exactly as the map-restricted reference views guarantee. A leak makes
+// every node reject below, so any divergence from core.Check flags it.
+func TestEngineFlatProofBallRestriction(t *testing.T) {
+	in := lcp.NewInstance(lcp.Path(9))
+	p := core.RandomProof(in, 3, 1) // every node carries 3 proof bits
+	v := core.VerifierFunc{R: 1, F: func(w *core.View) bool {
+		// Node 9 is outside the radius-1 ball of nodes 1..7: they must
+		// see ε for it even though the full-instance table has its bits.
+		return w.ProofOf(9).Len() == 0
+	}}
+	want := core.Check(in, p, v)
+	if len(want.Rejectors()) == 0 || want.Accepted() {
+		t.Fatal("setup: expected nodes 8 and 9 to reject")
+	}
+	e := engine.New(in, engine.Options{Workers: 3})
+	checkAllPaths(t, "flat-restriction", e, in, p, v)
+}
+
+// TestEngineDistributedHaloNodesNeverDecide: halo-only nodes of a
+// shard's sub-instance see balls clipped at the halo boundary; they
+// must carry messages without ever running the verifier, or a
+// structure-asserting verifier would panic on a view no real node of
+// the full graph sees and CheckDistributed would error where core.Check
+// accepts.
+func TestEngineDistributedHaloNodesNeverDecide(t *testing.T) {
+	in := lcp.NewInstance(lcp.Cycle(12))
+	v := core.VerifierFunc{R: 2, F: func(w *core.View) bool {
+		if len(w.Dist) != 5 { // every radius-2 ball of C12 has 5 nodes
+			panic(fmt.Sprintf("clipped ball of %d nodes at %d", len(w.Dist), w.Center))
+		}
+		return true
+	}}
+	want := core.Check(in, core.Proof{}, v)
+	for _, opt := range []engine.Options{
+		{Shards: 3},
+		{Shards: 3, Dist: dist.Options{Sharded: true, Shards: 2}},
+	} {
+		res, err := engine.New(in, opt).CheckDistributed(core.Proof{}, v)
+		if err != nil {
+			t.Fatalf("opts=%+v: halo node ran the verifier: %v", opt, err)
+		}
+		resultsEqual(t, fmt.Sprintf("opts=%+v", opt), res, want)
+	}
+}
+
+// TestEngineM2WrappedScheme: the §7.1 M2 translation's verifier is the
+// one catalog citizen that needs the proof restriction as a value (it
+// re-addresses the ball with virtual identifiers via View.BallProof),
+// not just per-node ProofOf lookups. Routing it through the engine pins
+// the regression where the flat-proof views left View.Proof nil and the
+// wrapper silently saw an empty proof — honest M2 proofs must verify on
+// every engine path exactly as they do under core.Check.
+func TestEngineM2WrappedScheme(t *testing.T) {
+	in := lcp.NewInstance(lcp.Cycle(9)).SetNodeLabel(1, core.LabelLeader)
+	m2 := ports.M2Scheme{Inner: lcp.OddNScheme()}
+	p, err := m2.Prove(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := m2.Verifier()
+	if !core.Check(in, p, v).Accepted() {
+		t.Fatal("setup: honest M2 proof rejected by the reference runner")
+	}
+	e := engine.New(in, engine.Options{Workers: 2, Shards: 2})
+	checkAllPaths(t, "m2-honest", e, in, p, v)
+	checkAllPaths(t, "m2-tampered", e, in, core.FlipBit(p, 5), v)
 }
 
 // TestEngineDirectedInstances: halo sharding follows undirected

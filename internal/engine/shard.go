@@ -8,10 +8,11 @@ import (
 	"lcp/internal/dist"
 )
 
-// The sharded message-passing path. A single dist runtime keeps one
-// goroutine per node of the whole graph; for large instances the engine
-// instead spans several reusable runtimes, each owning a contiguous
-// range of the node set. A shard's runtime is wired over the range's
+// The sharded message-passing path. A single dist runtime spans the
+// whole graph; for large instances the engine instead spans several
+// reusable runtimes, each owning a contiguous range of the node set
+// (and each free to run goroutine-per-node or the sharded scheduler,
+// per Options.Dist). A shard's runtime is wired over the range's
 // radius-r halo — every node within distance r of an owned node — so
 // flooding inside the shard assembles exactly the views the owned nodes
 // would see in the full graph (balls nest: ball(v, r) of an owned v
@@ -46,13 +47,20 @@ func (e *Engine) netsFor(radius int) (*shardedNets, error) {
 	c.once.Do(func() {
 		nodes := e.in.G.Nodes()
 		sn := &shardedNets{}
-		for _, r := range splitRange(len(nodes), e.opt.shards()) {
+		for _, r := range dist.SplitRanges(len(nodes), e.opt.shards()) {
 			owned := nodes[r[0]:r[1]]
 			sub := e.in
+			dopt := e.opt.Dist
 			if len(owned) < len(nodes) {
 				sub = haloInstance(e.in, owned, radius)
+				// Halo-only nodes exist to carry messages: they flood
+				// but never assemble a view or run the verifier (their
+				// verdicts would be discarded, and their halo-clipped
+				// views could even panic a structure-asserting
+				// verifier).
+				dopt.DecideOnly = owned
 			}
-			nw, err := dist.NewNetwork(sub, e.opt.Dist)
+			nw, err := dist.NewNetwork(sub, dopt)
 			if err != nil {
 				sn.close()
 				c.err = err

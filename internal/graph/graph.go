@@ -1,13 +1,3 @@
-// Package graph implements the simple graphs on which locally checkable
-// proofs operate (Göös & Suomela, PODC 2011, §2).
-//
-// Graphs are immutable once built: a Builder accumulates nodes and edges
-// and Graph() freezes them. Nodes are identified with small natural
-// numbers, V(G) ⊆ {1, 2, ..., poly(n)}, exactly as the paper assumes; the
-// identifier space being larger than n is essential for several
-// constructions (e.g. the cycles C(a,b) of §5.3 use identifiers up to
-// ~2n²). Immutability makes graphs safe to share across the
-// goroutine-per-node verifier runtime without locks.
 package graph
 
 import (
@@ -143,6 +133,46 @@ func (b *Builder) Graph() *Graph {
 	return &Graph{kind: kind, ids: ids, idx: idx, out: out, in: in, m: len(b.edges)}
 }
 
+// FromParts assembles a frozen Graph directly from its parts: a strictly
+// ascending node identifier list and a deduplicated edge list whose
+// endpoints all appear in ids (normalized U < V for undirected graphs,
+// the ordered arc for directed ones). It skips Builder's node and edge
+// maps entirely, which makes it the allocation-lean constructor behind
+// the dist runtime's incremental view assembly — one call per node per
+// run on the hottest path in the repository. The Graph takes ownership
+// of ids; the caller must not modify it afterwards, and must uphold the
+// invariants itself. Use Builder when the input is untrusted, unordered,
+// or still needed.
+func FromParts(kind Kind, ids []int, edges []Edge) *Graph {
+	if kind != Directed {
+		kind = Undirected
+	}
+	idx := make(map[int]int, len(ids))
+	for i, id := range ids {
+		idx[id] = i
+	}
+	out := make([][]int, len(ids))
+	var in [][]int
+	if kind == Directed {
+		in = make([][]int, len(ids))
+	}
+	for _, e := range edges {
+		out[idx[e.U]] = append(out[idx[e.U]], e.V)
+		if kind == Directed {
+			in[idx[e.V]] = append(in[idx[e.V]], e.U)
+		} else {
+			out[idx[e.V]] = append(out[idx[e.V]], e.U)
+		}
+	}
+	for i := range out {
+		sort.Ints(out[i])
+	}
+	for i := range in {
+		sort.Ints(in[i])
+	}
+	return &Graph{kind: kind, ids: ids, idx: idx, out: out, in: in, m: len(edges)}
+}
+
 // Kind returns whether the graph is directed or undirected.
 func (g *Graph) Kind() Kind {
 	if g.kind == 0 {
@@ -276,6 +306,14 @@ func (g *Graph) Index(id int) int {
 	return i
 }
 
+// Lookup returns the position of id in Nodes() and whether the node
+// exists — the non-panicking Index used by array-backed structures
+// (core.FlatProof) that are probed with arbitrary identifiers.
+func (g *Graph) Lookup(id int) (int, bool) {
+	i, ok := g.idx[id]
+	return i, ok
+}
+
 // Induced returns the subgraph induced by keep: its nodes are the known
 // identifiers in keep and its edges are all edges of g with both endpoints
 // kept. This is the G[v,r] operation of §2.1 when keep is a ball.
@@ -312,12 +350,24 @@ func (g *Graph) BallAround(center int, radius int) (nodes []int, dist map[int]in
 	nodes = []int{center}
 	for d := 1; d <= radius && len(frontier) > 0; d++ {
 		var next []int
+		visit := func(v int) {
+			if _, seen := dist[v]; !seen {
+				dist[v] = d
+				next = append(next, v)
+				nodes = append(nodes, v)
+			}
+		}
+		// Iterate out- and in-adjacency directly instead of going
+		// through UndirectedNeighbors: the dist map already dedupes, and
+		// this BFS runs once per node per view construction — the
+		// per-call map+sort of UndirectedNeighbors is measurable there.
 		for _, u := range frontier {
-			for _, v := range g.UndirectedNeighbors(u) {
-				if _, seen := dist[v]; !seen {
-					dist[v] = d
-					next = append(next, v)
-					nodes = append(nodes, v)
+			for _, v := range g.Neighbors(u) {
+				visit(v)
+			}
+			if g.kind == Directed {
+				for _, v := range g.InNeighbors(u) {
+					visit(v)
 				}
 			}
 		}

@@ -202,7 +202,7 @@ func (m M2Scheme) Verifier() core.Verifier {
 // virtualView relabels the (sub-)view with virtual identifiers x(v)+1
 // drawn from the proofs, attaching the inner proof parts.
 func virtualView(w *core.View, radius int, keepLeader bool) (*core.View, bool) {
-	sub := w.Restrict(radius, w.Proof)
+	sub := w.Restrict(radius, w.BallProof())
 	m := make(map[int]int, sub.G.N())
 	inner := core.Proof{}
 	for _, v := range sub.G.Nodes() {

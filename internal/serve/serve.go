@@ -1,29 +1,3 @@
-// Package serve implements the HTTP/JSON verification service behind
-// cmd/lcpserve: the repo's first traffic-serving surface.
-//
-// The service is built for the amortized workload the engine package
-// targets — the same graph verified against many proofs. Clients
-// register an instance once (POST /instances, body in the textio text
-// format) and the server wires a long-lived engine for it; every
-// subsequent check against that instance reuses the cached radius-r
-// views and sharded runtimes and only pays for the proof under test.
-//
-// Endpoints:
-//
-//	POST   /instances      register a textio document; returns {"id": ...}
-//	GET    /instances      list registered instances
-//	DELETE /instances/{id} evict an instance and its caches
-//	POST   /prove          run a scheme's prover; returns the proof
-//	POST   /check          verify one proof; returns the verdict
-//	POST   /check/batch    verify many proofs in one request
-//	POST   /check/stream   NDJSON: one verdict line per node as decided,
-//	                       optional early exit on the first rejection
-//	GET    /schemes        list the scheme registry
-//	GET    /healthz        liveness probe
-//
-// Check requests address a registered instance by id, or carry a
-// one-shot textio document inline; the scheme defaults to the
-// document's "scheme" directive and the proof to its "proof" lines.
 package serve
 
 import (
@@ -31,10 +5,12 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"runtime"
 	"sort"
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"lcp/internal/bitstr"
 	"lcp/internal/core"
@@ -425,14 +401,57 @@ func (s *Server) handleCheckBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	var results []*core.Result
 	if req.Distributed {
+		// The proofs of one batch run concurrently on a bounded worker
+		// pool: each draws its own wirings from the engine's sharded
+		// runtimes (dist.Network no longer serializes runs), so a
+		// distributed batch saturates the machine instead of flooding
+		// one proof at a time — without spawning a goroutine per proof.
+		// After the first error, idle workers stop picking up proofs;
+		// in-flight ones finish, and the smallest failing index wins.
 		results = make([]*core.Result, len(proofs))
-		for i, p := range proofs {
-			res, err := e.CheckDistributed(p, safeVerifier{scheme.Verifier()})
-			if err != nil {
-				writeError(w, http.StatusInternalServerError, "proofs[%d]: %v", i, err)
-				return
-			}
-			results[i] = res
+		var (
+			wg       sync.WaitGroup
+			mu       sync.Mutex
+			errIdx   = -1
+			batchErr error
+			next     atomic.Int64
+		)
+		workers := runtime.GOMAXPROCS(0)
+		if workers > len(proofs) {
+			workers = len(proofs)
+		}
+		wg.Add(workers)
+		for range workers {
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(proofs) {
+						return
+					}
+					mu.Lock()
+					failed := errIdx != -1
+					mu.Unlock()
+					if failed {
+						return
+					}
+					res, err := e.CheckDistributed(proofs[i], safeVerifier{scheme.Verifier()})
+					if err != nil {
+						mu.Lock()
+						if errIdx == -1 || i < errIdx {
+							errIdx, batchErr = i, err
+						}
+						mu.Unlock()
+						return
+					}
+					results[i] = res
+				}
+			}()
+		}
+		wg.Wait()
+		if batchErr != nil {
+			writeError(w, http.StatusInternalServerError, "proofs[%d]: %v", errIdx, batchErr)
+			return
 		}
 	} else {
 		results = e.CheckBatch(proofs, safeVerifier{scheme.Verifier()})

@@ -18,6 +18,7 @@ import (
 
 	"lcp"
 	"lcp/internal/core"
+	"lcp/internal/dist"
 	"lcp/internal/engine"
 	"lcp/internal/serve"
 	"lcp/internal/textio"
@@ -86,6 +87,68 @@ func proofWire(p core.Proof) map[string]string {
 		out[strconv.Itoa(id)] = s.String()
 	}
 	return out
+}
+
+// TestServeDistributedBatchConcurrentShards is the -race stress test of
+// concurrent shard checks inside a single serve request: one
+// /check/batch with distributed=true fans its proofs out over the
+// engine's sharded dist runtimes concurrently (each proof's shards also
+// flood in parallel, on the sharded scheduler), so the whole wiring pool
+// and the shard barriers are exercised under contention. Verdicts must
+// match the sequential reference proof-for-proof.
+func TestServeDistributedBatchConcurrentShards(t *testing.T) {
+	ts := httptest.NewServer(serve.New(lcp.BuiltinSchemes(), engine.Options{
+		Workers: 4,
+		Shards:  3,
+		Dist:    dist.Options{Sharded: true, Shards: 2},
+	}))
+	t.Cleanup(ts.Close)
+
+	in := lcp.NewInstance(lcp.Cycle(21))
+	scheme := lcp.OddNScheme()
+	p, err := scheme.Prove(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := registerInstance(t, ts, docText(t, in, "odd-n", nil))
+
+	const batch = 24
+	proofs := make([]map[string]string, batch)
+	want := make([]bool, batch)
+	for i := range proofs {
+		proof := p
+		if i%3 != 0 {
+			proof = core.FlipBit(p, int64(i))
+		}
+		proofs[i] = proofWire(proof)
+		want[i] = core.Check(in, proof, scheme.Verifier()).Accepted()
+	}
+
+	resp, body := postJSON(t, ts.URL+"/check/batch", map[string]any{
+		"instance":    id,
+		"proofs":      proofs,
+		"distributed": true,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var out struct {
+		Results []struct {
+			Accepted bool `json:"accepted"`
+		} `json:"results"`
+		Checked int `json:"checked"`
+	}
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Checked != batch || len(out.Results) != batch {
+		t.Fatalf("checked %d of %d", out.Checked, batch)
+	}
+	for i, res := range out.Results {
+		if res.Accepted != want[i] {
+			t.Errorf("proofs[%d]: accepted=%v, reference says %v", i, res.Accepted, want[i])
+		}
+	}
 }
 
 func TestServeCheckRegisteredInstance(t *testing.T) {
