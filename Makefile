@@ -28,10 +28,13 @@ race:
 bench:
 	$(GO) test -run=NONE -bench='BenchmarkAblationViewConstruction|BenchmarkDistributedRuntime|BenchmarkEngineAmortized' -benchmem .
 	$(GO) test -run=NONE -bench=. -benchmem ./internal/dist/
+	$(GO) test -run=NONE -bench=. -benchmem ./internal/partition/
 
 # bench-smoke runs every benchmark exactly once — including the sharded
-# scheduler benches (BenchmarkSchedulerSharded and the message-passing-
-# sharded ablation) — so CI catches benches that no longer compile or
-# fail their own assertions, without paying for a real measurement.
+# scheduler benches (BenchmarkSchedulerSharded, the message-passing-
+# sharded ablation) and the partition-quality benches
+# (BenchmarkPartitioners, whose cut-edge metrics feed
+# BENCH_partition.json) — so CI catches benches that no longer compile
+# or fail their own assertions, without paying for a real measurement.
 bench-smoke:
 	$(GO) test -run=NONE -bench=. -benchtime=1x ./...

@@ -16,8 +16,18 @@
 //	# stream verdicts, stopping at the first alarm
 //	curl -sN localhost:8080/check/stream -d '{"instance":"i1","proof":{},"stop_on_reject":true}'
 //
-// See the package comment of internal/serve for the full endpoint list
-// and examples/proofservice for an end-to-end driver.
+//	# distributed check with a locality-aware shard partition
+//	curl -s localhost:8080/check -d '{"instance":"i1","proof":{},"distributed":true,"partitioner":"bfs"}'
+//
+//	# request counters and latency sums, per endpoint
+//	curl -s localhost:8080/stats
+//
+// The -partitioner flag picks the default node→shard assignment policy
+// for distributed checks (contiguous, bfs, greedy — see
+// internal/partition), and -max-instances bounds the in-memory
+// instance store with LRU eviction. See the package comment of
+// internal/serve for the full endpoint list and examples/proofservice
+// for an end-to-end driver.
 package main
 
 import (
@@ -29,12 +39,14 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"lcp"
 	"lcp/internal/dist"
 	"lcp/internal/engine"
+	"lcp/internal/partition"
 	"lcp/internal/serve"
 )
 
@@ -45,17 +57,29 @@ func main() {
 	freeRunning := flag.Bool("free-running", false, "run dist runtimes without a global round barrier")
 	sharded := flag.Bool("sharded", false, "batch dist nodes onto shared scheduler goroutines instead of one goroutine per node (the throughput layout for large instances)")
 	distShards := flag.Int("dist-shards", 0, "scheduler goroutines per dist runtime in -sharded mode (0 = GOMAXPROCS)")
+	partitionerName := flag.String("partitioner", "contiguous",
+		"node->shard partitioner for distributed checks: "+strings.Join(partition.Names(), ", ")+
+			" (bfs/greedy follow graph topology and cut fewer cross-shard edges; requests can override per check)")
+	maxInstances := flag.Int("max-instances", 0, "bound the in-memory instance store; the least recently used instance is evicted past the bound (0 = unbounded)")
 	flag.Parse()
 
-	handler := serve.New(lcp.BuiltinSchemes(), engine.Options{
+	partitioner, err := partition.ByName(*partitionerName)
+	if err != nil {
+		log.Fatalf("lcpserve: %v", err)
+	}
+	handler := serve.NewWith(lcp.BuiltinSchemes(), engine.Options{
 		Workers: *workers,
 		Shards:  *shards,
+		// One policy at both levels: the halo cut across dist runtimes
+		// and the shard layout inside each runtime.
+		Partitioner: partitioner,
 		Dist: dist.Options{
 			FreeRunning: *freeRunning,
 			Sharded:     *sharded,
 			Shards:      *distShards,
+			Partitioner: partitioner,
 		},
-	})
+	}, serve.Config{MaxInstances: *maxInstances})
 	srv := &http.Server{
 		Addr:              *addr,
 		Handler:           handler,

@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 
 	"lcp/internal/core"
+	"lcp/internal/partition"
 )
 
 // Options tunes the runtime's scheduler. The zero value is the default
@@ -24,6 +25,16 @@ type Options struct {
 	// Shards is the number of shard goroutines in sharded mode, capped
 	// at the node count. 0 means GOMAXPROCS. Ignored unless Sharded.
 	Shards int
+	// Partitioner computes the node→shard assignment in sharded mode.
+	// nil means partition.Contiguous{}: near-equal chunks of the
+	// ascending identifier order, the layout the scheduler always had.
+	// Locality-aware partitioners (partition.BFSChunks,
+	// partition.GreedyBalanced) cut fewer edges across shard
+	// boundaries, which means fewer ports, fewer channel operations per
+	// round, and less cross-shard traffic on graphs whose identifiers
+	// do not follow topology. Verdicts are identical under every
+	// assignment. Ignored unless Sharded.
+	Partitioner partition.Partitioner
 	// Fanout bounds how many nodes may run their local decision (view
 	// assembly + verifier call) concurrently once flooding has finished.
 	// The network itself keeps one goroutine per node regardless; the
@@ -108,26 +119,13 @@ func (o Options) shardCount(n int) int {
 	return s
 }
 
-// SplitRanges partitions n items into at most parts contiguous [lo, hi)
-// ranges of near-equal size; nil when parts <= 0 or n == 0. It is the
-// shared partitioner behind every contiguous-range scheduler in the
-// repository: the shard assignment of this package's sharded layout and
-// the worker/halo sharding of internal/engine.
-func SplitRanges(n, parts int) [][2]int {
-	if parts > n {
-		parts = n
+// partitioner resolves the shard partitioner: the configured one, or
+// the contiguous id-range default.
+func (o Options) partitioner() partition.Partitioner {
+	if o.Partitioner != nil {
+		return o.Partitioner
 	}
-	if parts <= 0 || n == 0 {
-		return nil
-	}
-	out := make([][2]int, 0, parts)
-	lo := 0
-	for i := 0; i < parts; i++ {
-		hi := lo + (n-lo)/(parts-i)
-		out = append(out, [2]int{lo, hi})
-		lo = hi
-	}
-	return out
+	return partition.Contiguous{}
 }
 
 // nodeVerdict is one node's contribution to the run result.
@@ -159,7 +157,10 @@ func CheckWith(in *core.Instance, p core.Proof, v core.Verifier, opt Options) (*
 	if in.G.N() == 0 {
 		return &core.Result{Outputs: map[int]bool{}}, nil
 	}
-	net := buildNetwork(in, opt)
+	net, err := buildNetwork(in, opt)
+	if err != nil {
+		return nil, err
+	}
 	res, err := net.run(in, p, v, opt)
 	net.release()
 	return res, err
@@ -175,12 +176,17 @@ func Collect(in *core.Instance, p core.Proof, center, radius int) *core.View {
 	return CollectWith(in, p, center, radius, Options{})
 }
 
-// CollectWith is Collect with an explicit scheduler configuration.
+// CollectWith is Collect with an explicit scheduler configuration. Like
+// Collect it panics on impossible inputs — an unknown center, or a
+// custom Partitioner returning an invalid assignment.
 func CollectWith(in *core.Instance, p core.Proof, center, radius int, opt Options) *core.View {
 	if !in.G.Has(center) {
 		panic(fmt.Sprintf("dist: unknown node %d", center))
 	}
-	net := buildNetwork(in, opt)
+	net, err := buildNetwork(in, opt)
+	if err != nil {
+		panic(err)
+	}
 	for _, nd := range net.nodes {
 		nd.seed(p)
 	}

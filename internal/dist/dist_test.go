@@ -19,6 +19,7 @@ import (
 	"lcp/internal/core"
 	"lcp/internal/dist"
 	"lcp/internal/graph"
+	"lcp/internal/partition"
 )
 
 // viewsEqual compares every observable field of two views.
@@ -144,6 +145,8 @@ func TestCollectSchedulerVariants(t *testing.T) {
 		{Sharded: true},
 		{Sharded: true, Shards: 4},
 		{Sharded: true, Shards: 4, FreeRunning: true},
+		{Sharded: true, Shards: 4, Partitioner: partition.BFSChunks{}},
+		{Sharded: true, Shards: 4, FreeRunning: true, Partitioner: partition.GreedyBalanced{}},
 	} {
 		got := dist.CollectWith(in, p, want.Center, 2, opt)
 		viewsEqual(t, fmt.Sprintf("opts=%+v", opt), got, want)
@@ -167,8 +170,10 @@ func resultsEqual(t *testing.T, ctx string, got, want *core.Result) {
 
 // checkAllRunners runs every execution strategy — sequential reference,
 // goroutine-per-node message passing, sharded message passing (several
-// shard counts, so shard boundaries fall inside the instance), and the
-// parallel shared-view pool — and demands identical results.
+// shard counts, so shard boundaries fall inside the instance; every
+// partitioner, lockstep and free-running, so arbitrary node→shard
+// assignments are exercised catalog-wide), and the parallel shared-view
+// pool — and demands identical results.
 func checkAllRunners(t *testing.T, ctx string, in *core.Instance, p core.Proof, v core.Verifier) {
 	t.Helper()
 	want := core.Check(in, p, v)
@@ -178,14 +183,19 @@ func checkAllRunners(t *testing.T, ctx string, in *core.Instance, p core.Proof, 
 	}
 	resultsEqual(t, ctx+" [message-passing]", got, want)
 	for _, opt := range []dist.Options{
-		{Sharded: true},            // GOMAXPROCS shards
+		{Sharded: true},            // GOMAXPROCS shards, contiguous default
 		{Sharded: true, Shards: 3}, // cross-shard ports guaranteed for n > 3
+		{Sharded: true, Shards: 3, Partitioner: partition.BFSChunks{}},
+		{Sharded: true, Shards: 3, Partitioner: partition.GreedyBalanced{}},
+		{Sharded: true, Shards: 3, FreeRunning: true},
+		{Sharded: true, Shards: 3, FreeRunning: true, Partitioner: partition.BFSChunks{}},
+		{Sharded: true, Shards: 3, FreeRunning: true, Partitioner: partition.GreedyBalanced{}},
 	} {
 		sres, err := dist.CheckWith(in, p, v, opt)
 		if err != nil {
-			t.Fatalf("%s: sharded shards=%d: %v", ctx, opt.Shards, err)
+			t.Fatalf("%s: sharded opts=%+v: %v", ctx, opt, err)
 		}
-		resultsEqual(t, fmt.Sprintf("%s [sharded shards=%d]", ctx, opt.Shards), sres, want)
+		resultsEqual(t, fmt.Sprintf("%s [sharded opts=%+v]", ctx, opt), sres, want)
 	}
 	resultsEqual(t, ctx+" [parallel-views]", dist.CheckParallelViews(in, p, v), want)
 }
@@ -251,6 +261,11 @@ func TestCheckSchedulerVariants(t *testing.T) {
 		{Sharded: true, Shards: 5},
 		{Sharded: true, Shards: 5, FreeRunning: true},
 		{Sharded: true, Shards: 5, FreeRunning: true, PortBuffer: 1},
+		{Sharded: true, Shards: 5, FreeRunning: true, PortBuffer: 8},
+		{Sharded: true, Shards: 5, Partitioner: partition.BFSChunks{}},
+		{Sharded: true, Shards: 5, Partitioner: partition.GreedyBalanced{}},
+		{Sharded: true, Shards: 5, FreeRunning: true, PortBuffer: 1, Partitioner: partition.BFSChunks{}},
+		{Sharded: true, Shards: 5, FreeRunning: true, Partitioner: partition.GreedyBalanced{}},
 	} {
 		got, err := dist.CheckWith(in, p, v, opt)
 		if err != nil {

@@ -65,7 +65,11 @@ func NewNetwork(in *core.Instance, opt Options) (*Network, error) {
 	}
 	nw := &Network{in: in, opt: opt, sem: make(chan struct{}, maxLiveWirings())}
 	if in.G.N() > 0 {
-		nw.idle = append(nw.idle, buildNetwork(in, opt))
+		net, err := buildNetwork(in, opt)
+		if err != nil {
+			return nil, err
+		}
+		nw.idle = append(nw.idle, net)
 	}
 	return nw, nil
 }
@@ -114,7 +118,7 @@ func (nw *Network) acquire() (*network, error) {
 	// concurrent checks must not serialize on it. A Close racing the
 	// build is harmless — put() releases the wiring instead of pooling
 	// it.
-	return buildNetwork(nw.in, nw.opt), nil
+	return buildNetwork(nw.in, nw.opt)
 }
 
 func (nw *Network) put(net *network) {

@@ -8,6 +8,7 @@ import (
 	"lcp/internal/bitstr"
 	"lcp/internal/core"
 	"lcp/internal/graph"
+	"lcp/internal/partition"
 )
 
 // The message-passing machinery: a network of node automata, channels as
@@ -111,6 +112,13 @@ type node struct {
 	// message buffers are reused instead of reallocated (safe in
 	// lockstep mode: a batch is fully drained before the barrier trips).
 	cur, next batch
+	// ring holds the per-round batch buffers of the free-running
+	// sharded layout, indexed by the shard's round counter modulo the
+	// ring length. Without a barrier a two-buffer swap is unsafe (a
+	// neighbouring shard may still be reading a batch sent several
+	// rounds ago), but a ring of portBuffer+2 buffers is — see the
+	// cooling argument at floodShardFreeRunning.
+	ring []batch
 }
 
 // nodePool recycles node automata — and with them the record edge
@@ -158,6 +166,10 @@ func (nd *node) release() {
 	clear(nd.cur)
 	clear(nd.next)
 	nd.cur, nd.next = nd.cur[:0], nd.next[:0]
+	for i := range nd.ring {
+		clear(nd.ring[i])
+		nd.ring[i] = nd.ring[i][:0]
+	}
 	clear(nd.in)
 	clear(nd.out)
 	nd.in, nd.out = nd.in[:0], nd.out[:0]
@@ -286,19 +298,32 @@ func (nd *node) assemble(in *core.Instance, radius int) *core.View {
 // network wires one node automaton per graph vertex. In
 // goroutine-per-node mode every directed port (u → v for every
 // communication edge) is a dedicated channel; in sharded mode the nodes
-// are additionally partitioned into shard work lists and only
-// cross-shard ports get channels. The wiring is proof-free: each run
-// seeds the nodes with the proof under test, so one network serves
-// arbitrarily many proofs.
+// are additionally grouped into shard work lists by the configured
+// partitioner's node→shard assignment — any assignment works, same-
+// shard delivery stays a direct merge and only cross-shard edges get
+// channels — and the wiring pool above sees no difference. The wiring
+// is proof-free: each run seeds the nodes with the proof under test, so
+// one network serves arbitrarily many proofs.
 type network struct {
 	nodes    []*node
 	deciders int       // nodes that assemble + verify (all unless DecideOnly)
 	shards   [][]*node // non-nil iff Options.Sharded; partition of nodes
 	bar      *barrier  // nil in free-running mode
+	ringLen  int       // free-running sharded batch ring length (portBuffer+2)
 }
 
-func buildNetwork(in *core.Instance, opt Options) *network {
+func buildNetwork(in *core.Instance, opt Options) (*network, error) {
 	ids := in.G.Nodes()
+	// Resolve the shard assignment before any node is drawn from the
+	// pool, so an invalid custom partitioner costs nothing to reject.
+	// assign[i] is the shard owning ids[i]; nil when not sharded.
+	var assign []int
+	if shards := opt.shardCount(len(ids)); shards > 0 {
+		assign = opt.partitioner().Assign(in.G, shards)
+		if err := partition.Validate(assign, len(ids), shards); err != nil {
+			return nil, fmt.Errorf("dist: partitioner %q: %v", opt.partitioner().Name(), err)
+		}
+	}
 	net := &network{nodes: make([]*node, len(ids)), deciders: len(ids)}
 	byID := make(map[int]*node, len(ids))
 	for i, id := range ids {
@@ -317,22 +342,17 @@ func buildNetwork(in *core.Instance, opt Options) *network {
 			}
 		}
 	}
-	// shardOf[i] is the shard owning ids[i]; nil when not sharded.
-	var shardOf []int
-	if groups := SplitRanges(len(ids), opt.shardCount(len(ids))); groups != nil {
-		shardOf = make([]int, len(ids))
-		net.shards = make([][]*node, len(groups))
-		for s, r := range groups {
-			net.shards[s] = net.nodes[r[0]:r[1]]
-			for i := r[0]; i < r[1]; i++ {
-				shardOf[i] = s
-			}
+	if assign != nil {
+		net.shards = make([][]*node, opt.shardCount(len(ids)))
+		for i, nd := range net.nodes {
+			net.shards[assign[i]] = append(net.shards[assign[i]], nd)
 		}
+		net.ringLen = opt.portBuffer() + 2
 	}
 	buf := opt.portBuffer()
 	for i, nd := range net.nodes {
 		for _, w := range in.G.UndirectedNeighbors(nd.id) {
-			if shardOf != nil && shardOf[in.G.Index(w)] == shardOf[i] {
+			if assign != nil && assign[in.G.Index(w)] == assign[i] {
 				// Same shard: deliver by direct merge, no channel.
 				nd.local = append(nd.local, byID[w])
 				continue
@@ -349,7 +369,7 @@ func buildNetwork(in *core.Instance, opt Options) *network {
 		}
 		net.bar = newBarrier(participants)
 	}
-	return net
+	return net, nil
 }
 
 // release returns every node automaton to the pool. Only one-shot
@@ -453,7 +473,7 @@ func (net *network) collect(in *core.Instance, center, radius int) *core.View {
 			wg.Add(1)
 			go func(group []*node) {
 				defer wg.Done()
-				floodShard(group, rounds, net.bar)
+				floodShard(group, rounds, net.bar, net.ringLen)
 				for _, nd := range group {
 					if nd.id == center {
 						view = nd.assemble(in, radius)

@@ -45,7 +45,7 @@ func (net *network) runSharded(in *core.Instance, radius, rounds int, v core.Ver
 	for _, group := range net.shards {
 		go func(group []*node) {
 			defer wg.Done()
-			floodShard(group, rounds, net.bar)
+			floodShard(group, rounds, net.bar, net.ringLen)
 			for _, nd := range group {
 				if nd.carrier {
 					continue
@@ -58,8 +58,14 @@ func (net *network) runSharded(in *core.Instance, radius, rounds int, v core.Ver
 
 // floodShard steps every node of one shard through the flooding
 // protocol, one communication round at a time. bar is the shard-level
-// barrier (nil in free-running mode).
-func floodShard(group []*node, rounds int, bar *barrier) {
+// barrier; when nil (free-running mode) the rounds are paced by per-port
+// message counting alone and the batch buffers rotate through a ring
+// sized by ringLen instead of the lockstep two-buffer swap.
+func floodShard(group []*node, rounds int, bar *barrier, ringLen int) {
+	if bar == nil {
+		floodShardFreeRunning(group, rounds, ringLen)
+		return
+	}
 	for r := 1; r <= rounds; r++ {
 		// Phase 1: cross-shard sends. cur buffers are frozen for the
 		// whole delivery phase, mirroring "every node sends what it
@@ -72,11 +78,7 @@ func floodShard(group []*node, rounds int, bar *barrier) {
 		// Phase 2: rewind the accumulation buffers before any merge of
 		// this round can append to them.
 		for _, nd := range group {
-			if bar != nil {
-				nd.next = nd.next[:0]
-			} else {
-				nd.next = nil
-			}
+			nd.next = nd.next[:0]
 		}
 		// Phase 3: same-shard delivery by direct merge, then cross-shard
 		// receives. Merges mutate known/dist/next/indEdges only — never
@@ -95,8 +97,81 @@ func floodShard(group []*node, rounds int, bar *barrier) {
 		for _, nd := range group {
 			nd.cur, nd.next = nd.next, nd.cur
 		}
-		if bar != nil {
-			bar.await()
+		bar.await()
+	}
+}
+
+// floodShardFreeRunning is floodShard without the barrier. The shard's
+// round counter r is the epoch that keeps buffer reuse safe: the batch
+// accumulated in round r lives in ring[r%ringLen] with ringLen =
+// portBuffer+2, so a slot is rewound exactly ringLen rounds after it
+// was filled — and sent one round after filling. Two facts make the
+// slot cold by then. First, when every phase-1 send of round r has been
+// accepted, each port's channel holds at most portBuffer batches, all
+// from rounds > r−portBuffer, so the batch of round r−portBuffer has
+// been dequeued. Second, a dequeue only proves the receiver *took* the
+// batch, not that it finished merging it — but receives are strictly
+// round-ordered per shard, so dequeuing round r−portBuffer means every
+// batch of earlier rounds has been fully merged. The slot rewound in
+// round r was sent in round r−ringLen+1 = r−portBuffer−1, one round
+// earlier still, so no reader can touch it. Free-running mode therefore
+// reuses its buffers just like lockstep mode, instead of allocating a
+// fresh batch per node per round; the pre-ring cost is visible in
+// BENCH_dist.json's sharded-free-running rows.
+//
+// Round 0 is the seeded cur batch: it is sent in round 1 and only ever
+// rewound by node.seed, which runs strictly between runs (run joins
+// every shard goroutine and drains every port before returning).
+func floodShardFreeRunning(group []*node, rounds, ringLen int) {
+	for _, nd := range group {
+		if cap(nd.ring) < ringLen {
+			nd.ring = make([]batch, ringLen)
 		}
+		nd.ring = nd.ring[:ringLen]
+	}
+	sendBuf := func(nd *node, r int) batch {
+		if r == 1 {
+			return nd.cur
+		}
+		return nd.ring[(r-1)%ringLen]
+	}
+	for r := 1; r <= rounds; r++ {
+		// Phase 1: cross-shard sends of last round's discoveries.
+		for _, nd := range group {
+			buf := sendBuf(nd, r)
+			for _, port := range nd.out {
+				port <- buf
+			}
+		}
+		// Phase 2: rewind this round's ring slot — cold by the epoch
+		// argument above — as the accumulation buffer.
+		for _, nd := range group {
+			nd.next = nd.ring[r%ringLen][:0]
+		}
+		// Phase 3: same-shard direct merges, then cross-shard receives.
+		for _, nd := range group {
+			buf := sendBuf(nd, r)
+			for _, nb := range nd.local {
+				nb.merge(buf, r)
+			}
+		}
+		for _, nd := range group {
+			for _, port := range nd.in {
+				nd.merge(<-port, r)
+			}
+		}
+		// Phase 4: store the (possibly regrown) accumulation buffer back
+		// into its epoch slot; it is sent in round r+1.
+		for _, nd := range group {
+			nd.ring[r%ringLen] = nd.next
+		}
+	}
+	// Drop the alias between next and the last epoch slot: a later run's
+	// seed would otherwise adopt a ring slot as its frozen round-0
+	// batch, and the slot's scheduled rewind would corrupt it mid-run.
+	// cur needs no such care — this layout never points it into the
+	// ring, so it stays the node's dedicated seed buffer across runs.
+	for _, nd := range group {
+		nd.next = nil
 	}
 }

@@ -15,6 +15,8 @@ import (
 	"lcp"
 	"lcp/internal/core"
 	"lcp/internal/dist"
+	"lcp/internal/graph"
+	"lcp/internal/partition"
 )
 
 // TestShardedMoreShardsThanNodes: the shard count clamps to n, leaving
@@ -202,6 +204,153 @@ func TestDecideOnlySubset(t *testing.T) {
 			out, ok := got.Outputs[id]
 			if !ok || out != want.Outputs[id] {
 				t.Fatalf("opts=%+v: node %d verdict %v/%v, reference %v", opt, id, out, ok, want.Outputs[id])
+			}
+		}
+	}
+}
+
+// badPartitioner returns a fixed (usually invalid) assignment no matter
+// the graph.
+type badPartitioner struct{ assign []int }
+
+func (badPartitioner) Name() string                     { return "bad" }
+func (p badPartitioner) Assign(*graph.Graph, int) []int { return p.assign }
+
+// TestShardedInvalidPartitionerRejected: a custom partitioner returning
+// a malformed assignment surfaces as an error from every entry point
+// instead of wedging or panicking the scheduler.
+func TestShardedInvalidPartitionerRejected(t *testing.T) {
+	in := core.NewInstance(lcp.Cycle(6))
+	v := lcp.OddNScheme().Verifier()
+	for name, bad := range map[string]dist.Options{
+		"short":        {Sharded: true, Shards: 3, Partitioner: badPartitioner{assign: []int{0, 1}}},
+		"out-of-range": {Sharded: true, Shards: 3, Partitioner: badPartitioner{assign: []int{0, 1, 2, 3, 0, 1}}},
+		"negative":     {Sharded: true, Shards: 3, Partitioner: badPartitioner{assign: []int{0, -1, 2, 0, 1, 2}}},
+		"nil":          {Sharded: true, Shards: 3, Partitioner: badPartitioner{}},
+	} {
+		if _, err := dist.CheckWith(in, core.Proof{}, v, bad); err == nil {
+			t.Errorf("%s: CheckWith accepted an invalid assignment", name)
+		}
+		if _, err := dist.NewNetwork(in, bad); err == nil {
+			t.Errorf("%s: NewNetwork accepted an invalid assignment", name)
+		}
+	}
+}
+
+// TestShardedArbitraryAssignment: a partitioner may scatter nodes
+// across shards in any pattern — interleaved round-robin included —
+// and verdicts still match the reference, lockstep and free-running.
+func TestShardedArbitraryAssignment(t *testing.T) {
+	in := core.NewInstance(lcp.Grid(4, 5))
+	scheme := lcp.OddNScheme() // 20 nodes: even, rejects somewhere
+	p := core.RandomProof(in, 5, 3)
+	v := scheme.Verifier()
+	want := core.Check(in, p, v)
+	roundRobin := make([]int, in.G.N())
+	for i := range roundRobin {
+		roundRobin[i] = i % 3
+	}
+	for _, opt := range []dist.Options{
+		{Sharded: true, Shards: 3, Partitioner: badPartitioner{assign: roundRobin}},
+		{Sharded: true, Shards: 3, FreeRunning: true, Partitioner: badPartitioner{assign: roundRobin}},
+	} {
+		got, err := dist.CheckWith(in, p, v, opt)
+		if err != nil {
+			t.Fatalf("free-running=%v: %v", opt.FreeRunning, err)
+		}
+		resultsEqual(t, fmt.Sprintf("round-robin free-running=%v", opt.FreeRunning), got, want)
+	}
+}
+
+// TestShardedEmptyShardAllowed: an assignment that leaves a shard with
+// no nodes must not wedge the barrier or the port wiring.
+func TestShardedEmptyShardAllowed(t *testing.T) {
+	in := core.NewInstance(lcp.Cycle(6))
+	v := lcp.OddNScheme().Verifier()
+	p := core.RandomProof(in, 3, 1)
+	want := core.Check(in, p, v)
+	// Shard 1 of 3 owns nothing.
+	lopsided := []int{0, 0, 2, 2, 0, 2}
+	for _, freeRunning := range []bool{false, true} {
+		got, err := dist.CheckWith(in, p, v, dist.Options{
+			Sharded: true, Shards: 3, FreeRunning: freeRunning,
+			Partitioner: badPartitioner{assign: lopsided},
+		})
+		if err != nil {
+			t.Fatalf("free-running=%v: %v", freeRunning, err)
+		}
+		resultsEqual(t, fmt.Sprintf("empty-shard free-running=%v", freeRunning), got, want)
+	}
+}
+
+// TestShardedFreeRunningBatchRing: the free-running sharded layout
+// reuses round batches through the epoch ring. Long floods (radius well
+// past the ring length) over a reused Network are the case where a
+// stale slot would resurface as message corruption; verdicts and views
+// must stay exact across many back-to-back runs, at several port
+// buffer depths (which set the ring length).
+func TestShardedFreeRunningBatchRing(t *testing.T) {
+	g := lcp.RandomConnected(24, 0.12, 9)
+	in := core.NewInstance(g)
+	v := core.VerifierFunc{R: 9, F: func(w *core.View) bool {
+		// Radius 9 ≫ ring length; accept iff the ball saw ≥ 12 nodes, so
+		// any lost or duplicated record flips a verdict.
+		return w.G.N() >= 12
+	}}
+	for _, portBuf := range []int{0, 1, 4} {
+		opt := dist.Options{Sharded: true, Shards: 4, FreeRunning: true, PortBuffer: portBuf}
+		nw, err := dist.NewNetwork(in, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 6; i++ {
+			p := core.RandomProof(in, 4, int64(i))
+			want := core.Check(in, p, v)
+			got, err := nw.Check(p, v)
+			if err != nil {
+				t.Fatalf("portBuf=%d run %d: %v", portBuf, i, err)
+			}
+			resultsEqual(t, fmt.Sprintf("ring portBuf=%d run %d", portBuf, i), got, want)
+		}
+		nw.Close()
+		// Views assembled under the ring match the sequential reference.
+		p := core.RandomProof(in, 4, 99)
+		center := in.G.Nodes()[7]
+		viewsEqual(t, fmt.Sprintf("ring collect portBuf=%d", portBuf),
+			dist.CollectWith(in, p, center, 6, opt),
+			core.BuildView(in, p, center, 6))
+	}
+}
+
+// TestShardedPartitionersAcrossTopologies: the three partitioners are
+// verdict-identical on the topologies where their assignments actually
+// differ — scrambled grids and trees, where BFS chunks and greedy
+// refinement pick very different shard shapes than contiguous ranges.
+func TestShardedPartitionersAcrossTopologies(t *testing.T) {
+	for name, g := range map[string]*lcp.Graph{
+		"scrambled-grid": graph.RandomPermutationIDs(lcp.Grid(6, 6), 4),
+		"scrambled-tree": graph.RandomPermutationIDs(lcp.RandomTree(40, 2), 5),
+		"disconnected":   lcp.DisjointUnion(lcp.Cycle(9), lcp.Grid(3, 4).ShiftIDs(100)),
+	} {
+		in := core.NewInstance(g)
+		p := core.RandomProof(in, 6, 7)
+		v := core.VerifierFunc{R: 2, F: func(w *core.View) bool {
+			return w.G.N()%2 == 0 || w.ProofOf(w.Center).Len() > 3
+		}}
+		want := core.Check(in, p, v)
+		for _, pname := range partition.Names() {
+			pt, err := partition.ByName(pname)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, freeRunning := range []bool{false, true} {
+				got, err := dist.CheckWith(in, p, v, dist.Options{
+					Sharded: true, Shards: 4, FreeRunning: freeRunning, Partitioner: pt,
+				})
+				if err != nil {
+					t.Fatalf("%s/%s free-running=%v: %v", name, pname, freeRunning, err)
+				}
+				resultsEqual(t, fmt.Sprintf("%s/%s free-running=%v", name, pname, freeRunning), got, want)
 			}
 		}
 	}

@@ -7,6 +7,7 @@ import (
 
 	"lcp/internal/core"
 	"lcp/internal/dist"
+	"lcp/internal/partition"
 )
 
 // Options configures an Engine. The zero value serves with GOMAXPROCS
@@ -17,9 +18,20 @@ type Options struct {
 	// construction. 0 means GOMAXPROCS.
 	Workers int
 	// Shards is the number of dist runtimes the message-passing path
-	// spans. Each shard owns a contiguous node range and runs a
-	// reusable dist.Network over the range's radius-r halo. 0 means 1.
+	// spans. Each shard owns a group of nodes chosen by Partitioner and
+	// runs a reusable dist.Network over the group's radius-r halo.
+	// 0 means 1.
 	Shards int
+	// Partitioner chooses which nodes each distributed shard owns. nil
+	// means partition.Contiguous{} — near-equal ranges of the ascending
+	// identifier order. A locality-aware partitioner (partition.
+	// BFSChunks, partition.GreedyBalanced) keeps each shard's owned set
+	// topologically tight, so its radius-r halo adds fewer carrier
+	// nodes and the duplicated flooding work across shards shrinks.
+	// Verdicts are identical under every assignment. This is the halo
+	// cut; the scheduler layout inside each shard's runtime has its own
+	// partitioner knob at Dist.Partitioner.
+	Partitioner partition.Partitioner
 	// Dist tunes the scheduler of every sharded runtime.
 	Dist dist.Options
 }
@@ -36,6 +48,15 @@ func (o Options) shards() int {
 		return o.Shards
 	}
 	return 1
+}
+
+// partitioner resolves the halo partitioner: the configured one, or
+// the contiguous id-range default.
+func (o Options) partitioner() partition.Partitioner {
+	if o.Partitioner != nil {
+		return o.Partitioner
+	}
+	return partition.Contiguous{}
 }
 
 // Verdict is one node's decision, as streamed by CheckStream.
@@ -217,7 +238,7 @@ func (e *Engine) CheckStream(ctx context.Context, p core.Proof, v core.Verifier)
 		fp := e.flatFor(p)
 		defer e.releaseFlat(fp)
 		var wg sync.WaitGroup
-		for _, r := range dist.SplitRanges(len(nodes), e.opt.workers()) {
+		for _, r := range partition.SplitRanges(len(nodes), e.opt.workers()) {
 			wg.Add(1)
 			go func(lo, hi int) {
 				defer wg.Done()
@@ -261,7 +282,7 @@ func (e *Engine) CheckFirstReject(ctx context.Context, p core.Proof, v core.Veri
 // net/http handlers above them) can recover it instead of the process
 // dying in a bare goroutine.
 func forEachRange(n, parts int, fn func(lo, hi int)) {
-	ranges := dist.SplitRanges(n, parts)
+	ranges := partition.SplitRanges(n, parts)
 	if len(ranges) == 1 {
 		fn(ranges[0][0], ranges[0][1])
 		return

@@ -16,6 +16,8 @@ import (
 	"lcp/internal/core"
 	"lcp/internal/dist"
 	"lcp/internal/engine"
+	"lcp/internal/graph"
+	"lcp/internal/partition"
 	"lcp/internal/ports"
 )
 
@@ -64,8 +66,10 @@ func TestEngineAgreesWithCoreAcrossCatalog(t *testing.T) {
 			}
 			v := exp.Scheme.Verifier()
 			in := exp.MakeYes(size, 1)
-			// Shards chosen to exercise real halo clipping at this size.
-			e := engine.New(in, engine.Options{Workers: 3, Shards: 3})
+			// Shards chosen to exercise real halo clipping at this size;
+			// the BFS partitioner makes the halo cut follow topology
+			// instead of identifier ranges, catalog-wide.
+			e := engine.New(in, engine.Options{Workers: 3, Shards: 3, Partitioner: partition.BFSChunks{}})
 			p, err := exp.Scheme.Prove(in)
 			if err != nil {
 				t.Fatalf("prove yes-instance: %v", err)
@@ -77,7 +81,7 @@ func TestEngineAgreesWithCoreAcrossCatalog(t *testing.T) {
 			checkAllPaths(t, "truncated", e, in, p.Truncated(1), v)
 			if exp.MakeNo != nil {
 				no := exp.MakeNo(size, 2)
-				ne := engine.New(no, engine.Options{Workers: 2, Shards: 4})
+				ne := engine.New(no, engine.Options{Workers: 2, Shards: 4, Partitioner: partition.GreedyBalanced{}})
 				checkAllPaths(t, "no-empty-proof", ne, no, core.Proof{}, v)
 				for _, bits := range []int{1, 16} {
 					checkAllPaths(t, fmt.Sprintf("no-random-%d", bits), ne, no,
@@ -107,6 +111,10 @@ func TestEngineWorkerShardConfigurations(t *testing.T) {
 		{Shards: 16}, // one node per shard
 		{Shards: 99}, // more shards than nodes
 		{Shards: 3, Dist: dist.Options{FreeRunning: true}},
+		{Shards: 3, Partitioner: partition.BFSChunks{}},
+		{Shards: 4, Partitioner: partition.GreedyBalanced{}, Dist: dist.Options{Sharded: true, Shards: 2}},
+		{Shards: 16, Partitioner: partition.BFSChunks{}}, // one node per shard, BFS order
+		{Shards: 3, Partitioner: partition.BFSChunks{}, Dist: dist.Options{Sharded: true, FreeRunning: true, Partitioner: partition.BFSChunks{}}},
 	} {
 		e := engine.New(in, opt)
 		checkAllPaths(t, fmt.Sprintf("opts=%+v", opt), e, in, p, v)
@@ -404,6 +412,64 @@ func TestEngineM2WrappedScheme(t *testing.T) {
 	checkAllPaths(t, "m2-honest", e, in, p, v)
 	checkAllPaths(t, "m2-tampered", e, in, core.FlipBit(p, 5), v)
 }
+
+// TestEngineHaloShrinksWithLocalityPartitioner: every node a shard does
+// not own but must wire is a duplicated flooding carrier, so the summed
+// halo sizes measure what CheckDistributed over-pays relative to one
+// big runtime. On a scrambled grid the contiguous owned sets are
+// scattered — nearly every owned node sits on a boundary and drags a
+// radius-r ball of carriers in — while BFS-chunked owned sets are tight
+// regions with thin boundaries. The verdicts must not move at all.
+func TestEngineHaloShrinksWithLocalityPartitioner(t *testing.T) {
+	in := lcp.NewInstance(graph.RandomPermutationIDs(lcp.Grid(16, 16), 7))
+	const radius = 2
+	sum := func(e *engine.Engine) int {
+		sizes, err := e.HaloSizes(radius)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := 0
+		for _, s := range sizes {
+			n += s
+		}
+		return n
+	}
+	contig := sum(engine.New(in, engine.Options{Shards: 4}))
+	bfs := sum(engine.New(in, engine.Options{Shards: 4, Partitioner: partition.BFSChunks{}}))
+	if bfs >= contig {
+		t.Errorf("summed halo sizes: bfs=%d contiguous=%d — want strictly smaller", bfs, contig)
+	}
+	p := core.RandomProof(in, 3, 2)
+	v := core.VerifierFunc{R: radius, F: func(w *core.View) bool { return w.G.N() > 6 }}
+	want := core.Check(in, p, v)
+	for _, opt := range []engine.Options{
+		{Shards: 4},
+		{Shards: 4, Partitioner: partition.BFSChunks{}},
+		{Shards: 4, Partitioner: partition.GreedyBalanced{}},
+	} {
+		got, err := engine.New(in, opt).CheckDistributed(p, v)
+		if err != nil {
+			t.Fatalf("opts=%+v: %v", opt, err)
+		}
+		resultsEqual(t, fmt.Sprintf("halo opts=%+v", opt), got, want)
+	}
+}
+
+// TestEngineInvalidPartitioner: a malformed custom assignment surfaces
+// as a CheckDistributed error, and the cached error persists like any
+// other failed shard build.
+func TestEngineInvalidPartitioner(t *testing.T) {
+	in := lcp.NewInstance(lcp.Cycle(8))
+	e := engine.New(in, engine.Options{Shards: 3, Partitioner: truncatedPartitioner{}})
+	if _, err := e.CheckDistributed(core.Proof{}, lcp.OddNScheme().Verifier()); err == nil {
+		t.Error("invalid assignment accepted")
+	}
+}
+
+type truncatedPartitioner struct{}
+
+func (truncatedPartitioner) Name() string                 { return "truncated" }
+func (truncatedPartitioner) Assign(*lcp.Graph, int) []int { return []int{0} }
 
 // TestEngineDirectedInstances: halo sharding follows undirected
 // reachability on directed graphs.

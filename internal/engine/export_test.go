@@ -1,0 +1,16 @@
+package engine
+
+// HaloSizes exposes the node count of every distributed shard's halo
+// sub-instance (owned nodes + radius-r carriers) so tests can assert
+// that locality-aware partitioning shrinks carrier duplication.
+func (e *Engine) HaloSizes(radius int) ([]int, error) {
+	sn, err := e.netsFor(radius)
+	if err != nil {
+		return nil, err
+	}
+	sizes := make([]int, 0, len(sn.shards))
+	for _, s := range sn.shards {
+		sizes = append(sizes, s.net.Instance().G.N())
+	}
+	return sizes, nil
+}

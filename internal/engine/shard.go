@@ -6,19 +6,24 @@ import (
 
 	"lcp/internal/core"
 	"lcp/internal/dist"
+	"lcp/internal/partition"
 )
 
 // The sharded message-passing path. A single dist runtime spans the
 // whole graph; for large instances the engine instead spans several
-// reusable runtimes, each owning a contiguous range of the node set
-// (and each free to run goroutine-per-node or the sharded scheduler,
-// per Options.Dist). A shard's runtime is wired over the range's
-// radius-r halo — every node within distance r of an owned node — so
-// flooding inside the shard assembles exactly the views the owned nodes
-// would see in the full graph (balls nest: ball(v, r) of an owned v
-// lies entirely inside the halo, and shortest paths from v stay in the
-// ball). Only owned verdicts are reported; halo-only nodes exist to
-// carry messages.
+// reusable runtimes, each owning a group of nodes chosen by the
+// configured partitioner (and each free to run goroutine-per-node or
+// the sharded scheduler, per Options.Dist). A shard's runtime is wired
+// over the group's radius-r halo — every node within distance r of an
+// owned node — so flooding inside the shard assembles exactly the
+// views the owned nodes would see in the full graph (balls nest:
+// ball(v, r) of an owned v lies entirely inside the halo, and shortest
+// paths from v stay in the ball). Only owned verdicts are reported;
+// halo-only nodes exist to carry messages. The halo is where the
+// partitioner earns its keep: carriers are duplicated flooding work,
+// one copy per shard whose boundary they pad, and a topologically
+// tight owned set has a thin boundary — a locality-aware cut shrinks
+// exactly the nodes that are paid for more than once.
 type shardedNets struct {
 	shards []*distShard
 }
@@ -47,8 +52,23 @@ func (e *Engine) netsFor(radius int) (*shardedNets, error) {
 	c.once.Do(func() {
 		nodes := e.in.G.Nodes()
 		sn := &shardedNets{}
-		for _, r := range dist.SplitRanges(len(nodes), e.opt.shards()) {
-			owned := nodes[r[0]:r[1]]
+		shards := e.opt.shards()
+		if shards > len(nodes) {
+			shards = len(nodes)
+		}
+		var groups [][]int
+		if shards > 0 && len(nodes) > 0 {
+			assign := e.opt.partitioner().Assign(e.in.G, shards)
+			if err := partition.Validate(assign, len(nodes), shards); err != nil {
+				c.err = fmt.Errorf("engine: partitioner %q: %v", e.opt.partitioner().Name(), err)
+				return
+			}
+			groups = partition.Groups(e.in.G, assign, shards)
+		}
+		for _, owned := range groups {
+			if len(owned) == 0 {
+				continue
+			}
 			sub := e.in
 			dopt := e.opt.Dist
 			if len(owned) < len(nodes) {

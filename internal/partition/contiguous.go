@@ -1,0 +1,29 @@
+package partition
+
+import "lcp/internal/graph"
+
+// Contiguous assigns near-equal contiguous ranges of the ascending
+// identifier order to each shard — the scheduler behaviour before this
+// package existed (dist.SplitRanges over g.Nodes()). It never looks at
+// an edge, so it costs O(n) and keeps whatever locality the identifier
+// assignment happens to encode: perfect on paths, cycles and freshly
+// generated grids, no better than random once identifiers are permuted.
+type Contiguous struct{}
+
+// Name implements Partitioner.
+func (Contiguous) Name() string { return "contiguous" }
+
+// Assign implements Partitioner.
+func (Contiguous) Assign(g *graph.Graph, shards int) []int {
+	ranges := SplitRanges(g.N(), shards)
+	if ranges == nil {
+		return nil
+	}
+	assign := make([]int, g.N())
+	for s, r := range ranges {
+		for i := r[0]; i < r[1]; i++ {
+			assign[i] = s
+		}
+	}
+	return assign
+}

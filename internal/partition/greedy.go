@@ -1,0 +1,112 @@
+package partition
+
+import (
+	"sort"
+
+	"lcp/internal/graph"
+)
+
+// GreedyBalanced refines a BFSChunks assignment by local search: nodes
+// on a shard boundary move to the neighbouring shard where most of
+// their edges live, highest-degree candidates first, as long as the
+// move strictly reduces the cut and keeps shard sizes within a balance
+// envelope. Every accepted move decreases CutEdges by at least one, so
+// the refinement terminates; maxPasses bounds the sweeps for graphs
+// where improvements trickle.
+//
+// The balance envelope allows each shard to grow to ⌈n/shards⌉ plus a
+// 10% slack (at least one node) and shrink to the mirror-image floor
+// but never below one node, so a shard cannot dissolve into its
+// neighbours even when that would zero the cut — load balance is the
+// point of sharding, not an accident of it.
+type GreedyBalanced struct{}
+
+// maxPasses bounds refinement sweeps over the node set. Boundary moves
+// converge in a handful of passes on every family the benchmarks cover;
+// the bound is a safety net, not a tuning knob.
+const maxPasses = 8
+
+// Name implements Partitioner.
+func (GreedyBalanced) Name() string { return "greedy" }
+
+// Assign implements Partitioner.
+func (GreedyBalanced) Assign(g *graph.Graph, shards int) []int {
+	assign := BFSChunks{}.Assign(g, shards)
+	if assign == nil {
+		return nil
+	}
+	n := g.N()
+	shards = clampShards(n, shards)
+	if shards < 2 {
+		return assign
+	}
+	ids := g.Nodes()
+	sizes := make([]int, shards)
+	for _, s := range assign {
+		sizes[s]++
+	}
+	target := (n + shards - 1) / shards
+	slack := target / 10
+	if slack < 1 {
+		slack = 1
+	}
+	maxSize := target + slack
+	minSize := target - slack
+	if minSize < 1 {
+		minSize = 1
+	}
+
+	// Candidates in decreasing degree order (ties by ascending index for
+	// determinism): a high-degree node on the wrong side of a boundary
+	// drags many edges with it, so fixing it first both saves the most
+	// and settles the region its neighbours will be judged against.
+	deg := make([]int, n)
+	byDegree := make([]int, n)
+	for i := range byDegree {
+		deg[i] = len(g.UndirectedNeighbors(ids[i]))
+		byDegree[i] = i
+	}
+	sort.Slice(byDegree, func(a, b int) bool {
+		if deg[byDegree[a]] != deg[byDegree[b]] {
+			return deg[byDegree[a]] > deg[byDegree[b]]
+		}
+		return byDegree[a] < byDegree[b]
+	})
+
+	links := make(map[int]int, 8) // shard -> edges from the candidate into it
+	for pass := 0; pass < maxPasses; pass++ {
+		moved := false
+		for _, i := range byDegree {
+			from := assign[i]
+			if sizes[from] <= minSize {
+				continue
+			}
+			clear(links)
+			for _, w := range g.UndirectedNeighbors(ids[i]) {
+				links[assign[g.Index(w)]]++
+			}
+			// Best destination: largest gain over staying, smallest shard
+			// index as the deterministic tie-break.
+			best, bestGain := -1, 0
+			for to, l := range links {
+				if to == from || sizes[to] >= maxSize {
+					continue
+				}
+				if gain := l - links[from]; gain > bestGain || (gain == bestGain && best != -1 && to < best) {
+					best, bestGain = to, gain
+				}
+			}
+			if best == -1 || bestGain <= 0 {
+				continue
+			}
+			assign[i] = best
+			sizes[from]--
+			sizes[best]++
+			moved = true
+		}
+		if !moved {
+			break
+		}
+	}
+	return assign
+}

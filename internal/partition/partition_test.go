@@ -1,0 +1,230 @@
+package partition_test
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"lcp/internal/graph"
+	"lcp/internal/partition"
+)
+
+// all returns every registered partitioner, resolved through the
+// registry so the names stay wired to the implementations.
+func all(t *testing.T) []partition.Partitioner {
+	t.Helper()
+	var out []partition.Partitioner
+	for _, name := range partition.Names() {
+		p, err := partition.ByName(name)
+		if err != nil {
+			t.Fatalf("ByName(%q): %v", name, err)
+		}
+		if p.Name() != name {
+			t.Fatalf("ByName(%q) returned partitioner named %q", name, p.Name())
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+// TestAssignIsValidAcrossFamilies: every partitioner produces a valid,
+// balanced assignment on every family and shard count, including
+// degenerate ones.
+func TestAssignIsValidAcrossFamilies(t *testing.T) {
+	graphs := map[string]*graph.Graph{
+		"cycle-17":      graph.Cycle(17),
+		"path-9":        graph.Path(9),
+		"grid-7x5":      graph.Grid(7, 5),
+		"tree-40":       graph.RandomTree(40, 3),
+		"gnp-30":        graph.RandomGNP(30, 0.2, 5),
+		"petersen":      graph.Petersen(),
+		"disconnected":  graph.DisjointUnion(graph.Cycle(5), graph.Cycle(6).ShiftIDs(10)),
+		"single":        graph.Path(1),
+		"scrambled-5x5": graph.RandomPermutationIDs(graph.Grid(5, 5), 11),
+	}
+	for name, g := range graphs {
+		for _, p := range all(t) {
+			for _, shards := range []int{1, 2, 3, 7, g.N(), g.N() + 5} {
+				ctx := fmt.Sprintf("%s/%s/shards=%d", name, p.Name(), shards)
+				assign := p.Assign(g, shards)
+				eff := shards
+				if eff > g.N() {
+					eff = g.N()
+				}
+				if err := partition.Validate(assign, g.N(), eff); err != nil {
+					t.Fatalf("%s: %v", ctx, err)
+				}
+				// Near-equal balance: Contiguous and BFSChunks are exact
+				// (sizes differ by at most one); GreedyBalanced may trade
+				// up to its slack, which is 10% of the ceiling target but
+				// at least one node.
+				sizes := make([]int, eff)
+				for _, s := range assign {
+					sizes[s]++
+				}
+				target := (g.N() + eff - 1) / eff
+				slack := target / 10
+				if slack < 1 {
+					slack = 1
+				}
+				for s, size := range sizes {
+					if size > target+slack {
+						t.Fatalf("%s: shard %d holds %d nodes, cap %d", ctx, s, size, target+slack)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestAssignDeterministic: repeated assignments are identical — the
+// engine rebuilds them after invalidation and must land on the same
+// sharding.
+func TestAssignDeterministic(t *testing.T) {
+	g := graph.RandomPermutationIDs(graph.Grid(9, 9), 2)
+	for _, p := range all(t) {
+		a := p.Assign(g, 4)
+		for i := 0; i < 3; i++ {
+			if b := p.Assign(g, 4); !reflect.DeepEqual(a, b) {
+				t.Fatalf("%s: assignment differs between runs", p.Name())
+			}
+		}
+	}
+}
+
+// TestAssignDegenerate: empty graphs and non-positive shard counts
+// yield nil, exactly one shard yields the all-zero assignment.
+func TestAssignDegenerate(t *testing.T) {
+	empty := graph.NewBuilder(graph.Undirected).Graph()
+	g := graph.Cycle(5)
+	for _, p := range all(t) {
+		if a := p.Assign(empty, 3); a != nil {
+			t.Errorf("%s: empty graph: got %v, want nil", p.Name(), a)
+		}
+		if a := p.Assign(g, 0); a != nil {
+			t.Errorf("%s: zero shards: got %v, want nil", p.Name(), a)
+		}
+		if a := p.Assign(g, -2); a != nil {
+			t.Errorf("%s: negative shards: got %v, want nil", p.Name(), a)
+		}
+		a := p.Assign(g, 1)
+		for i, s := range a {
+			if s != 0 {
+				t.Errorf("%s: single shard: node index %d on shard %d", p.Name(), i, s)
+			}
+		}
+	}
+}
+
+// TestContiguousMatchesSplitRanges: Contiguous is exactly the historic
+// id-range sharding — the dist scheduler's behaviour before this
+// package existed.
+func TestContiguousMatchesSplitRanges(t *testing.T) {
+	g := graph.RandomTree(23, 1)
+	for _, shards := range []int{1, 2, 5, 23} {
+		assign := partition.Contiguous{}.Assign(g, shards)
+		for s, r := range partition.SplitRanges(g.N(), shards) {
+			for i := r[0]; i < r[1]; i++ {
+				if assign[i] != s {
+					t.Fatalf("shards=%d: index %d on shard %d, want range shard %d", shards, i, assign[i], s)
+				}
+			}
+		}
+	}
+}
+
+// TestSplitRanges pins the splitter's contract: a cover of [0, n) by
+// ascending, near-equal, non-empty ranges.
+func TestSplitRanges(t *testing.T) {
+	for _, tc := range []struct{ n, parts int }{
+		{10, 3}, {3, 10}, {1, 1}, {7, 7}, {100, 8}, {0, 4}, {5, 0}, {5, -1},
+	} {
+		ranges := partition.SplitRanges(tc.n, tc.parts)
+		if tc.n == 0 || tc.parts <= 0 {
+			if ranges != nil {
+				t.Errorf("SplitRanges(%d,%d) = %v, want nil", tc.n, tc.parts, ranges)
+			}
+			continue
+		}
+		lo := 0
+		for _, r := range ranges {
+			if r[0] != lo || r[1] <= r[0] {
+				t.Fatalf("SplitRanges(%d,%d): bad range %v at lo=%d", tc.n, tc.parts, r, lo)
+			}
+			lo = r[1]
+		}
+		if lo != tc.n {
+			t.Fatalf("SplitRanges(%d,%d) covers [0,%d), want [0,%d)", tc.n, tc.parts, lo, tc.n)
+		}
+	}
+}
+
+// TestCutEdgesCounts: hand-checked cut on a path split two ways.
+func TestCutEdgesCounts(t *testing.T) {
+	g := graph.Path(6) // 1-2-3-4-5-6
+	if cut := partition.CutEdges(g, []int{0, 0, 0, 1, 1, 1}); cut != 1 {
+		t.Errorf("half split: cut = %d, want 1", cut)
+	}
+	if cut := partition.CutEdges(g, []int{0, 1, 0, 1, 0, 1}); cut != 5 {
+		t.Errorf("alternating: cut = %d, want 5", cut)
+	}
+	if cut := partition.CutEdges(g, []int{0, 0, 0, 0, 0, 0}); cut != 0 {
+		t.Errorf("single shard: cut = %d, want 0", cut)
+	}
+}
+
+// TestGreedyNeverWorseThanBFS: refinement only accepts strictly
+// improving moves, so the greedy cut is bounded by the BFS cut on every
+// family.
+func TestGreedyNeverWorseThanBFS(t *testing.T) {
+	for name, g := range map[string]*graph.Graph{
+		"grid":  graph.RandomPermutationIDs(graph.Grid(12, 12), 3),
+		"tree":  graph.RandomPermutationIDs(graph.RandomTree(200, 4), 5),
+		"gnp":   graph.RandomGNP(120, 0.05, 6),
+		"cycle": graph.Cycle(97),
+	} {
+		for _, shards := range []int{2, 4, 8} {
+			bfs := partition.CutEdges(g, partition.BFSChunks{}.Assign(g, shards))
+			greedy := partition.CutEdges(g, partition.GreedyBalanced{}.Assign(g, shards))
+			if greedy > bfs {
+				t.Errorf("%s shards=%d: greedy cut %d > bfs cut %d", name, shards, greedy, bfs)
+			}
+		}
+	}
+}
+
+// TestValidateRejects: the schedulers' guard catches truncated and
+// out-of-range assignments.
+func TestValidateRejects(t *testing.T) {
+	if err := partition.Validate([]int{0, 1}, 3, 2); err == nil {
+		t.Error("short assignment accepted")
+	}
+	if err := partition.Validate([]int{0, 2, 1}, 3, 2); err == nil {
+		t.Error("out-of-range shard accepted")
+	}
+	if err := partition.Validate([]int{0, -1, 1}, 3, 2); err == nil {
+		t.Error("negative shard accepted")
+	}
+	if err := partition.Validate([]int{0, 1, 1}, 3, 2); err != nil {
+		t.Errorf("valid assignment rejected: %v", err)
+	}
+}
+
+// TestByNameUnknown: the registry rejects junk with the known names in
+// the message.
+func TestByNameUnknown(t *testing.T) {
+	if _, err := partition.ByName("quantum"); err == nil {
+		t.Error("unknown partitioner accepted")
+	}
+}
+
+// TestGroups: grouping inverts the assignment with ids in ascending
+// order, empty shards included.
+func TestGroups(t *testing.T) {
+	g := graph.Path(5)
+	groups := partition.Groups(g, []int{2, 0, 2, 0, 2}, 4)
+	want := [][]int{{2, 4}, nil, {1, 3, 5}, nil}
+	if !reflect.DeepEqual(groups, want) {
+		t.Errorf("Groups = %v, want %v", groups, want)
+	}
+}

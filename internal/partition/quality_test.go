@@ -1,0 +1,99 @@
+package partition_test
+
+// Partition quality assertions (the ROADMAP's "cross-shard edge count
+// on grids/trees is unnecessarily high" item): after the identifiers
+// are scrambled by a random permutation — the realistic case, since the
+// paper only promises V ⊆ {1..poly(n)}, not that ids follow topology —
+// contiguous id-range sharding degenerates to a near-random partition
+// while BFS chunking keeps following the edges. BENCH_partition.json
+// records the same counts alongside round throughput.
+
+import (
+	"fmt"
+	"testing"
+
+	"lcp/internal/graph"
+	"lcp/internal/partition"
+)
+
+func cutOf(t *testing.T, p partition.Partitioner, g *graph.Graph, shards int) int {
+	t.Helper()
+	assign := p.Assign(g, shards)
+	if err := partition.Validate(assign, g.N(), shards); err != nil {
+		t.Fatalf("%s: %v", p.Name(), err)
+	}
+	return partition.CutEdges(g, assign)
+}
+
+// TestBFSBeatsContiguousOnScrambledGrid: Grid(16,16) with permuted
+// identifiers, across shard counts — BFSChunks must produce strictly
+// fewer cross-shard edges than Contiguous.
+func TestBFSBeatsContiguousOnScrambledGrid(t *testing.T) {
+	for seed := int64(0); seed < 3; seed++ {
+		g := graph.RandomPermutationIDs(graph.Grid(16, 16), seed)
+		for _, shards := range []int{2, 4, 8} {
+			contig := cutOf(t, partition.Contiguous{}, g, shards)
+			bfs := cutOf(t, partition.BFSChunks{}, g, shards)
+			if bfs >= contig {
+				t.Errorf("grid seed=%d shards=%d: bfs cut %d, contiguous cut %d — want strictly fewer",
+					seed, shards, bfs, contig)
+			}
+		}
+	}
+}
+
+// TestBFSBeatsContiguousOnScrambledTree: RandomTree(512) with permuted
+// identifiers. A tree has n-1 edges total, so a near-random partition
+// cuts almost all of them while BFS chunks cut a handful.
+func TestBFSBeatsContiguousOnScrambledTree(t *testing.T) {
+	for seed := int64(0); seed < 3; seed++ {
+		g := graph.RandomPermutationIDs(graph.RandomTree(512, seed), seed+100)
+		for _, shards := range []int{2, 4, 8} {
+			contig := cutOf(t, partition.Contiguous{}, g, shards)
+			bfs := cutOf(t, partition.BFSChunks{}, g, shards)
+			if bfs >= contig {
+				t.Errorf("tree seed=%d shards=%d: bfs cut %d, contiguous cut %d — want strictly fewer",
+					seed, shards, bfs, contig)
+			}
+		}
+	}
+}
+
+// TestAcceptanceGrid32: the PR's acceptance bar — on Grid(32,32) with 8
+// shards and scrambled identifiers, BFSChunks cuts at least 30% fewer
+// cross-shard edges than Contiguous. The recorded numbers live in
+// BENCH_partition.json.
+func TestAcceptanceGrid32(t *testing.T) {
+	g := graph.RandomPermutationIDs(graph.Grid(32, 32), 1)
+	contig := cutOf(t, partition.Contiguous{}, g, 8)
+	bfs := cutOf(t, partition.BFSChunks{}, g, 8)
+	greedy := cutOf(t, partition.GreedyBalanced{}, g, 8)
+	if float64(bfs) > 0.7*float64(contig) {
+		t.Errorf("bfs cut %d vs contiguous %d: reduction %.1f%%, want ≥ 30%%",
+			bfs, contig, 100*(1-float64(bfs)/float64(contig)))
+	}
+	if greedy > bfs {
+		t.Errorf("greedy cut %d regressed past bfs %d", greedy, bfs)
+	}
+	t.Logf("Grid(32,32) shards=8 scrambled: contiguous=%d bfs=%d greedy=%d", contig, bfs, greedy)
+}
+
+// TestQualityLogTable prints the cut-edge table for the families the
+// benchmark records, as a human-readable anchor in -v runs.
+func TestQualityLogTable(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"grid-32x32", graph.RandomPermutationIDs(graph.Grid(32, 32), 1)},
+		{"tree-1024", graph.RandomPermutationIDs(graph.RandomTree(1024, 2), 3)},
+		{"gnp-512", graph.RandomGNP(512, 0.01, 4)},
+	} {
+		line := tc.name + ":"
+		for _, name := range partition.Names() {
+			p, _ := partition.ByName(name)
+			line += fmt.Sprintf(" %s=%d", name, partition.CutEdges(tc.g, p.Assign(tc.g, 8)))
+		}
+		t.Log(line)
+	}
+}

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"container/list"
 	"context"
 	"encoding/json"
 	"fmt"
@@ -11,56 +12,121 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"lcp/internal/bitstr"
 	"lcp/internal/core"
 	"lcp/internal/engine"
+	"lcp/internal/partition"
 	"lcp/internal/textio"
 )
 
 // maxBodyBytes bounds request bodies (instances and proof batches).
 const maxBodyBytes = 16 << 20
 
+// Config tunes the server itself, as opposed to the engines it wires
+// (engine.Options). The zero value keeps every registered instance
+// forever — the pre-eviction behaviour.
+type Config struct {
+	// MaxInstances bounds the in-memory instance store. When a new
+	// registration would exceed it, the least-recently-used instance is
+	// evicted: its engine (and every cached view skeleton and wiring
+	// inside) becomes garbage once in-flight checks drain, and later
+	// requests naming it get a 404 with code "evicted" so clients can
+	// distinguish "never existed" from "aged out, re-register it".
+	// 0 means unbounded.
+	MaxInstances int
+}
+
 // Server is the HTTP verification service. Create with New; it
 // implements http.Handler and is safe for concurrent use.
 type Server struct {
 	schemes map[string]core.Scheme
 	opt     engine.Options
+	cfg     Config
 	mux     *http.ServeMux
+	stats   map[string]*endpointStats
 
-	mu        sync.Mutex
-	instances map[string]*instanceEntry
-	nextID    int
+	mu           sync.Mutex
+	instances    map[string]*instanceEntry
+	lru          *list.List          // *instanceEntry, most recently used in front
+	evicted      map[string]struct{} // ids dropped by the MaxInstances policy
+	evictedQ     []string            // same ids, oldest first, for pruning
+	evictedTotal int64               // monotone eviction count, for /stats
+	nextID       int
 }
+
+// maxEvictedRemembered bounds how many evicted ids keep their distinct
+// 404 body. The set exists for client UX, not correctness, so under
+// registration churn the oldest evictions age out to a plain "unknown
+// instance" error instead of growing the server's memory with every id
+// ever evicted.
+const maxEvictedRemembered = 1024
 
 type instanceEntry struct {
 	ID     string
 	Doc    *textio.Document
 	Engine *engine.Engine
+	elem   *list.Element // LRU position; nil for inline one-shot entries
+	// alt holds lazily wired engines for per-request partitioner
+	// overrides, keyed by partitioner name and guarded by the server
+	// mutex. They share the entry's instance; only the distributed-shard
+	// cut differs, so each warms its own runtime caches on first use.
+	alt map[string]*engine.Engine
+}
+
+// endpointStats is one endpoint's request counter and latency sum,
+// updated lock-free on every call and reported by GET /stats.
+type endpointStats struct {
+	requests  atomic.Int64
+	latencyNS atomic.Int64
 }
 
 // New builds a server over the given scheme registry (normally
 // lcp.BuiltinSchemes()). The engine options apply to every instance the
 // server wires.
 func New(schemes map[string]core.Scheme, opt engine.Options) *Server {
+	return NewWith(schemes, opt, Config{})
+}
+
+// NewWith is New with an explicit server configuration.
+func NewWith(schemes map[string]core.Scheme, opt engine.Options, cfg Config) *Server {
 	s := &Server{
 		schemes:   schemes,
 		opt:       opt,
+		cfg:       cfg,
 		mux:       http.NewServeMux(),
+		stats:     make(map[string]*endpointStats),
 		instances: make(map[string]*instanceEntry),
+		lru:       list.New(),
+		evicted:   make(map[string]struct{}),
 	}
-	s.mux.HandleFunc("POST /instances", s.handleCreateInstance)
-	s.mux.HandleFunc("GET /instances", s.handleListInstances)
-	s.mux.HandleFunc("DELETE /instances/{id}", s.handleDeleteInstance)
-	s.mux.HandleFunc("POST /prove", s.handleProve)
-	s.mux.HandleFunc("POST /check", s.handleCheck)
-	s.mux.HandleFunc("POST /check/batch", s.handleCheckBatch)
-	s.mux.HandleFunc("POST /check/stream", s.handleCheckStream)
-	s.mux.HandleFunc("GET /schemes", s.handleSchemes)
-	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+	s.handle("POST /instances", s.handleCreateInstance)
+	s.handle("GET /instances", s.handleListInstances)
+	s.handle("DELETE /instances/{id}", s.handleDeleteInstance)
+	s.handle("POST /prove", s.handleProve)
+	s.handle("POST /check", s.handleCheck)
+	s.handle("POST /check/batch", s.handleCheckBatch)
+	s.handle("POST /check/stream", s.handleCheckStream)
+	s.handle("GET /schemes", s.handleSchemes)
+	s.handle("GET /stats", s.handleStats)
+	s.handle("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
 	})
 	return s
+}
+
+// handle registers a handler wrapped with per-endpoint metrics: a
+// request count and a latency sum, cheap enough to sit on every call.
+func (s *Server) handle(pattern string, fn http.HandlerFunc) {
+	st := &endpointStats{}
+	s.stats[pattern] = st
+	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		fn(w, r)
+		st.requests.Add(1)
+		st.latencyNS.Add(int64(time.Since(start)))
+	})
 }
 
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
@@ -84,6 +150,13 @@ type checkRequest struct {
 	Proofs []map[string]string `json:"proofs,omitempty"`
 	// Distributed selects the sharded message-passing path.
 	Distributed bool `json:"distributed,omitempty"`
+	// Partitioner overrides how the distributed path assigns nodes to
+	// shards for this request: "contiguous", "bfs", or "greedy" (see
+	// internal/partition). Requires Distributed. Empty means the
+	// server's configured default. Each named partitioner gets its own
+	// long-lived engine per registered instance, so repeated requests
+	// amortize exactly like the default one.
+	Partitioner string `json:"partitioner,omitempty"`
 	// StopOnReject makes /check/stream cancel remaining work as soon
 	// as the first rejection streams out.
 	StopOnReject bool `json:"stop_on_reject,omitempty"`
@@ -98,6 +171,10 @@ type checkResponse struct {
 
 type errorResponse struct {
 	Error string `json:"error"`
+	// Code distinguishes machine-actionable failures; "evicted" marks
+	// an instance dropped by the -max-instances LRU policy (the client
+	// should re-register, not fix its id).
+	Code string `json:"code,omitempty"`
 }
 
 type instanceInfo struct {
@@ -151,6 +228,18 @@ func rejectFields(w http.ResponseWriter, req *checkRequest, endpoint string) boo
 	}
 	if req.Distributed && (endpoint == "/prove" || endpoint == "/check/stream") {
 		return bad("distributed")
+	}
+	if req.Partitioner != "" {
+		if endpoint == "/prove" || endpoint == "/check/stream" {
+			return bad("partitioner")
+		}
+		// The partitioner shapes the distributed shard cut; on the
+		// cached-view path it would be silently ignored, which is the
+		// exact client bug this guard exists for.
+		if !req.Distributed {
+			writeError(w, http.StatusBadRequest, "%q requires %q", "partitioner", "distributed")
+			return false
+		}
 	}
 	return true
 }
@@ -210,42 +299,110 @@ func (s safeVerifier) Verify(w *core.View) (ok bool) {
 	return s.v.Verify(w)
 }
 
-// resolve turns a check request into (engine, verifier, proof). For
-// registered instances the long-lived engine is returned; for inline
-// documents a one-shot engine is wired on the spot.
-func (s *Server) resolve(req *checkRequest) (*engine.Engine, *textio.Document, core.Scheme, error) {
+// httpError carries an explicit status and machine-readable code
+// through the resolve path; writeResolveError renders it (and falls
+// back to a plain 400 for ordinary validation errors).
+type httpError struct {
+	status int
+	code   string
+	msg    string
+}
+
+func (e *httpError) Error() string { return e.msg }
+
+func writeResolveError(w http.ResponseWriter, err error) {
+	if he, ok := err.(*httpError); ok {
+		writeJSON(w, he.status, errorResponse{Error: he.msg, Code: he.code})
+		return
+	}
+	writeError(w, http.StatusBadRequest, "%v", err)
+}
+
+// resolve turns a check request into (entry, scheme). For registered
+// instances the long-lived entry is returned (and touched in the LRU
+// order); for inline documents a one-shot entry is wired on the spot.
+func (s *Server) resolve(req *checkRequest) (*instanceEntry, core.Scheme, error) {
 	var entry *instanceEntry
 	switch {
 	case req.Instance != "" && req.Document != "":
-		return nil, nil, nil, fmt.Errorf("set either instance or document, not both")
+		return nil, nil, fmt.Errorf("set either instance or document, not both")
 	case req.Instance != "":
 		s.mu.Lock()
 		entry = s.instances[req.Instance]
+		if entry != nil {
+			s.lru.MoveToFront(entry.elem)
+		}
+		_, wasEvicted := s.evicted[req.Instance]
 		s.mu.Unlock()
 		if entry == nil {
-			return nil, nil, nil, fmt.Errorf("unknown instance %q", req.Instance)
+			if wasEvicted {
+				return nil, nil, &httpError{
+					status: http.StatusNotFound,
+					code:   "evicted",
+					msg: fmt.Sprintf("instance %q was evicted by the instance store's LRU policy (-max-instances=%d); re-register it",
+						req.Instance, s.cfg.MaxInstances),
+				}
+			}
+			return nil, nil, fmt.Errorf("unknown instance %q", req.Instance)
 		}
 	case req.Document != "":
 		doc, err := textio.Parse(strings.NewReader(req.Document))
 		if err != nil {
-			return nil, nil, nil, fmt.Errorf("parse document: %v", err)
+			return nil, nil, fmt.Errorf("parse document: %v", err)
 		}
 		entry = &instanceEntry{Doc: doc, Engine: engine.New(doc.Instance, s.opt)}
 	default:
-		return nil, nil, nil, fmt.Errorf("missing instance id or inline document")
+		return nil, nil, fmt.Errorf("missing instance id or inline document")
 	}
 	name := req.Scheme
 	if name == "" {
 		name = entry.Doc.SchemeName
 	}
 	if name == "" {
-		return nil, nil, nil, fmt.Errorf("no scheme: set \"scheme\" in the request or a scheme directive in the document")
+		return nil, nil, fmt.Errorf("no scheme: set \"scheme\" in the request or a scheme directive in the document")
 	}
 	scheme, ok := s.schemes[name]
 	if !ok {
-		return nil, nil, nil, fmt.Errorf("unknown scheme %q (GET /schemes lists them)", name)
+		return nil, nil, fmt.Errorf("unknown scheme %q (GET /schemes lists them)", name)
 	}
-	return entry.Engine, entry.Doc, scheme, nil
+	return entry, scheme, nil
+}
+
+// engineFor picks the entry's engine for the request's partitioner
+// override. The empty override — and an override naming the server's
+// configured default — is the primary engine; any other name gets a
+// lazily wired engine of its own, cached on the entry so repeated
+// requests amortize their view and runtime caches exactly like the
+// default path.
+func (s *Server) engineFor(entry *instanceEntry, name string) (*engine.Engine, error) {
+	def := "contiguous"
+	if s.opt.Partitioner != nil {
+		def = s.opt.Partitioner.Name()
+	}
+	if name == "" || name == def {
+		return entry.Engine, nil
+	}
+	p, err := partition.ByName(name)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if e, ok := entry.alt[name]; ok {
+		return e, nil
+	}
+	opt := s.opt
+	// One policy at both levels, mirroring lcpserve's -partitioner
+	// flag: the halo cut across dist runtimes and the shard layout
+	// inside each runtime.
+	opt.Partitioner = p
+	opt.Dist.Partitioner = p
+	e := engine.New(entry.Doc.Instance, opt)
+	if entry.alt == nil {
+		entry.alt = make(map[string]*engine.Engine)
+	}
+	entry.alt[name] = e
+	return e, nil
 }
 
 // requestProof picks the proof for a single-proof request: the inline
@@ -274,6 +431,21 @@ func (s *Server) handleCreateInstance(w http.ResponseWriter, r *http.Request) {
 		Doc:    doc,
 		Engine: engine.New(doc.Instance, s.opt),
 	}
+	// Evict from the cold end until the newcomer fits. In-flight checks
+	// on an evicted engine finish on the caches they resolved; the
+	// engine is garbage once they drain.
+	for s.cfg.MaxInstances > 0 && s.lru.Len() >= s.cfg.MaxInstances {
+		old := s.lru.Remove(s.lru.Back()).(*instanceEntry)
+		delete(s.instances, old.ID)
+		s.evicted[old.ID] = struct{}{}
+		s.evictedTotal++
+		s.evictedQ = append(s.evictedQ, old.ID)
+		if len(s.evictedQ) > maxEvictedRemembered {
+			delete(s.evicted, s.evictedQ[0])
+			s.evictedQ = append(s.evictedQ[:0], s.evictedQ[1:]...)
+		}
+	}
+	entry.elem = s.lru.PushFront(entry)
 	s.instances[entry.ID] = entry
 	s.mu.Unlock()
 	writeJSON(w, http.StatusCreated, s.info(entry))
@@ -305,8 +477,19 @@ func (s *Server) handleDeleteInstance(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	entry := s.instances[id]
 	delete(s.instances, id)
+	if entry != nil {
+		s.lru.Remove(entry.elem)
+	}
+	_, wasEvicted := s.evicted[id]
 	s.mu.Unlock()
 	if entry == nil {
+		if wasEvicted {
+			writeJSON(w, http.StatusNotFound, errorResponse{
+				Error: fmt.Sprintf("instance %q was already evicted", id),
+				Code:  "evicted",
+			})
+			return
+		}
 		writeError(w, http.StatusNotFound, "unknown instance %q", id)
 		return
 	}
@@ -320,12 +503,12 @@ func (s *Server) handleProve(w http.ResponseWriter, r *http.Request) {
 	if !decodeJSON(w, r, &req) || !rejectFields(w, &req, "/prove") {
 		return
 	}
-	e, _, scheme, err := s.resolve(&req)
+	entry, scheme, err := s.resolve(&req)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		writeResolveError(w, err)
 		return
 	}
-	proof, err := scheme.Prove(e.Instance())
+	proof, err := scheme.Prove(entry.Engine.Instance())
 	if err != nil {
 		writeError(w, http.StatusUnprocessableEntity, "prove: %v", err)
 		return
@@ -358,12 +541,17 @@ func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) {
 	if !decodeJSON(w, r, &req) || !rejectFields(w, &req, "/check") {
 		return
 	}
-	e, doc, scheme, err := s.resolve(&req)
+	entry, scheme, err := s.resolve(&req)
+	if err != nil {
+		writeResolveError(w, err)
+		return
+	}
+	e, err := s.engineFor(entry, req.Partitioner)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	p, err := requestProof(e, doc, &req)
+	p, err := requestProof(e, entry.Doc, &req)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
@@ -381,7 +569,12 @@ func (s *Server) handleCheckBatch(w http.ResponseWriter, r *http.Request) {
 	if !decodeJSON(w, r, &req) || !rejectFields(w, &req, "/check/batch") {
 		return
 	}
-	e, _, scheme, err := s.resolve(&req)
+	entry, scheme, err := s.resolve(&req)
+	if err != nil {
+		writeResolveError(w, err)
+		return
+	}
+	e, err := s.engineFor(entry, req.Partitioner)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
@@ -491,12 +684,13 @@ func (s *Server) handleCheckStream(w http.ResponseWriter, r *http.Request) {
 	if !decodeJSON(w, r, &req) || !rejectFields(w, &req, "/check/stream") {
 		return
 	}
-	e, doc, scheme, err := s.resolve(&req)
+	entry, scheme, err := s.resolve(&req)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		writeResolveError(w, err)
 		return
 	}
-	p, err := requestProof(e, doc, &req)
+	e := entry.Engine
+	p, err := requestProof(e, entry.Doc, &req)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
@@ -548,4 +742,34 @@ func (s *Server) handleSchemes(w http.ResponseWriter, r *http.Request) {
 	}
 	sort.Strings(names)
 	writeJSON(w, http.StatusOK, names)
+}
+
+// statsEntry is one endpoint's row in the GET /stats response. The
+// counters are monotone since process start; the derived average is a
+// convenience, the sums are what a scraper should rate().
+type statsEntry struct {
+	Requests       int64   `json:"requests"`
+	LatencyNSTotal int64   `json:"latency_ns_total"`
+	LatencyMSAvg   float64 `json:"latency_ms_avg"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	endpoints := make(map[string]statsEntry, len(s.stats))
+	for pattern, st := range s.stats {
+		n := st.requests.Load()
+		row := statsEntry{Requests: n, LatencyNSTotal: st.latencyNS.Load()}
+		if n > 0 {
+			row.LatencyMSAvg = float64(row.LatencyNSTotal) / float64(n) / 1e6
+		}
+		endpoints[pattern] = row
+	}
+	s.mu.Lock()
+	instances, evicted := len(s.instances), s.evictedTotal
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"endpoints":         endpoints,
+		"instances":         instances,
+		"instances_evicted": evicted,
+		"max_instances":     s.cfg.MaxInstances,
+	})
 }

@@ -27,6 +27,7 @@ import (
 	"lcp/internal/dist"
 	"lcp/internal/engine"
 	"lcp/internal/graph"
+	"lcp/internal/partition"
 	"lcp/internal/schemes"
 )
 
@@ -117,10 +118,40 @@ func CheckDistributed(in *Instance, p Proof, v Verifier) (*Result, error) {
 
 // DistOptions tunes the message-passing runtime's scheduler: sharded
 // execution (nodes batched onto O(GOMAXPROCS) shared goroutines with
-// direct same-shard delivery), round synchronization (lockstep barrier
-// vs free-running α-synchronization), decision fan-out, and port
-// buffering.
+// direct same-shard delivery), the node→shard partitioner, round
+// synchronization (lockstep barrier vs free-running α-synchronization),
+// decision fan-out, and port buffering.
 type DistOptions = dist.Options
+
+// Partitioner computes a node→shard assignment for the sharded
+// schedulers: the dist runtime's shard layout (DistOptions.Partitioner)
+// and the engine's distributed halo cut (EngineOptions.Partitioner).
+// Cross-shard edges are what sharded execution pays for — channels,
+// per-round message traffic, duplicated halo carriers — so a
+// partitioner that follows graph topology instead of identifier order
+// cuts the simulation's real cost without moving a single verdict.
+type Partitioner = partition.Partitioner
+
+// ContiguousPartitioner assigns near-equal contiguous identifier ranges
+// — the zero-configuration default everywhere, ideal when identifiers
+// happen to follow topology.
+func ContiguousPartitioner() Partitioner { return partition.Contiguous{} }
+
+// BFSChunksPartitioner chunks a breadth-first traversal order, so each
+// shard is a topologically tight region regardless of identifier
+// assignment. On a scrambled 32×32 grid with 8 shards it cuts 81% fewer
+// cross-shard edges than the contiguous default (BENCH_partition.json).
+func BFSChunksPartitioner() Partitioner { return partition.BFSChunks{} }
+
+// GreedyBalancedPartitioner refines the BFS chunks by moving boundary
+// nodes toward the shard holding most of their edges, under a balance
+// constraint — the highest-quality, highest-cost option.
+func GreedyBalancedPartitioner() Partitioner { return partition.GreedyBalanced{} }
+
+// PartitionerByName resolves "contiguous", "bfs", or "greedy" — the
+// names accepted by lcpserve's -partitioner flag and the HTTP
+// "partitioner" request option.
+func PartitionerByName(name string) (Partitioner, error) { return partition.ByName(name) }
 
 // CheckDistributedWith is CheckDistributed with an explicit scheduler
 // configuration. DistOptions{Sharded: true} selects the sharded layout,
@@ -147,8 +178,8 @@ func ProveAndCheck(in *Instance, s Scheme) (Proof, *Result, error) {
 type (
 	// Engine is the amortized verification service for one instance.
 	Engine = engine.Engine
-	// EngineOptions tunes workers, message-passing shards, and the
-	// sharded runtimes' scheduler.
+	// EngineOptions tunes workers, message-passing shards, the halo
+	// partitioner, and the sharded runtimes' scheduler.
 	EngineOptions = engine.Options
 	// Verdict is one node's decision as streamed by Engine.CheckStream.
 	Verdict = engine.Verdict
