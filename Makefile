@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet doclint test test-short race bench bench-smoke
+.PHONY: check build vet doclint test test-short race bench bench-smoke load-smoke
 
 check: build vet doclint test
 
@@ -38,3 +38,14 @@ bench:
 # or fail their own assertions, without paying for a real measurement.
 bench-smoke:
 	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
+
+# load-smoke fires a short burst of real HTTP traffic at an in-process
+# lcpserve (cmd/lcpload with no -url): a few seconds of /check and
+# /check/batch at modest concurrency, one run per backend family. It
+# exists to catch a service stack that no longer survives concurrent
+# load (lcpload exits non-zero on any failed request), not to measure —
+# `lcpload -duration 10s -concurrency 16` against a real daemon does
+# that.
+load-smoke:
+	$(GO) run ./cmd/lcpload -duration 2s -concurrency 4 -nodes 64 -batch 8
+	$(GO) run ./cmd/lcpload -duration 2s -concurrency 4 -nodes 64 -batch 8 -backend engine-dist -partitioner bfs

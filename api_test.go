@@ -1,0 +1,173 @@
+package lcp_test
+
+// The public-API golden test: the exported surface of package lcp,
+// rendered from the parsed source, must match testdata/api.txt. An
+// intentional API change regenerates the file with
+//
+//	go test -run TestPublicAPIGolden -update-api .
+//
+// and the diff lands in review; an accidental one (a renamed option, a
+// changed signature, a dropped re-export) fails here first. The façade
+// PR exists to make this surface deliberate — keep it that way.
+
+import (
+	"bytes"
+	"flag"
+	"go/ast"
+	"go/parser"
+	"go/printer"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+)
+
+var updateAPI = flag.Bool("update-api", false, "rewrite testdata/api.txt with the current public API")
+
+func TestPublicAPIGolden(t *testing.T) {
+	got := renderPublicAPI(t)
+	const golden = "testdata/api.txt"
+	if *updateAPI {
+		if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden: %v (regenerate with -update-api)", err)
+	}
+	if got != string(want) {
+		t.Fatalf("public API surface changed.\nIf intentional, regenerate with:\n\tgo test -run TestPublicAPIGolden -update-api .\n\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+// renderPublicAPI parses every non-test file of the root package and
+// renders each exported top-level declaration (functions, methods on
+// exported types, and the exported specs of const/var/type blocks),
+// sorted for stability.
+func renderPublicAPI(t *testing.T) string {
+	t.Helper()
+	fset := token.NewFileSet()
+	files, err := filepath.Glob("*.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decls []string
+	for _, file := range files {
+		if strings.HasSuffix(file, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, file, nil, parser.SkipObjectResolution)
+		if err != nil {
+			t.Fatalf("parse %s: %v", file, err)
+		}
+		for _, d := range f.Decls {
+			for _, rendered := range renderDecl(t, fset, d) {
+				decls = append(decls, rendered)
+			}
+		}
+	}
+	sort.Strings(decls)
+	return strings.Join(decls, "\n") + "\n"
+}
+
+func renderDecl(t *testing.T, fset *token.FileSet, d ast.Decl) []string {
+	t.Helper()
+	switch d := d.(type) {
+	case *ast.FuncDecl:
+		if !d.Name.IsExported() || !exportedRecv(d) {
+			return nil
+		}
+		fn := *d
+		fn.Doc = nil
+		fn.Body = nil
+		return []string{print(t, fset, &fn)}
+	case *ast.GenDecl:
+		var out []string
+		for _, spec := range d.Specs {
+			rendered := renderSpec(t, fset, d.Tok, spec)
+			if rendered != "" {
+				out = append(out, rendered)
+			}
+		}
+		return out
+	}
+	return nil
+}
+
+// exportedRecv reports whether a method's receiver names an exported
+// type (methods on unexported types are not API).
+func exportedRecv(d *ast.FuncDecl) bool {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return true
+	}
+	typ := d.Recv.List[0].Type
+	for {
+		switch u := typ.(type) {
+		case *ast.StarExpr:
+			typ = u.X
+		case *ast.IndexExpr:
+			typ = u.X
+		case *ast.Ident:
+			return u.IsExported()
+		default:
+			return false
+		}
+	}
+}
+
+// renderSpec renders one exported const/var/type spec as a standalone
+// declaration line.
+func renderSpec(t *testing.T, fset *token.FileSet, tok token.Token, spec ast.Spec) string {
+	t.Helper()
+	switch s := spec.(type) {
+	case *ast.TypeSpec:
+		if !s.Name.IsExported() {
+			return ""
+		}
+		cp := *s
+		cp.Doc, cp.Comment = nil, nil
+		return tok.String() + " " + print(t, fset, &cp)
+	case *ast.ValueSpec:
+		cp := *s
+		cp.Doc, cp.Comment = nil, nil
+		var names []*ast.Ident
+		var values []ast.Expr
+		for i, name := range s.Names {
+			if !name.IsExported() {
+				continue
+			}
+			names = append(names, name)
+			if i < len(s.Values) {
+				values = append(values, s.Values[i])
+			}
+		}
+		if len(names) == 0 {
+			return ""
+		}
+		cp.Names = names
+		if len(values) == len(names) {
+			cp.Values = values
+		}
+		return tok.String() + " " + print(t, fset, &cp)
+	}
+	return ""
+}
+
+func print(t *testing.T, fset *token.FileSet, node any) string {
+	t.Helper()
+	var buf bytes.Buffer
+	cfg := printer.Config{Mode: printer.UseSpaces, Tabwidth: 8}
+	if err := cfg.Fprint(&buf, fset, node); err != nil {
+		t.Fatal(err)
+	}
+	// Collapse the declaration onto one logical record: inner newlines
+	// become "; " so the golden file diffs line-per-symbol.
+	out := strings.Join(strings.Fields(buf.String()), " ")
+	return out
+}

@@ -1,0 +1,474 @@
+package lcp
+
+// The unified verification façade. The paper studies exactly one
+// object — a constant-radius local verifier run on every node — but the
+// library grew four ways to execute it: the sequential reference
+// (core.Check), the message-passing LOCAL runtime (dist), the amortized
+// cached-view engine, and the engine's halo-sharded distributed path.
+// Checker is the one front door: NewChecker compiles functional options
+// into the shared internal config.Config (the same object lcpserve
+// flags and serve's HTTP request options resolve into), every backend
+// answers with the same Report shape, and context cancellation behaves
+// uniformly across all four paths.
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"lcp/internal/config"
+	"lcp/internal/core"
+	"lcp/internal/dist"
+	"lcp/internal/engine"
+)
+
+// Backend names accepted by WithBackend. Each selects one execution
+// path; all four are property-tested verdict-identical.
+const (
+	// BackendCore: the sequential reference runner — one BFS view per
+	// node per proof, no caching, no concurrency.
+	BackendCore = string(config.BackendCore)
+	// BackendDist: the message-passing LOCAL runtime — node automata
+	// flood radius-r balls over ports; WithSharded/WithShards/
+	// WithFreeRunning tune its scheduler.
+	BackendDist = string(config.BackendDist)
+	// BackendEngine: the amortized engine — radius-r view skeletons
+	// cached per instance, checks served by a WithWorkers-bounded pool.
+	// This is the default backend.
+	BackendEngine = string(config.BackendEngine)
+	// BackendEngineDist: the distributed engine — the instance is cut
+	// into WithRuntimes radius-r halos (by WithPartitioner), each owned
+	// by a reusable message-passing runtime.
+	BackendEngineDist = string(config.BackendEngineDist)
+)
+
+// Checker is the unified verification interface over one instance and
+// one verifier: construct it once with NewChecker, then fire proofs at
+// it. Implementations are safe for concurrent use and amortize whatever
+// their backend can (cached views, prewired runtimes) across calls.
+//
+// Context cancellation is uniform but backend-granular: the core
+// backend aborts between nodes, the engine backend between proofs of a
+// batch, and the message-passing backends between communication rounds
+// (lockstep mode; free-running runtimes flood to completion). A
+// verifier that panics is converted to an error on the message-passing
+// backends; on the shared-memory backends it propagates to the caller
+// of Check/CheckBatch and must be recovered around CheckStream's
+// channel (internal/serve wraps untrusted verifiers accordingly).
+type Checker interface {
+	// Check verifies one proof on every node.
+	Check(ctx context.Context, p Proof) (*Report, error)
+	// CheckBatch verifies many proofs in order, one Report per proof.
+	// On the distributed backends the proofs run concurrently on a
+	// bounded pool. The first failure aborts the batch with a
+	// *BatchError; no partial reports are returned.
+	CheckBatch(ctx context.Context, proofs []Proof) ([]*Report, error)
+	// CheckStream verifies one proof and streams per-node verdicts as
+	// they are decided; the channel closes when every node has reported
+	// or the context is cancelled. The shared-memory backends stream
+	// while deciding (cancel on the first rejection to stop paying for
+	// the rest of the graph); the message-passing backends complete
+	// their round protocol first, then stream the verdicts.
+	CheckStream(ctx context.Context, p Proof) (<-chan Verdict, error)
+}
+
+// Report is the unified result of a façade check, subsuming the legacy
+// *Result (per-node outputs, accept/reject summary) and the engine's
+// streamed Verdicts, plus timing and the backend that produced it.
+type Report struct {
+	// Backend is the execution path that produced the report.
+	Backend string
+	// Outputs is the per-node verdict map (the *Result surface).
+	Outputs map[int]bool
+	// Elapsed is the wall-clock time of the check.
+	Elapsed time.Duration
+}
+
+// Nodes is the number of nodes that decided.
+func (r *Report) Nodes() int { return len(r.Outputs) }
+
+// Accepted reports whether every node output 1.
+func (r *Report) Accepted() bool { return r.Result().Accepted() }
+
+// Rejectors returns the nodes that output 0, sorted ascending.
+func (r *Report) Rejectors() []int { return r.Result().Rejectors() }
+
+// FirstReject returns the smallest-id rejecting node; ok is false when
+// the proof was accepted everywhere.
+func (r *Report) FirstReject() (node int, ok bool) {
+	rej := r.Rejectors()
+	if len(rej) == 0 {
+		return 0, false
+	}
+	return rej[0], true
+}
+
+// Result views the report as the legacy result type.
+func (r *Report) Result() *Result { return &Result{Outputs: r.Outputs} }
+
+// Verdicts lists the per-node verdicts in ascending node order — the
+// batch form of what CheckStream emits.
+func (r *Report) Verdicts() []Verdict {
+	out := make([]Verdict, 0, len(r.Outputs))
+	for node, accept := range r.Outputs {
+		out = append(out, Verdict{Node: node, Accept: accept})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Node < out[j].Node })
+	return out
+}
+
+// BatchError locates the first failing proof of a CheckBatch.
+type BatchError struct {
+	// Index is the position of the failing proof in the batch.
+	Index int
+	// Err is the underlying failure.
+	Err error
+}
+
+func (e *BatchError) Error() string { return fmt.Sprintf("proofs[%d]: %v", e.Index, e.Err) }
+
+// Unwrap exposes the underlying failure to errors.Is/As.
+func (e *BatchError) Unwrap() error { return e.Err }
+
+// checkerConfig accumulates the functional options before NewChecker
+// compiles them into a checker.
+type checkerConfig struct {
+	cfg      config.Config
+	verifier core.Verifier
+	engine   *engine.Engine
+	err      error
+}
+
+func (cc *checkerConfig) fail(err error) {
+	if cc.err == nil {
+		cc.err = err
+	}
+}
+
+// CheckerOption configures NewChecker.
+type CheckerOption func(*checkerConfig)
+
+// WithBackend selects the execution path: BackendCore, BackendDist,
+// BackendEngine (the default), or BackendEngineDist.
+func WithBackend(name string) CheckerOption {
+	return func(cc *checkerConfig) {
+		b, err := config.ParseBackend(name)
+		if err != nil {
+			cc.fail(fmt.Errorf("lcp: %v", err))
+			return
+		}
+		cc.cfg.Backend = b
+	}
+}
+
+// WithVerifier binds the local verifier the checker runs. Exactly one
+// of WithVerifier and WithScheme is required.
+func WithVerifier(v Verifier) CheckerOption {
+	return func(cc *checkerConfig) { cc.verifier = v }
+}
+
+// WithScheme binds the scheme's verifier (shorthand for
+// WithVerifier(s.Verifier())).
+func WithScheme(s Scheme) CheckerOption {
+	return func(cc *checkerConfig) { cc.verifier = s.Verifier() }
+}
+
+// WithWorkers bounds the engine backends' shared-memory worker pool
+// (0 = GOMAXPROCS).
+func WithWorkers(n int) CheckerOption {
+	return func(cc *checkerConfig) { cc.cfg.Workers = n }
+}
+
+// WithRuntimes sets how many message-passing runtimes the engine-dist
+// backend spans, each owning one partitioner group's radius-r halo
+// (0 = 1).
+func WithRuntimes(n int) CheckerOption {
+	return func(cc *checkerConfig) { cc.cfg.Runtimes = n }
+}
+
+// WithSharded toggles the message-passing scheduler's sharded layout:
+// node automata batched onto O(GOMAXPROCS) shard goroutines instead of
+// one goroutine per node — the throughput layout once the node count
+// dwarfs the core count.
+func WithSharded(on bool) CheckerOption {
+	return func(cc *checkerConfig) { cc.cfg.Dist.Sharded = on }
+}
+
+// WithShards sets the scheduler goroutine count per message-passing
+// runtime and implies WithSharded(true) for n > 0 (0 = GOMAXPROCS).
+func WithShards(n int) CheckerOption {
+	return func(cc *checkerConfig) {
+		cc.cfg.Dist.Shards = n
+		if n > 0 {
+			cc.cfg.Dist.Sharded = true
+		}
+	}
+}
+
+// WithFreeRunning disables the message-passing runtimes' global round
+// barrier in favour of α-synchronization by per-port message counting.
+// Note that free-running runs flood to completion — context
+// cancellation between rounds needs the barrier.
+func WithFreeRunning(on bool) CheckerOption {
+	return func(cc *checkerConfig) { cc.cfg.Dist.FreeRunning = on }
+}
+
+// WithPartitioner sets the node→shard assignment policy, applied at
+// both levels like lcpserve's -partitioner flag: the engine-dist halo
+// cut and the sharded scheduler layout inside each runtime.
+func WithPartitioner(p Partitioner) CheckerOption {
+	return func(cc *checkerConfig) { cc.cfg.Partitioner = p }
+}
+
+// WithEngine backs the engine and engine-dist backends with an existing
+// Engine instead of wiring a private one, so several checkers (one per
+// scheme, say) share one set of cached views and runtimes. The engine
+// must serve the same instance the checker is built for.
+func WithEngine(e *Engine) CheckerOption {
+	return func(cc *checkerConfig) { cc.engine = e }
+}
+
+// withDistOptions injects a full legacy dist.Options, preserving every
+// scheduler knob (fan-out, port buffers, decide-only sets) for the
+// deprecated CheckDistributedWith wrapper.
+func withDistOptions(opt DistOptions) CheckerOption {
+	return func(cc *checkerConfig) { cc.cfg.Dist = opt }
+}
+
+// checker is the façade implementation: one backend, one instance, one
+// verifier, state amortized per backend (cached engine, prewired
+// message-passing network).
+type checker struct {
+	in  *core.Instance
+	v   core.Verifier
+	cfg config.Config
+	eng *engine.Engine // engine backends
+
+	mu  sync.Mutex
+	net *dist.Network // dist backend, wired lazily on first check
+}
+
+// NewChecker compiles the options into a Checker for the instance. The
+// verifier is required (WithScheme or WithVerifier); everything else
+// defaults: engine backend, GOMAXPROCS workers, one runtime, contiguous
+// partitioner, goroutine-per-node lockstep scheduler.
+func NewChecker(in *Instance, opts ...CheckerOption) (Checker, error) {
+	if in == nil || in.G == nil {
+		return nil, fmt.Errorf("lcp: nil instance")
+	}
+	cc := &checkerConfig{}
+	for _, opt := range opts {
+		opt(cc)
+	}
+	if cc.err != nil {
+		return nil, cc.err
+	}
+	if cc.verifier == nil {
+		return nil, fmt.Errorf("lcp: checker needs a verifier: pass WithScheme or WithVerifier")
+	}
+	c := &checker{in: in, v: cc.verifier, cfg: cc.cfg}
+	switch c.backend() {
+	case config.BackendEngine, config.BackendEngineDist:
+		if cc.engine != nil {
+			if cc.engine.Instance() != in {
+				return nil, fmt.Errorf("lcp: WithEngine: the engine serves a different instance")
+			}
+			c.eng = cc.engine
+		} else {
+			c.eng = engine.New(in, c.cfg.EngineOptions())
+		}
+	default:
+		if cc.engine != nil {
+			return nil, fmt.Errorf("lcp: WithEngine requires the engine or engine-dist backend, not %q", c.backend())
+		}
+	}
+	return c, nil
+}
+
+func (c *checker) backend() config.Backend { return c.cfg.ResolvedBackend() }
+
+// network wires the dist backend's reusable message-passing network on
+// first use; construction is the expensive part of a run, so it is paid
+// once per checker, not once per proof.
+func (c *checker) network() (*dist.Network, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.net == nil {
+		nw, err := dist.NewNetwork(c.in, c.cfg.DistOptions())
+		if err != nil {
+			return nil, err
+		}
+		c.net = nw
+	}
+	return c.net, nil
+}
+
+// close releases the dist backend's wirings back to the runtime's node
+// pool. Used by the one-shot legacy wrappers; long-lived checkers can
+// simply be garbage collected.
+func (c *checker) close() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.net != nil {
+		c.net.Close()
+		c.net = nil
+	}
+}
+
+func (c *checker) report(res *core.Result, start time.Time) *Report {
+	return &Report{
+		Backend: string(c.backend()),
+		Outputs: res.Outputs,
+		Elapsed: time.Since(start),
+	}
+}
+
+func (c *checker) Check(ctx context.Context, p Proof) (*Report, error) {
+	start := time.Now()
+	var res *core.Result
+	var err error
+	switch c.backend() {
+	case config.BackendCore:
+		res, err = core.CheckCtx(ctx, c.in, p, c.v)
+	case config.BackendDist:
+		var nw *dist.Network
+		if nw, err = c.network(); err == nil {
+			res, err = nw.CheckCtx(ctx, p, c.v)
+		}
+	case config.BackendEngine:
+		if err = ctx.Err(); err == nil {
+			res = c.eng.CheckProof(p, c.v)
+		}
+	case config.BackendEngineDist:
+		res, err = c.eng.CheckDistributedCtx(ctx, p, c.v)
+	default:
+		err = fmt.Errorf("lcp: unknown backend %q", c.backend())
+	}
+	if err != nil {
+		return nil, err
+	}
+	return c.report(res, start), nil
+}
+
+func (c *checker) CheckBatch(ctx context.Context, proofs []Proof) ([]*Report, error) {
+	switch c.backend() {
+	case config.BackendDist, config.BackendEngineDist:
+		// The round protocol leaves cores idle per proof; the runtimes
+		// hand every concurrent caller its own wiring, so a batch
+		// saturates the machine on a bounded pool instead of flooding
+		// one proof at a time.
+		return c.checkBatchConcurrent(ctx, proofs)
+	}
+	reports := make([]*Report, 0, len(proofs))
+	for i, p := range proofs {
+		rep, err := c.Check(ctx, p)
+		if err != nil {
+			return nil, &BatchError{Index: i, Err: err}
+		}
+		reports = append(reports, rep)
+	}
+	return reports, nil
+}
+
+// checkBatchConcurrent fans a batch out over a GOMAXPROCS-bounded
+// worker pool. After the first error, idle workers stop picking up
+// proofs; in-flight ones finish, and the smallest failing index wins.
+func (c *checker) checkBatchConcurrent(ctx context.Context, proofs []Proof) ([]*Report, error) {
+	reports := make([]*Report, len(proofs))
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		errIdx   = -1
+		batchErr error
+		next     atomic.Int64
+	)
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(proofs) {
+		workers = len(proofs)
+	}
+	wg.Add(workers)
+	for range workers {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(proofs) {
+					return
+				}
+				mu.Lock()
+				failed := errIdx != -1
+				mu.Unlock()
+				if failed {
+					return
+				}
+				rep, err := c.Check(ctx, proofs[i])
+				if err != nil {
+					mu.Lock()
+					if errIdx == -1 || i < errIdx {
+						errIdx, batchErr = i, err
+					}
+					mu.Unlock()
+					return
+				}
+				reports[i] = rep
+			}
+		}()
+	}
+	wg.Wait()
+	if batchErr != nil {
+		return nil, &BatchError{Index: errIdx, Err: batchErr}
+	}
+	return reports, nil
+}
+
+func (c *checker) CheckStream(ctx context.Context, p Proof) (<-chan Verdict, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	switch c.backend() {
+	case config.BackendEngine:
+		return c.eng.CheckStream(ctx, p, c.v), nil
+	case config.BackendCore:
+		out := make(chan Verdict)
+		go func() {
+			defer close(out)
+			radius := c.v.Radius()
+			for _, node := range c.in.G.Nodes() {
+				if ctx.Err() != nil {
+					return
+				}
+				verdict := Verdict{Node: node, Accept: c.v.Verify(core.BuildView(c.in, p, node, radius))}
+				select {
+				case out <- verdict:
+				case <-ctx.Done():
+					return
+				}
+			}
+		}()
+		return out, nil
+	default:
+		// Message-passing backends: verdicts only exist once the round
+		// protocol completes, so run it (cancellable between rounds) and
+		// stream the result.
+		rep, err := c.Check(ctx, p)
+		if err != nil {
+			return nil, err
+		}
+		out := make(chan Verdict)
+		go func() {
+			defer close(out)
+			for _, v := range rep.Verdicts() {
+				select {
+				case out <- v:
+				case <-ctx.Done():
+					return
+				}
+			}
+		}()
+		return out, nil
+	}
+}

@@ -1,0 +1,316 @@
+package lcp_test
+
+// The cross-backend equivalence matrix: every execution path reachable
+// through lcp.NewChecker must be verdict-for-verdict identical to the
+// sequential reference core.Check, across the whole scheme catalog,
+// including adversarial (tampered, truncated, random) proofs — and the
+// façade's batch, stream, and cancellation behaviour must be uniform
+// over all of them.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"lcp"
+	"lcp/internal/core"
+)
+
+// backendMatrix enumerates every backend reachable through NewChecker,
+// including scheduler variants of the message-passing paths.
+type backendCase struct {
+	name string
+	opts []lcp.CheckerOption
+}
+
+func backendMatrix() []backendCase {
+	return []backendCase{
+		{"core", []lcp.CheckerOption{lcp.WithBackend(lcp.BackendCore)}},
+		{"dist", []lcp.CheckerOption{lcp.WithBackend(lcp.BackendDist)}},
+		{"dist-sharded", []lcp.CheckerOption{lcp.WithBackend(lcp.BackendDist), lcp.WithShards(3)}},
+		{"dist-sharded-free", []lcp.CheckerOption{
+			lcp.WithBackend(lcp.BackendDist), lcp.WithShards(3), lcp.WithFreeRunning(true),
+			lcp.WithPartitioner(lcp.BFSChunksPartitioner()),
+		}},
+		{"engine", []lcp.CheckerOption{lcp.WithBackend(lcp.BackendEngine), lcp.WithWorkers(3)}},
+		{"engine-dist", []lcp.CheckerOption{
+			lcp.WithBackend(lcp.BackendEngineDist), lcp.WithRuntimes(3),
+			lcp.WithPartitioner(lcp.BFSChunksPartitioner()),
+		}},
+	}
+}
+
+func reportMatches(t *testing.T, ctx string, rep *lcp.Report, want *core.Result) {
+	t.Helper()
+	if !reflect.DeepEqual(rep.Outputs, want.Outputs) {
+		t.Fatalf("%s: outputs differ:\n got %v\nwant %v", ctx, rep.Outputs, want.Outputs)
+	}
+	if rep.Accepted() != want.Accepted() {
+		t.Fatalf("%s: accepted %v, want %v", ctx, rep.Accepted(), want.Accepted())
+	}
+	if !reflect.DeepEqual(rep.Rejectors(), want.Rejectors()) {
+		t.Fatalf("%s: rejectors differ: %v vs %v", ctx, rep.Rejectors(), want.Rejectors())
+	}
+	if node, ok := rep.FirstReject(); ok != !want.Accepted() ||
+		(ok && node != want.Rejectors()[0]) {
+		t.Fatalf("%s: FirstReject (%d, %v) inconsistent with rejectors %v", ctx, node, ok, want.Rejectors())
+	}
+	if rep.Nodes() != len(want.Outputs) {
+		t.Fatalf("%s: %d nodes reported, want %d", ctx, rep.Nodes(), len(want.Outputs))
+	}
+}
+
+// TestCheckerBackendEquivalenceMatrix is the acceptance matrix: for
+// every catalog row and every backend, Check / CheckBatch / CheckStream
+// agree with core.Check on honest, tampered and truncated proofs.
+func TestCheckerBackendEquivalenceMatrix(t *testing.T) {
+	const n = 12
+	ctx := context.Background()
+	for _, exp := range lcp.Catalog() {
+		exp := exp
+		t.Run(exp.ID, func(t *testing.T) {
+			t.Parallel()
+			size := n
+			if size < exp.MinN {
+				size = exp.MinN
+			}
+			in := exp.MakeYes(size, 1)
+			honest, err := exp.Scheme.Prove(in)
+			if err != nil {
+				t.Fatalf("prove yes-instance: %v", err)
+			}
+			proofs := []core.Proof{honest, core.FlipBit(honest, 0), core.FlipBit(honest, 1), honest.Truncated(1)}
+			labels := []string{"honest", "tampered-0", "tampered-1", "truncated"}
+			v := exp.Scheme.Verifier()
+			wants := make([]*core.Result, len(proofs))
+			for i, p := range proofs {
+				wants[i] = core.Check(in, p, v)
+			}
+			for _, bc := range backendMatrix() {
+				chk, err := lcp.NewChecker(in, append([]lcp.CheckerOption{lcp.WithScheme(exp.Scheme)}, bc.opts...)...)
+				if err != nil {
+					t.Fatalf("%s: NewChecker: %v", bc.name, err)
+				}
+				for i, p := range proofs {
+					rep, err := chk.Check(ctx, p)
+					if err != nil {
+						t.Fatalf("%s/%s: Check: %v", bc.name, labels[i], err)
+					}
+					if rep.Backend == "" {
+						t.Fatalf("%s: report missing backend label", bc.name)
+					}
+					reportMatches(t, fmt.Sprintf("%s/%s [check]", bc.name, labels[i]), rep, wants[i])
+				}
+				reps, err := chk.CheckBatch(ctx, proofs)
+				if err != nil {
+					t.Fatalf("%s: CheckBatch: %v", bc.name, err)
+				}
+				if len(reps) != len(proofs) {
+					t.Fatalf("%s: CheckBatch returned %d reports for %d proofs", bc.name, len(reps), len(proofs))
+				}
+				for i, rep := range reps {
+					reportMatches(t, fmt.Sprintf("%s/%s [batch]", bc.name, labels[i]), rep, wants[i])
+				}
+				stream, err := chk.CheckStream(ctx, proofs[1])
+				if err != nil {
+					t.Fatalf("%s: CheckStream: %v", bc.name, err)
+				}
+				got := &core.Result{Outputs: make(map[int]bool, size)}
+				for verdict := range stream {
+					if _, dup := got.Outputs[verdict.Node]; dup {
+						t.Fatalf("%s: duplicate stream verdict for node %d", bc.name, verdict.Node)
+					}
+					got.Outputs[verdict.Node] = verdict.Accept
+				}
+				if !reflect.DeepEqual(got.Outputs, wants[1].Outputs) {
+					t.Fatalf("%s [stream]: outputs differ:\n got %v\nwant %v", bc.name, got.Outputs, wants[1].Outputs)
+				}
+			}
+		})
+	}
+}
+
+// TestCheckerReportBackendLabel pins the Report.Backend label to the
+// selected backend name on every path.
+func TestCheckerReportBackendLabel(t *testing.T) {
+	in := lcp.NewInstance(lcp.Cycle(8))
+	scheme := lcp.BipartiteScheme()
+	p, err := lcp.Prove(scheme, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{lcp.BackendCore, lcp.BackendDist, lcp.BackendEngine, lcp.BackendEngineDist} {
+		chk, err := lcp.NewChecker(in, lcp.WithScheme(scheme), lcp.WithBackend(name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := chk.Check(context.Background(), p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Backend != name {
+			t.Fatalf("Report.Backend = %q, want %q", rep.Backend, name)
+		}
+		if rep.Elapsed < 0 {
+			t.Fatalf("negative elapsed %v", rep.Elapsed)
+		}
+	}
+}
+
+// TestCheckerDefaultsAndErrors pins the construction contract: engine
+// is the default backend, a verifier is mandatory, and bad options fail
+// loudly at construction, not at first check.
+func TestCheckerDefaultsAndErrors(t *testing.T) {
+	in := lcp.NewInstance(lcp.Cycle(6))
+	scheme := lcp.BipartiteScheme()
+	chk, err := lcp.NewChecker(in, lcp.WithScheme(scheme))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := chk.Check(context.Background(), core.Proof{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Backend != lcp.BackendEngine {
+		t.Fatalf("default backend %q, want %q", rep.Backend, lcp.BackendEngine)
+	}
+
+	if _, err := lcp.NewChecker(nil, lcp.WithScheme(scheme)); err == nil {
+		t.Fatal("nil instance accepted")
+	}
+	if _, err := lcp.NewChecker(in); err == nil {
+		t.Fatal("missing verifier accepted")
+	}
+	if _, err := lcp.NewChecker(in, lcp.WithScheme(scheme), lcp.WithBackend("warp-drive")); err == nil {
+		t.Fatal("unknown backend accepted")
+	}
+	if _, err := lcp.NewChecker(in, lcp.WithScheme(scheme), lcp.WithBackend(lcp.BackendCore),
+		lcp.WithEngine(lcp.NewEngine(in))); err == nil {
+		t.Fatal("WithEngine accepted on the core backend")
+	}
+	other := lcp.NewInstance(lcp.Cycle(4))
+	if _, err := lcp.NewChecker(in, lcp.WithScheme(scheme), lcp.WithEngine(lcp.NewEngine(other))); err == nil {
+		t.Fatal("WithEngine accepted with a mismatched instance")
+	}
+}
+
+// TestCheckerSharedEngine: two checkers over one engine answer
+// identically (and exercise the serve wiring pattern).
+func TestCheckerSharedEngine(t *testing.T) {
+	in := lcp.NewInstance(lcp.Cycle(16))
+	scheme := lcp.BipartiteScheme()
+	p, err := lcp.Prove(scheme, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := lcp.NewEngine(in)
+	shared, err := lcp.NewChecker(in, lcp.WithScheme(scheme), lcp.WithEngine(eng))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharedDist, err := lcp.NewChecker(in, lcp.WithScheme(scheme),
+		lcp.WithBackend(lcp.BackendEngineDist), lcp.WithEngine(eng))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := core.Check(in, p, scheme.Verifier())
+	for name, chk := range map[string]lcp.Checker{"engine": shared, "engine-dist": sharedDist} {
+		rep, err := chk.Check(context.Background(), p)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		reportMatches(t, name, rep, want)
+	}
+}
+
+// TestCheckerCancelledContext: a pre-cancelled context fails every
+// backend's Check, CheckBatch and CheckStream without touching a node.
+func TestCheckerCancelledContext(t *testing.T) {
+	in := lcp.NewInstance(lcp.Cycle(12))
+	scheme := lcp.BipartiteScheme()
+	p, err := lcp.Prove(scheme, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, bc := range backendMatrix() {
+		chk, err := lcp.NewChecker(in, append([]lcp.CheckerOption{lcp.WithScheme(scheme)}, bc.opts...)...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := chk.Check(ctx, p); !errors.Is(err, context.Canceled) {
+			t.Fatalf("%s: Check error = %v, want context.Canceled", bc.name, err)
+		}
+		_, err = chk.CheckBatch(ctx, []core.Proof{p, p})
+		var be *lcp.BatchError
+		if !errors.As(err, &be) || !errors.Is(err, context.Canceled) {
+			t.Fatalf("%s: CheckBatch error = %v, want *BatchError wrapping context.Canceled", bc.name, err)
+		}
+		if _, err := chk.CheckStream(ctx, p); !errors.Is(err, context.Canceled) {
+			t.Fatalf("%s: CheckStream error = %v, want context.Canceled", bc.name, err)
+		}
+	}
+}
+
+// TestCheckerBatchCancelMidway: on the sequential engine backend a
+// context cancelled while proof 0 is being verified aborts the batch at
+// the next proof boundary with the failing index in the BatchError.
+func TestCheckerBatchCancelMidway(t *testing.T) {
+	in := lcp.NewInstance(lcp.Cycle(12))
+	ctx, cancel := context.WithCancel(context.Background())
+	v := core.VerifierFunc{R: 1, F: func(w *core.View) bool {
+		cancel() // fires during proof 0; later proofs must not start
+		return true
+	}}
+	chk, err := lcp.NewChecker(in, lcp.WithVerifier(v),
+		lcp.WithBackend(lcp.BackendEngine), lcp.WithWorkers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = chk.CheckBatch(ctx, []core.Proof{{}, {}, {}})
+	var be *lcp.BatchError
+	if !errors.As(err, &be) {
+		t.Fatalf("error = %v, want *BatchError", err)
+	}
+	if be.Index != 1 {
+		t.Fatalf("BatchError.Index = %d, want 1 (cancelled between proofs 0 and 1)", be.Index)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("BatchError does not unwrap to context.Canceled: %v", err)
+	}
+}
+
+// TestLegacyWrappersDelegate: the deprecated free functions still
+// answer exactly like the façade.
+func TestLegacyWrappersDelegate(t *testing.T) {
+	in := lcp.NewInstance(lcp.Cycle(10))
+	scheme := lcp.BipartiteScheme()
+	p, err := lcp.Prove(scheme, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tampered := core.FlipBit(p, 3)
+	for _, proof := range []core.Proof{p, tampered} {
+		want := core.Check(in, proof, scheme.Verifier())
+		if got := lcp.Check(in, proof, scheme.Verifier()); !reflect.DeepEqual(got.Outputs, want.Outputs) {
+			t.Fatalf("lcp.Check diverged: %v vs %v", got.Outputs, want.Outputs)
+		}
+		dres, err := lcp.CheckDistributed(in, proof, scheme.Verifier())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(dres.Outputs, want.Outputs) {
+			t.Fatalf("lcp.CheckDistributed diverged: %v vs %v", dres.Outputs, want.Outputs)
+		}
+		sres, err := lcp.CheckDistributedWith(in, proof, scheme.Verifier(), lcp.DistOptions{Sharded: true, Shards: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(sres.Outputs, want.Outputs) {
+			t.Fatalf("lcp.CheckDistributedWith diverged: %v vs %v", sres.Outputs, want.Outputs)
+		}
+	}
+}

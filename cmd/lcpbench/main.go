@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math"
@@ -67,19 +68,30 @@ func main() {
 				ok = false
 				continue
 			}
-			// One engine per generated instance: both verification
-			// passes (and any future per-size re-checks) share the
-			// cached radius-r views.
+			// One engine per generated instance, shared by both façade
+			// checkers: the verification passes (and any future
+			// per-size re-checks) reuse the cached radius-r views.
 			eng := lcp.NewEngine(in)
-			res := eng.CheckProof(proof, exp.Scheme.Verifier())
-			if !res.Accepted() {
+			chk, cerr := lcp.NewChecker(in, lcp.WithScheme(exp.Scheme), lcp.WithEngine(eng))
+			if cerr != nil {
+				row += fmt.Sprintf(" %9s", "ERR")
+				ok = false
+				continue
+			}
+			rep, cerr := chk.Check(context.Background(), proof)
+			if cerr != nil || !rep.Accepted() {
 				row += fmt.Sprintf(" %9s", "REJ")
 				ok = false
 				continue
 			}
 			if *distributed {
-				dres, derr := eng.CheckDistributed(proof, exp.Scheme.Verifier())
-				if derr != nil || !dres.Accepted() {
+				dchk, derr := lcp.NewChecker(in, lcp.WithScheme(exp.Scheme),
+					lcp.WithBackend(lcp.BackendEngineDist), lcp.WithEngine(eng))
+				var drep *lcp.Report
+				if derr == nil {
+					drep, derr = dchk.Check(context.Background(), proof)
+				}
+				if derr != nil || !drep.Accepted() {
 					row += fmt.Sprintf(" %9s", "DREJ")
 					ok = false
 					continue

@@ -9,9 +9,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"lcp"
 	"lcp/internal/core"
@@ -45,21 +47,28 @@ func run(n int, seed int64) error {
 
 	fmt.Println("2. Every node verifies its radius-1 view — one goroutine per")
 	fmt.Println("   node, views collected by synchronous flooding:")
-	res, err := lcp.CheckDistributed(in, proof, scheme.Verifier())
+	// One façade checker on the message-passing backend serves both the
+	// honest and the tampered check; the network wiring is built once.
+	chk, err := lcp.NewChecker(in, lcp.WithScheme(scheme), lcp.WithBackend(lcp.BackendDist))
 	if err != nil {
 		return err
 	}
-	fmt.Printf("   verdict: %s\n\n", res)
+	ctx := context.Background()
+	res, err := chk.Check(ctx, proof)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("   verdict: %s (%s backend, %v)\n\n", res.Result(), res.Backend, res.Elapsed.Round(time.Microsecond))
 
 	fmt.Println("3. An adversary flips one proof bit:")
 	tampered := core.FlipBit(proof, seed)
-	res2, err := lcp.CheckDistributed(in, tampered, scheme.Verifier())
+	res2, err := chk.Check(ctx, tampered)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("   verdict: %s\n", res2)
-	if !res2.Accepted() {
-		fmt.Printf("   alarm raised by node(s) %v\n\n", res2.Rejectors())
+	fmt.Printf("   verdict: %s\n", res2.Result())
+	if node, rejected := res2.FirstReject(); rejected {
+		fmt.Printf("   alarm raised first by node %d (all alarms: %v)\n\n", node, res2.Rejectors())
 	} else {
 		fmt.Println("   (the flip produced another valid certificate — rare but legal)")
 		fmt.Println()
@@ -67,8 +76,15 @@ func run(n int, seed int64) error {
 
 	fmt.Println("4. An adversary duplicates the leader label (two leaders):")
 	in2 := in.Clone().SetNodeLabel(g.Nodes()[n/2], lcp.LabelLeader)
-	res3 := lcp.Check(in2, proof, scheme.Verifier())
-	fmt.Printf("   verdict with the old proof: %s\n", res3)
+	chk2, err := lcp.NewChecker(in2, lcp.WithScheme(scheme), lcp.WithBackend(lcp.BackendCore))
+	if err != nil {
+		return err
+	}
+	res3, err := chk2.Check(ctx, proof)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("   verdict with the old proof: %s\n", res3.Result())
 	if _, err := scheme.Prove(in2); err != nil {
 		fmt.Printf("   prover refuses the two-leader instance: %v\n\n", err)
 	}

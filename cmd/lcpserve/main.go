@@ -1,6 +1,6 @@
 // Command lcpserve is the long-lived locally-checkable-proof
-// verification daemon: an HTTP/JSON front end over the amortized
-// engine. Register an instance once, then fire as many proofs at it as
+// verification daemon: an HTTP/JSON front end over the unified checker
+// façade. Register an instance once, then fire as many proofs at it as
 // you like — the radius-r views are built on the first check and shared
 // by every later one.
 //
@@ -17,17 +17,20 @@
 //	curl -sN localhost:8080/check/stream -d '{"instance":"i1","proof":{},"stop_on_reject":true}'
 //
 //	# distributed check with a locality-aware shard partition
-//	curl -s localhost:8080/check -d '{"instance":"i1","proof":{},"distributed":true,"partitioner":"bfs"}'
+//	curl -s localhost:8080/check -d '{"instance":"i1","proof":{},"backend":"engine-dist","partitioner":"bfs"}'
 //
-//	# request counters and latency sums, per endpoint
+//	# request counters, latency sums and fixed-bound latency histograms
 //	curl -s localhost:8080/stats
 //
-// The -partitioner flag picks the default node→shard assignment policy
-// for distributed checks (contiguous, bfs, greedy — see
-// internal/partition), and -max-instances bounds the in-memory
-// instance store with LRU eviction. See the package comment of
-// internal/serve for the full endpoint list and examples/proofservice
-// for an end-to-end driver.
+// Every verification knob is one flag per key of the shared
+// internal/config resolver — the same keys HTTP requests accept as
+// JSON options — so the command line cannot drift from the wire
+// protocol: -backend picks the default execution path (core, dist,
+// engine, engine-dist), -workers / -runtimes / -sharded / -shards /
+// -free-running / -partitioner tune it. Server-level knobs stay their
+// own flags: -addr and -max-instances (LRU instance-store bound).
+// See the package comment of internal/serve for the full endpoint
+// list and examples/proofservice for an end-to-end driver.
 package main
 
 import (
@@ -39,47 +42,24 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
-	"strings"
 	"syscall"
 	"time"
 
 	"lcp"
-	"lcp/internal/dist"
-	"lcp/internal/engine"
-	"lcp/internal/partition"
+	"lcp/internal/config"
 	"lcp/internal/serve"
 )
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
-	workers := flag.Int("workers", 0, "verification worker pool size (0 = GOMAXPROCS)")
-	shards := flag.Int("shards", 0, "dist runtimes per instance for distributed checks (0 = 1)")
-	freeRunning := flag.Bool("free-running", false, "run dist runtimes without a global round barrier")
-	sharded := flag.Bool("sharded", false, "batch dist nodes onto shared scheduler goroutines instead of one goroutine per node (the throughput layout for large instances)")
-	distShards := flag.Int("dist-shards", 0, "scheduler goroutines per dist runtime in -sharded mode (0 = GOMAXPROCS)")
-	partitionerName := flag.String("partitioner", "contiguous",
-		"node->shard partitioner for distributed checks: "+strings.Join(partition.Names(), ", ")+
-			" (bfs/greedy follow graph topology and cut fewer cross-shard edges; requests can override per check)")
 	maxInstances := flag.Int("max-instances", 0, "bound the in-memory instance store; the least recently used instance is evicted past the bound (0 = unbounded)")
+	// The verification flags are generated from the config key table:
+	// one flag per resolver key, all funneling through config.Set.
+	var base config.Config
+	config.Flags(flag.CommandLine, &base)
 	flag.Parse()
 
-	partitioner, err := partition.ByName(*partitionerName)
-	if err != nil {
-		log.Fatalf("lcpserve: %v", err)
-	}
-	handler := serve.NewWith(lcp.BuiltinSchemes(), engine.Options{
-		Workers: *workers,
-		Shards:  *shards,
-		// One policy at both levels: the halo cut across dist runtimes
-		// and the shard layout inside each runtime.
-		Partitioner: partitioner,
-		Dist: dist.Options{
-			FreeRunning: *freeRunning,
-			Sharded:     *sharded,
-			Shards:      *distShards,
-			Partitioner: partitioner,
-		},
-	}, serve.Config{MaxInstances: *maxInstances})
+	handler := serve.NewWith(lcp.BuiltinSchemes(), base, serve.Config{MaxInstances: *maxInstances})
 	srv := &http.Server{
 		Addr:              *addr,
 		Handler:           handler,

@@ -16,6 +16,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"sort"
@@ -84,22 +85,36 @@ func check(path string) error {
 	if err != nil {
 		return err
 	}
-	// One engine per document: the certificate is checked on both the
-	// shared-memory path and the message-passing runtime, with the
-	// radius-r views and network wiring built once and shared.
+	// Two façade checkers over one shared engine: the certificate is
+	// checked on both the shared-memory path and the message-passing
+	// runtime, with the radius-r views and network wiring built once.
 	eng := lcp.NewEngine(doc.Instance)
-	res := eng.CheckProof(doc.Proof, scheme.Verifier())
-	dres, err := eng.CheckDistributed(doc.Proof, scheme.Verifier())
+	chk, err := lcp.NewChecker(doc.Instance, lcp.WithScheme(scheme), lcp.WithEngine(eng))
 	if err != nil {
 		return err
 	}
-	if res.Accepted() != dres.Accepted() {
-		return fmt.Errorf("runner disagreement: shared-memory %s, message-passing %s", res, dres)
+	dchk, err := lcp.NewChecker(doc.Instance, lcp.WithScheme(scheme),
+		lcp.WithBackend(lcp.BackendEngineDist), lcp.WithEngine(eng))
+	if err != nil {
+		return err
+	}
+	ctx := context.Background()
+	rep, err := chk.Check(ctx, doc.Proof)
+	if err != nil {
+		return err
+	}
+	drep, err := dchk.Check(ctx, doc.Proof)
+	if err != nil {
+		return err
+	}
+	if rep.Accepted() != drep.Accepted() {
+		return fmt.Errorf("runner disagreement: shared-memory %s, message-passing %s",
+			rep.Result(), drep.Result())
 	}
 	fmt.Printf("%s: scheme=%s n=%d proof=%d bits/node: %s\n",
-		path, scheme.Name(), doc.Instance.G.N(), doc.Proof.Size(), res)
-	if !res.Accepted() {
-		fmt.Printf("alarms at nodes %v\n", res.Rejectors())
+		path, scheme.Name(), doc.Instance.G.N(), doc.Proof.Size(), rep.Result())
+	if !rep.Accepted() {
+		fmt.Printf("alarms at nodes %v\n", rep.Rejectors())
 		os.Exit(1)
 	}
 	return nil

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -53,12 +54,18 @@ func main() {
 	fmt.Printf("backbone certificate:    %d bits/switch, %s\n", treeProof.Size(), res)
 
 	// Continuous distributed audit: every switch re-checks its radius-1
-	// view each round (here once, on the goroutine-per-node runtime).
-	dres, err := lcp.CheckDistributed(tree, treeProof, treeScheme.Verifier())
+	// view each round (here once, on the goroutine-per-node runtime,
+	// through the unified façade).
+	ctx := context.Background()
+	audit, err := lcp.NewChecker(tree, lcp.WithScheme(treeScheme), lcp.WithBackend(lcp.BackendDist))
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("distributed audit:       %s\n\n", dres)
+	dres, err := audit.Check(ctx, treeProof)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("distributed audit:       %s\n\n", dres.Result())
 
 	// Fault injection 1: a link on the backbone is silently dropped from
 	// the forwarding config (the tree becomes a forest).
@@ -68,27 +75,47 @@ func main() {
 		fmt.Printf("fault: dropped backbone link %d–%d\n", e.U, e.V)
 		break
 	}
-	res = lcp.Check(broken, treeProof, treeScheme.Verifier())
-	fmt.Printf("audit after link drop:   %s (alarms: %v)\n", res, res.Rejectors())
+	brokenChk, err := lcp.NewChecker(broken, lcp.WithScheme(treeScheme), lcp.WithBackend(lcp.BackendCore))
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep, err := brokenChk.Check(ctx, treeProof)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("audit after link drop:   %s (alarms: %v)\n", rep.Result(), rep.Rejectors())
 
 	// Fault injection 2: a rogue controller certifies a second
-	// coordinator. No certificate can make this pass.
+	// coordinator. No certificate can make this pass. One engine-backed
+	// checker verifies all three forgeries on the same cached views.
 	rogue := cfg.Clone().SetNodeLabel(41, lcp.LabelLeader)
 	if _, err := leaderScheme.Prove(rogue); err != nil {
 		fmt.Printf("rogue coordinator:       prover refuses (%v)\n", err)
 	}
+	rogueChk, err := lcp.NewChecker(rogue, lcp.WithScheme(leaderScheme))
+	if err != nil {
+		log.Fatal(err)
+	}
 	for seed := int64(0); seed < 3; seed++ {
 		forged := core.RandomProof(rogue, 32, seed)
-		if lcp.Check(rogue, forged, leaderScheme.Verifier()).Accepted() {
+		frep, err := rogueChk.Check(ctx, forged)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if frep.Accepted() {
 			log.Fatal("forged certificate accepted — soundness violated!")
 		}
 	}
 	fmt.Println("rogue coordinator:       3 forged certificates, all rejected")
 
-	// Fault injection 3: bit rot in a stored certificate.
+	// Fault injection 3: bit rot in a stored certificate, caught by the
+	// same audit checker (its wiring is already warm).
 	rotten := core.FlipBit(treeProof, 42)
-	res = lcp.Check(tree, rotten, treeScheme.Verifier())
-	fmt.Printf("audit after bit rot:     %s (alarms: %v)\n", res, res.Rejectors())
+	rep, err = audit.Check(ctx, rotten)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("audit after bit rot:     %s (alarms: %v)\n", rep.Result(), rep.Rejectors())
 }
 
 // bfsTree returns parent pointers of a BFS tree rooted at root.

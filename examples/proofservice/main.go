@@ -21,7 +21,7 @@ import (
 	"strings"
 
 	"lcp"
-	"lcp/internal/engine"
+	"lcp/internal/config"
 	"lcp/internal/serve"
 	"lcp/internal/textio"
 )
@@ -33,7 +33,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	srv := &http.Server{Handler: serve.New(lcp.BuiltinSchemes(), engine.Options{Shards: 2})}
+	srv := &http.Server{Handler: serve.New(lcp.BuiltinSchemes(), config.Config{Runtimes: 2})}
 	go srv.Serve(ln)
 	defer srv.Close()
 	base := "http://" + ln.Addr().String()

@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -23,13 +24,19 @@ func main() {
 	}
 	fmt.Printf("C8: %s with %d bit(s) per node\n", res, proof.Size())
 
-	// Verify on the LOCAL-model runtime: one goroutine per node, views
-	// flooded for radius rounds.
-	dres, err := lcp.CheckDistributed(even, proof, scheme.Verifier())
+	// Verify on the LOCAL-model runtime through the unified façade:
+	// one goroutine per node, views flooded for radius rounds. The same
+	// NewChecker call with a different WithBackend selects the
+	// sequential reference or the cached-view engine instead.
+	chk, err := lcp.NewChecker(even, lcp.WithScheme(scheme), lcp.WithBackend(lcp.BackendDist))
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("C8 (distributed): %s\n", dres)
+	dres, err := chk.Check(context.Background(), proof)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("C8 (distributed): %s\n", dres.Result())
 
 	// A 9-cycle is not bipartite: the prover refuses…
 	odd := lcp.NewInstance(lcp.Cycle(9))
@@ -42,8 +49,12 @@ func main() {
 	sound, _ := core.CertifySoundness(odd, scheme.Verifier(), 1)
 	fmt.Printf("C9: exhaustive search over all 1-bit proofs: every one rejected = %v\n", sound)
 
-	// Tampering with a valid proof trips the verifier.
+	// Tampering with a valid proof trips the verifier; the checker
+	// reuses its wiring from the honest check above.
 	tampered := core.FlipBit(proof, 1)
-	res2 := lcp.Check(even, tampered, scheme.Verifier())
-	fmt.Printf("C8 with a flipped bit: %s (alarms at %v)\n", res2, res2.Rejectors())
+	res2, err := chk.Check(context.Background(), tampered)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("C8 with a flipped bit: %s (alarms at %v)\n", res2.Result(), res2.Rejectors())
 }

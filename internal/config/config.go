@@ -1,0 +1,254 @@
+// Package config defines the single configuration object behind every
+// verification entry point: the lcp.Checker functional options, the
+// lcpserve command-line flags, and the HTTP request options of
+// internal/serve all resolve into a Config, and dist.Options /
+// engine.Options are derived from it. The package exists so the four
+// execution paths (sequential reference, message-passing runtime,
+// cached-view engine, halo-sharded distributed engine) are parameterized
+// by one object instead of three hand-synchronized option structs.
+package config
+
+import (
+	"flag"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"lcp/internal/dist"
+	"lcp/internal/engine"
+	"lcp/internal/partition"
+)
+
+// Backend names one of the four execution paths a Config selects.
+type Backend string
+
+const (
+	// BackendCore is the sequential reference runner: one BFS view per
+	// node per proof, no caching, no concurrency. The other three are
+	// property-tested verdict-identical to it.
+	BackendCore Backend = "core"
+	// BackendDist is the message-passing LOCAL runtime: node automata
+	// flood their radius-r balls over ports for Radius() rounds. The
+	// Dist tunables (sharded scheduler, free-running synchronization)
+	// apply here.
+	BackendDist Backend = "dist"
+	// BackendEngine is the amortized shared-memory engine: radius-r view
+	// skeletons cached per instance, checks served by a worker pool.
+	BackendEngine Backend = "engine"
+	// BackendEngineDist is the distributed engine: the instance is cut
+	// into Runtimes radius-r halos (by Partitioner), each owned by a
+	// reusable message-passing runtime.
+	BackendEngineDist Backend = "engine-dist"
+)
+
+// Backends lists the valid backend names, in documentation order.
+func Backends() []string {
+	return []string{string(BackendCore), string(BackendDist), string(BackendEngine), string(BackendEngineDist)}
+}
+
+// ParseBackend resolves a backend name.
+func ParseBackend(name string) (Backend, error) {
+	switch Backend(name) {
+	case BackendCore, BackendDist, BackendEngine, BackendEngineDist:
+		return Backend(name), nil
+	}
+	return "", fmt.Errorf("unknown backend %q (valid: %s)", name, strings.Join(Backends(), ", "))
+}
+
+// Config is the unified verification configuration. The zero value
+// selects the engine backend with library defaults everywhere.
+//
+// Exactly one resolver feeds it from text: Set, which both the
+// lcpserve flags (see Flags) and serve's JSON request options go
+// through, so a knob spelled "partitioner" means the same thing on the
+// command line, in an HTTP body, and in a library call.
+type Config struct {
+	// Backend picks the execution path; empty means BackendEngine.
+	Backend Backend
+	// Workers bounds the engine's shared-memory worker pool
+	// (0 = GOMAXPROCS).
+	Workers int
+	// Runtimes is the number of message-passing runtimes the
+	// engine-dist backend spans, each owning one partitioner group's
+	// radius-r halo (0 = 1).
+	Runtimes int
+	// Partitioner chooses the node→shard assignment policy, applied at
+	// both levels like lcpserve's -partitioner flag: the engine-dist
+	// halo cut and the sharded scheduler layout inside each runtime.
+	// nil means partition.Contiguous{}.
+	Partitioner partition.Partitioner
+	// Dist carries the message-passing scheduler tunables (sharded
+	// layout, shard count, free-running synchronization, port buffers).
+	// Its Partitioner field, when nil, inherits Config.Partitioner.
+	Dist dist.Options
+}
+
+// ResolvedBackend is Backend with the zero value defaulted.
+func (c Config) ResolvedBackend() Backend {
+	if c.Backend == "" {
+		return BackendEngine
+	}
+	return c.Backend
+}
+
+// PartitionerName is the registry name of the configured partitioner
+// ("contiguous" for the nil default) — the cache key serve uses for
+// per-partitioner engines.
+func (c Config) PartitionerName() string {
+	if c.Partitioner == nil {
+		return partition.Contiguous{}.Name()
+	}
+	return c.Partitioner.Name()
+}
+
+// Validate rejects impossible configurations (currently: an unknown
+// backend name assigned directly to the field; Set-fed configs are
+// always valid).
+func (c Config) Validate() error {
+	if c.Backend == "" {
+		return nil
+	}
+	_, err := ParseBackend(string(c.Backend))
+	return err
+}
+
+// DistOptions derives the message-passing scheduler options: the Dist
+// tunables with the shared partitioner policy filled in.
+func (c Config) DistOptions() dist.Options {
+	d := c.Dist
+	if d.Partitioner == nil {
+		d.Partitioner = c.Partitioner
+	}
+	return d
+}
+
+// EngineOptions derives the engine configuration: worker pool, halo
+// runtimes, halo partitioner, and the scheduler options of every
+// runtime.
+func (c Config) EngineOptions() engine.Options {
+	return engine.Options{
+		Workers:     c.Workers,
+		Shards:      c.Runtimes,
+		Partitioner: c.Partitioner,
+		Dist:        c.DistOptions(),
+	}
+}
+
+// Option describes one textual configuration key of the shared
+// resolver: its Set key (also the lcpserve flag name), whether it is
+// boolean (registered as a toggle flag), and its usage string.
+type Option struct {
+	Key   string
+	Bool  bool
+	Usage string
+}
+
+// Options is the resolver's key table. Flags registers exactly these;
+// serve accepts the request-level subset of them. Keeping the table in
+// one place is what "no duplicated JSON/flag parsing" means.
+func Options() []Option {
+	return []Option{
+		{Key: "backend", Usage: "execution path: " + strings.Join(Backends(), ", ")},
+		{Key: "workers", Usage: "engine worker pool size (0 = GOMAXPROCS)"},
+		{Key: "runtimes", Usage: "message-passing runtimes per instance on the engine-dist backend, each owning one partitioner group's radius-r halo (0 = 1; this is what -shards meant before the facade redesign)"},
+		{Key: "partitioner", Usage: "node->shard partitioner: " + strings.Join(partition.Names(), ", ") + " (applied to the engine-dist halo cut and the sharded scheduler layout)"},
+		{Key: "sharded", Bool: true, Usage: "batch message-passing nodes onto shared scheduler goroutines instead of one goroutine per node"},
+		{Key: "shards", Usage: "scheduler goroutines per message-passing runtime in sharded mode (0 = GOMAXPROCS; implies sharded). NOTE: pre-facade releases spelled this -dist-shards and used -shards for what is now -runtimes"},
+		{Key: "free-running", Bool: true, Usage: "run message-passing runtimes without a global round barrier (α-synchronization)"},
+	}
+}
+
+// Set applies one textual option to the config. It accepts every key in
+// Options plus "distributed", the HTTP request alias that serve has
+// always spoken: "distributed=true" selects the engine-dist backend,
+// "distributed=false" the engine backend.
+func (c *Config) Set(key, value string) error {
+	fail := func(err error) error { return fmt.Errorf("option %q: %v", key, err) }
+	switch key {
+	case "backend":
+		b, err := ParseBackend(value)
+		if err != nil {
+			return fail(err)
+		}
+		c.Backend = b
+	case "distributed":
+		on, err := strconv.ParseBool(value)
+		if err != nil {
+			return fail(err)
+		}
+		if on {
+			c.Backend = BackendEngineDist
+		} else {
+			c.Backend = BackendEngine
+		}
+	case "workers":
+		n, err := nonNegativeInt(value)
+		if err != nil {
+			return fail(err)
+		}
+		c.Workers = n
+	case "runtimes":
+		n, err := nonNegativeInt(value)
+		if err != nil {
+			return fail(err)
+		}
+		c.Runtimes = n
+	case "partitioner":
+		p, err := partition.ByName(value)
+		if err != nil {
+			return fail(err)
+		}
+		c.Partitioner = p
+	case "sharded":
+		on, err := strconv.ParseBool(value)
+		if err != nil {
+			return fail(err)
+		}
+		c.Dist.Sharded = on
+	case "shards":
+		n, err := nonNegativeInt(value)
+		if err != nil {
+			return fail(err)
+		}
+		c.Dist.Shards = n
+		if n > 0 {
+			c.Dist.Sharded = true
+		}
+	case "free-running":
+		on, err := strconv.ParseBool(value)
+		if err != nil {
+			return fail(err)
+		}
+		c.Dist.FreeRunning = on
+	default:
+		return fmt.Errorf("unknown option %q", key)
+	}
+	return nil
+}
+
+func nonNegativeInt(value string) (int, error) {
+	n, err := strconv.Atoi(value)
+	if err != nil {
+		return 0, fmt.Errorf("bad integer %q", value)
+	}
+	if n < 0 {
+		return 0, fmt.Errorf("negative value %d", n)
+	}
+	return n, nil
+}
+
+// Flags registers every option of the key table on the flag set, all
+// funneling through c.Set — the lcpserve flag surface is generated from
+// the same table the HTTP options resolve against, so the two can never
+// drift. Boolean options register as toggles (-sharded), the rest as
+// value flags (-runtimes 4).
+func Flags(fs *flag.FlagSet, c *Config) {
+	for _, o := range Options() {
+		key := o.Key
+		if o.Bool {
+			fs.BoolFunc(key, o.Usage, func(v string) error { return c.Set(key, v) })
+		} else {
+			fs.Func(key, o.Usage, func(v string) error { return c.Set(key, v) })
+		}
+	}
+}

@@ -1,0 +1,137 @@
+package config
+
+import (
+	"flag"
+	"testing"
+
+	"lcp/internal/partition"
+)
+
+// TestSetResolvesEveryKey walks the resolver through every option of
+// the key table plus the "distributed" alias, and checks the derived
+// dist/engine options carry the values to the right fields.
+func TestSetResolvesEveryKey(t *testing.T) {
+	var c Config
+	for _, kv := range [][2]string{
+		{"backend", "engine-dist"},
+		{"workers", "5"},
+		{"runtimes", "3"},
+		{"partitioner", "bfs"},
+		{"sharded", "true"},
+		{"shards", "4"},
+		{"free-running", "true"},
+	} {
+		if err := c.Set(kv[0], kv[1]); err != nil {
+			t.Fatalf("Set(%q, %q): %v", kv[0], kv[1], err)
+		}
+	}
+	if c.Backend != BackendEngineDist || c.Workers != 5 || c.Runtimes != 3 {
+		t.Fatalf("top-level fields wrong: %+v", c)
+	}
+	if c.Partitioner == nil || c.Partitioner.Name() != "bfs" {
+		t.Fatalf("partitioner not resolved: %+v", c.Partitioner)
+	}
+	eo := c.EngineOptions()
+	if eo.Workers != 5 || eo.Shards != 3 || eo.Partitioner.Name() != "bfs" {
+		t.Fatalf("EngineOptions wrong: %+v", eo)
+	}
+	do := c.DistOptions()
+	if !do.Sharded || do.Shards != 4 || !do.FreeRunning || do.Partitioner.Name() != "bfs" {
+		t.Fatalf("DistOptions wrong: %+v", do)
+	}
+
+	var d Config
+	if err := d.Set("distributed", "true"); err != nil {
+		t.Fatal(err)
+	}
+	if d.Backend != BackendEngineDist {
+		t.Fatalf("distributed=true resolved to %q", d.Backend)
+	}
+	if err := d.Set("distributed", "false"); err != nil {
+		t.Fatal(err)
+	}
+	if d.Backend != BackendEngine {
+		t.Fatalf("distributed=false resolved to %q", d.Backend)
+	}
+}
+
+func TestSetRejectsBadValues(t *testing.T) {
+	var c Config
+	for _, kv := range [][2]string{
+		{"backend", "quantum"},
+		{"workers", "-1"},
+		{"workers", "many"},
+		{"runtimes", "-2"},
+		{"partitioner", "psychic"},
+		{"sharded", "maybe"},
+		{"distributed", "sometimes"},
+		{"warp", "9"},
+	} {
+		if err := c.Set(kv[0], kv[1]); err == nil {
+			t.Fatalf("Set(%q, %q) accepted", kv[0], kv[1])
+		}
+	}
+}
+
+// TestShardsImpliesSharded: a non-zero shard count turns the sharded
+// layout on, matching WithShards at the façade.
+func TestShardsImpliesSharded(t *testing.T) {
+	var c Config
+	if err := c.Set("shards", "2"); err != nil {
+		t.Fatal(err)
+	}
+	if !c.Dist.Sharded {
+		t.Fatal("shards=2 did not imply sharded")
+	}
+}
+
+// TestFlagsGeneratedFromKeyTable: every Options() key registers as a
+// flag, and parsing a full command line lands in the config through
+// the same Set resolver.
+func TestFlagsGeneratedFromKeyTable(t *testing.T) {
+	var c Config
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	Flags(fs, &c)
+	for _, o := range Options() {
+		if fs.Lookup(o.Key) == nil {
+			t.Fatalf("option %q has no generated flag", o.Key)
+		}
+	}
+	err := fs.Parse([]string{
+		"-backend", "dist", "-workers", "2", "-runtimes", "4",
+		"-partitioner", "greedy", "-sharded", "-shards", "3", "-free-running",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Backend != BackendDist || c.Workers != 2 || c.Runtimes != 4 ||
+		c.Partitioner.Name() != "greedy" || !c.Dist.Sharded || c.Dist.Shards != 3 || !c.Dist.FreeRunning {
+		t.Fatalf("flag parse landed wrong: %+v", c)
+	}
+
+	var bad Config
+	fs2 := flag.NewFlagSet("test", flag.ContinueOnError)
+	Flags(fs2, &bad)
+	if err := fs2.Parse([]string{"-backend", "nope"}); err == nil {
+		t.Fatal("bad -backend accepted")
+	}
+}
+
+// TestDefaults pins the zero value: engine backend, contiguous
+// partitioner name, valid.
+func TestDefaults(t *testing.T) {
+	var c Config
+	if c.ResolvedBackend() != BackendEngine {
+		t.Fatalf("zero backend resolves to %q", c.ResolvedBackend())
+	}
+	if c.PartitionerName() != (partition.Contiguous{}).Name() {
+		t.Fatalf("zero partitioner name %q", c.PartitionerName())
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	c.Backend = "bogus"
+	if err := c.Validate(); err == nil {
+		t.Fatal("bogus backend validated")
+	}
+}

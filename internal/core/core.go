@@ -17,6 +17,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -481,11 +482,28 @@ func (r *Result) String() string {
 
 // Check runs the verifier on every node sequentially and collects outputs.
 func Check(in *Instance, p Proof, v Verifier) *Result {
-	res := &Result{Outputs: make(map[int]bool, in.G.N())}
-	for _, node := range in.G.Nodes() {
-		res.Outputs[node] = v.Verify(BuildView(in, p, node, v.Radius()))
-	}
+	res, _ := CheckCtx(context.Background(), in, p, v)
 	return res
+}
+
+// CheckCtx is Check with context cancellation: the sequential sweep
+// aborts between nodes once the context is done and returns the partial
+// result together with ctx.Err(). One node's view construction and
+// verifier call is the unit of work. A background context adds no
+// per-node cost (its Done channel is nil and the check is skipped).
+func CheckCtx(ctx context.Context, in *Instance, p Proof, v Verifier) (*Result, error) {
+	res := &Result{Outputs: make(map[int]bool, in.G.N())}
+	radius := v.Radius()
+	done := ctx.Done()
+	for _, node := range in.G.Nodes() {
+		if done != nil {
+			if err := ctx.Err(); err != nil {
+				return res, err
+			}
+		}
+		res.Outputs[node] = v.Verify(BuildView(in, p, node, radius))
+	}
+	return res, nil
 }
 
 // ProveAndCheck is the end-to-end happy path: prove, then verify

@@ -1,0 +1,131 @@
+package dist
+
+// Cancellation tests for the round loop: a cancelled context poisons
+// the round barrier, every automaton aborts after the same round, and —
+// critically — the wiring stays reusable: the next run on the same
+// network must produce full, correct verdicts.
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+	"time"
+
+	"lcp/internal/core"
+	"lcp/internal/graph"
+)
+
+// slowVerifier gives the flood a few rounds to abort in.
+func slowVerifier(radius int) core.Verifier {
+	return core.VerifierFunc{R: radius, F: func(w *core.View) bool { return true }}
+}
+
+// runAborts drives network.run directly with an already-cancelled
+// context: the watcher poisons the barrier before round 1 completes, so
+// the run must abort with the context's error — deterministically, on
+// every lockstep layout.
+func runAborts(t *testing.T, opt Options) {
+	t.Helper()
+	in := core.NewInstance(graph.Cycle(24))
+	v := slowVerifier(4)
+	net, err := buildNetwork(in, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer net.release()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := net.run(ctx, in, core.Proof{}, v, opt); !errors.Is(err, context.Canceled) {
+		t.Fatalf("aborted run error = %v, want context.Canceled", err)
+	}
+	// The wiring must be clean after the abort: every port drained,
+	// every automaton reseedable. A full re-run must match core.Check.
+	res, err := net.run(context.Background(), in, core.Proof{}, v, opt)
+	if err != nil {
+		t.Fatalf("re-run after abort: %v", err)
+	}
+	want := core.Check(in, core.Proof{}, v)
+	if !reflect.DeepEqual(res.Outputs, want.Outputs) {
+		t.Fatalf("re-run after abort diverged:\n got %v\nwant %v", res.Outputs, want.Outputs)
+	}
+}
+
+func TestRunAbortsOnCancelPerNode(t *testing.T) {
+	runAborts(t, Options{})
+}
+
+func TestRunAbortsOnCancelSharded(t *testing.T) {
+	runAborts(t, Options{Sharded: true, Shards: 3})
+}
+
+// TestFreeRunningIgnoresMidRunCancel pins the documented free-running
+// trade-off: with no barrier to poison, a cancelled context does not
+// abort the flood — the run completes with correct verdicts (the error
+// comes only from the pre-run context check in the public API).
+func TestFreeRunningIgnoresMidRunCancel(t *testing.T) {
+	in := core.NewInstance(graph.Cycle(16))
+	v := slowVerifier(3)
+	opt := Options{FreeRunning: true, Sharded: true, Shards: 2}
+	net, err := buildNetwork(in, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer net.release()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := net.run(ctx, in, core.Proof{}, v, opt)
+	if err != nil {
+		t.Fatalf("free-running run returned %v, want completion", err)
+	}
+	want := core.Check(in, core.Proof{}, v)
+	if !reflect.DeepEqual(res.Outputs, want.Outputs) {
+		t.Fatalf("free-running run diverged under cancelled context")
+	}
+}
+
+// TestNetworkCheckCtx covers the public surface: a pre-cancelled
+// context is rejected up front, a mid-run cancellation either aborts
+// with the context's error or completes with correct verdicts (timing
+// decides which), and the network keeps serving afterwards.
+func TestNetworkCheckCtx(t *testing.T) {
+	in := core.NewInstance(graph.Cycle(64))
+	v := slowVerifier(6)
+	nw, err := NewNetwork(in, Options{Sharded: true, Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nw.Close()
+	want := core.Check(in, core.Proof{}, v)
+
+	pre, cancelPre := context.WithCancel(context.Background())
+	cancelPre()
+	if _, err := nw.CheckCtx(pre, core.Proof{}, v); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-cancelled CheckCtx error = %v", err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(50 * time.Microsecond)
+		cancel()
+	}()
+	res, err := nw.CheckCtx(ctx, core.Proof{}, v)
+	switch {
+	case err == nil:
+		if !reflect.DeepEqual(res.Outputs, want.Outputs) {
+			t.Fatalf("completed run diverged under racing cancel")
+		}
+	case errors.Is(err, context.Canceled):
+		// aborted between rounds — the expected fast path
+	default:
+		t.Fatalf("CheckCtx error = %v", err)
+	}
+
+	res, err = nw.Check(core.Proof{}, v)
+	if err != nil {
+		t.Fatalf("Check after cancelled run: %v", err)
+	}
+	if !reflect.DeepEqual(res.Outputs, want.Outputs) {
+		t.Fatalf("network unusable after cancelled run")
+	}
+}

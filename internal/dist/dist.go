@@ -1,6 +1,7 @@
 package dist
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -148,11 +149,23 @@ func Check(in *core.Instance, p core.Proof, v core.Verifier) (*core.Result, erro
 // including Options.Sharded, which runs the same protocol on shared
 // shard goroutines instead of one goroutine per node.
 func CheckWith(in *core.Instance, p core.Proof, v core.Verifier, opt Options) (*core.Result, error) {
+	return CheckWithCtx(context.Background(), in, p, v, opt)
+}
+
+// CheckWithCtx is CheckWith with context cancellation: lockstep runs
+// abort between communication rounds (the context watcher poisons the
+// round barrier and every automaton stops after the same round) and
+// return ctx.Err(). Free-running runs have no barrier and honor the
+// context only at run boundaries.
+func CheckWithCtx(ctx context.Context, in *core.Instance, p core.Proof, v core.Verifier, opt Options) (*core.Result, error) {
 	if in == nil || in.G == nil {
 		return nil, fmt.Errorf("dist: nil instance")
 	}
 	if v == nil {
 		return nil, fmt.Errorf("dist: nil verifier")
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	if in.G.N() == 0 {
 		return &core.Result{Outputs: map[int]bool{}}, nil
@@ -161,7 +174,7 @@ func CheckWith(in *core.Instance, p core.Proof, v core.Verifier, opt Options) (*
 	if err != nil {
 		return nil, err
 	}
-	res, err := net.run(in, p, v, opt)
+	res, err := net.run(ctx, in, p, v, opt)
 	net.release()
 	return res, err
 }

@@ -1,6 +1,7 @@
 package dist
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -83,19 +84,35 @@ func (nw *Network) Instance() *core.Instance { return nw.in }
 // each run gets its own wiring, built on demand when the idle ones are
 // taken.
 func (nw *Network) Check(p core.Proof, v core.Verifier) (*core.Result, error) {
+	return nw.CheckCtx(context.Background(), p, v)
+}
+
+// CheckCtx is Check with context cancellation: lockstep runs abort
+// between communication rounds (the watcher poisons the round barrier,
+// so every automaton stops after the same round and the wiring stays
+// reusable) and return ctx.Err(). Free-running runs flood to completion
+// and honor the context only at run boundaries.
+func (nw *Network) CheckCtx(ctx context.Context, p core.Proof, v core.Verifier) (*core.Result, error) {
 	if v == nil {
 		return nil, fmt.Errorf("dist: nil verifier")
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	if nw.in.G.N() == 0 {
 		return &core.Result{Outputs: map[int]bool{}}, nil
 	}
-	nw.sem <- struct{}{} // bound live wirings; waits out a burst
+	select {
+	case nw.sem <- struct{}{}: // bound live wirings; waits out a burst
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
 	net, err := nw.acquire()
 	if err != nil {
 		<-nw.sem
 		return nil, err
 	}
-	res, err := net.run(nw.in, p, v, nw.opt)
+	res, err := net.run(ctx, nw.in, p, v, nw.opt)
 	nw.put(net)
 	<-nw.sem
 	return res, err

@@ -1,6 +1,8 @@
 package dist
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -214,7 +216,13 @@ func (nd *node) learn(rec record, round int) {
 // global barrier; when nil, per-port message counting alone keeps rounds
 // aligned (α-synchronization), and batches are freshly allocated because
 // a slow receiver may still hold the previous round's slice.
-func (nd *node) flood(rounds int, bar *barrier) {
+//
+// flood reports whether the run was aborted by a poisoned barrier (a
+// cancelled context): the barrier publishes the same decision to every
+// participant, so all automata stop after the same round with every
+// port drained — no goroutine is left blocked on a neighbour that quit.
+// Free-running mode has no barrier and always floods to completion.
+func (nd *node) flood(rounds int, bar *barrier) bool {
 	for r := 1; r <= rounds; r++ {
 		for _, port := range nd.out {
 			port <- nd.cur
@@ -229,10 +237,11 @@ func (nd *node) flood(rounds int, bar *barrier) {
 			nd.merge(<-port, r)
 		}
 		nd.cur, nd.next = nd.next, nd.cur
-		if bar != nil {
-			bar.await()
+		if bar != nil && bar.await() {
+			return true
 		}
 	}
+	return false
 }
 
 // assemble reconstructs the radius-r view from flooded knowledge. The
@@ -382,13 +391,23 @@ func (net *network) release() {
 	net.shards = nil
 }
 
+// errRunAborted marks verdicts of a run stopped by a poisoned barrier;
+// run translates it into the cancelling context's error.
+var errRunAborted = errors.New("dist: run cancelled")
+
 // run executes one complete verification pass: seed every node with the
 // proof, flood for the verifier's radius, assemble views, decide. Every
 // worker goroutine — including carriers, which report no verdict — is
 // joined before returning, so the network is reusable (or releasable)
 // immediately afterwards: all ports are drained and no goroutine of
 // this run still touches a node automaton.
-func (net *network) run(in *core.Instance, p core.Proof, v core.Verifier, opt Options) (*core.Result, error) {
+//
+// A cancellable ctx (Done() != nil) is watched by a helper goroutine
+// that poisons the round barrier, so lockstep runs abort between
+// rounds and return ctx.Err() instead of flooding to completion.
+// Free-running runs have no barrier to poison and run to completion —
+// cancellation there is honored only at run boundaries.
+func (net *network) run(ctx context.Context, in *core.Instance, p core.Proof, v core.Verifier, opt Options) (*core.Result, error) {
 	radius := v.Radius()
 	rounds := radius
 	if rounds < 0 {
@@ -396,6 +415,30 @@ func (net *network) run(in *core.Instance, p core.Proof, v core.Verifier, opt Op
 	}
 	for _, nd := range net.nodes {
 		nd.seed(p)
+	}
+	if net.bar != nil {
+		net.bar.reset()
+		if ctx != nil && ctx.Done() != nil {
+			watchDone := make(chan struct{})
+			watcherExited := make(chan struct{})
+			go func() {
+				defer close(watcherExited)
+				select {
+				case <-ctx.Done():
+					net.bar.poison()
+				case <-watchDone:
+				}
+			}()
+			// Join the watcher before returning: a cancellation arriving
+			// during the decide phase must land its poison before this
+			// run ends, not after a pooled reuse of the wiring has reset
+			// the barrier — a stale poison would spuriously abort the
+			// next, uncancelled run.
+			defer func() {
+				close(watchDone)
+				<-watcherExited
+			}()
+		}
 	}
 	// Deciders never block sending: the channel holds every verdict.
 	verdicts := make(chan nodeVerdict, net.deciders)
@@ -415,6 +458,12 @@ func (net *network) run(in *core.Instance, p core.Proof, v core.Verifier, opt Op
 		res.Outputs[nv.id] = nv.ok
 	}
 	wg.Wait()
+	if errors.Is(firstErr, errRunAborted) {
+		if ctx != nil && ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		return nil, firstErr
+	}
 	if firstErr != nil {
 		return nil, firstErr
 	}
@@ -423,7 +472,9 @@ func (net *network) run(in *core.Instance, p core.Proof, v core.Verifier, opt Op
 
 // runPerNode is the goroutine-per-node execution layout: every automaton
 // floods and decides on its own goroutine, with the decision phase
-// throttled by the fan-out semaphore.
+// throttled by the fan-out semaphore. An aborted flood still reports a
+// verdict per decider — carrying errRunAborted instead of a decision —
+// so run's collection loop always drains exactly net.deciders entries.
 func (net *network) runPerNode(in *core.Instance, radius, rounds int, v core.Verifier, opt Options, verdicts chan<- nodeVerdict, wg *sync.WaitGroup) {
 	var sem chan struct{}
 	if k := opt.fanout(); k > 0 {
@@ -433,8 +484,12 @@ func (net *network) runPerNode(in *core.Instance, radius, rounds int, v core.Ver
 	for _, nd := range net.nodes {
 		go func(nd *node) {
 			defer wg.Done()
-			nd.flood(rounds, net.bar)
+			aborted := nd.flood(rounds, net.bar)
 			if nd.carrier {
+				return
+			}
+			if aborted {
+				verdicts <- nodeVerdict{id: nd.id, err: errRunAborted}
 				return
 			}
 			if sem != nil {

@@ -39,15 +39,22 @@ import (
 // runSharded fans the verdict work out by shard: every shard goroutine
 // floods its node range and then assembles and verifies each owned node
 // in place. The decision fan-out option is moot here — decision
-// concurrency is the shard count by construction.
+// concurrency is the shard count by construction. An aborted flood (a
+// cancelled run poisoning the shard barrier) still reports one verdict
+// per owned decider, carrying errRunAborted, so run's collection loop
+// drains exactly net.deciders entries.
 func (net *network) runSharded(in *core.Instance, radius, rounds int, v core.Verifier, verdicts chan<- nodeVerdict, wg *sync.WaitGroup) {
 	wg.Add(len(net.shards))
 	for _, group := range net.shards {
 		go func(group []*node) {
 			defer wg.Done()
-			floodShard(group, rounds, net.bar, net.ringLen)
+			aborted := floodShard(group, rounds, net.bar, net.ringLen)
 			for _, nd := range group {
 				if nd.carrier {
+					continue
+				}
+				if aborted {
+					verdicts <- nodeVerdict{id: nd.id, err: errRunAborted}
 					continue
 				}
 				verdicts <- decide(nd, in, radius, v)
@@ -61,10 +68,15 @@ func (net *network) runSharded(in *core.Instance, radius, rounds int, v core.Ver
 // barrier; when nil (free-running mode) the rounds are paced by per-port
 // message counting alone and the batch buffers rotate through a ring
 // sized by ringLen instead of the lockstep two-buffer swap.
-func floodShard(group []*node, rounds int, bar *barrier, ringLen int) {
+//
+// The return value reports a poisoned-barrier abort: every shard gets
+// the same per-round decision from the barrier, so all of them stop
+// after the same round with every port drained. Free-running shards
+// have no barrier and always flood to completion.
+func floodShard(group []*node, rounds int, bar *barrier, ringLen int) bool {
 	if bar == nil {
 		floodShardFreeRunning(group, rounds, ringLen)
-		return
+		return false
 	}
 	for r := 1; r <= rounds; r++ {
 		// Phase 1: cross-shard sends. cur buffers are frozen for the
@@ -97,8 +109,11 @@ func floodShard(group []*node, rounds int, bar *barrier, ringLen int) {
 		for _, nd := range group {
 			nd.cur, nd.next = nd.next, nd.cur
 		}
-		bar.await()
+		if bar.await() {
+			return true
+		}
 	}
+	return false
 }
 
 // floodShardFreeRunning is floodShard without the barrier. The shard's

@@ -212,12 +212,28 @@ func (e *Engine) CheckProof(p core.Proof, v core.Verifier) *core.Result {
 // CheckBatch verifies many proofs against the same cached views,
 // returning one result per proof in order.
 func (e *Engine) CheckBatch(proofs []core.Proof, v core.Verifier) []*core.Result {
-	e.viewsFor(v.Radius()) // warm once, outside the per-proof loop
-	out := make([]*core.Result, len(proofs))
-	for i, p := range proofs {
-		out[i] = e.CheckProof(p, v)
-	}
+	out, _ := e.CheckBatchCtx(context.Background(), proofs, v)
 	return out
+}
+
+// CheckBatchCtx is CheckBatch with context cancellation: the batch
+// aborts between proofs once the context is done, returning the results
+// completed so far together with ctx.Err(). A single proof is the unit
+// of work — an individual CheckProof runs to completion — so a cancelled
+// HTTP request stops costing at the next proof boundary instead of
+// after the whole batch.
+func (e *Engine) CheckBatchCtx(ctx context.Context, proofs []core.Proof, v core.Verifier) ([]*core.Result, error) {
+	if len(proofs) > 0 {
+		e.viewsFor(v.Radius()) // warm once, outside the per-proof loop
+	}
+	out := make([]*core.Result, 0, len(proofs))
+	for _, p := range proofs {
+		if err := ctx.Err(); err != nil {
+			return out, err
+		}
+		out = append(out, e.CheckProof(p, v))
+	}
+	return out, nil
 }
 
 // CheckStream verifies the proof and streams each node's verdict as it

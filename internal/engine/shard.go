@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -135,8 +136,20 @@ func haloInstance(in *core.Instance, owned []int, radius int) *core.Instance {
 // identical to dist.Check on the full instance (and hence to
 // core.Check).
 func (e *Engine) CheckDistributed(p core.Proof, v core.Verifier) (*core.Result, error) {
+	return e.CheckDistributedCtx(context.Background(), p, v)
+}
+
+// CheckDistributedCtx is CheckDistributed with context cancellation:
+// the context threads into every shard's runtime, where lockstep runs
+// abort between communication rounds (see dist.Network.CheckCtx), so a
+// cancelled caller stops burning shard goroutines instead of flooding
+// every halo to completion.
+func (e *Engine) CheckDistributedCtx(ctx context.Context, p core.Proof, v core.Verifier) (*core.Result, error) {
 	if v == nil {
 		return nil, fmt.Errorf("engine: nil verifier")
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	sn, err := e.netsFor(v.Radius())
 	if err != nil {
@@ -152,7 +165,7 @@ func (e *Engine) CheckDistributed(p core.Proof, v core.Verifier) (*core.Result, 
 		wg.Add(1)
 		go func(s *distShard) {
 			defer wg.Done()
-			sres, err := s.net.Check(p, v)
+			sres, err := s.net.CheckCtx(ctx, p, v)
 			mu.Lock()
 			defer mu.Unlock()
 			if err != nil {

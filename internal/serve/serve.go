@@ -4,9 +4,9 @@ import (
 	"container/list"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
-	"runtime"
 	"sort"
 	"strconv"
 	"strings"
@@ -14,10 +14,11 @@ import (
 	"sync/atomic"
 	"time"
 
+	"lcp"
 	"lcp/internal/bitstr"
+	"lcp/internal/config"
 	"lcp/internal/core"
 	"lcp/internal/engine"
-	"lcp/internal/partition"
 	"lcp/internal/textio"
 )
 
@@ -42,7 +43,7 @@ type Config struct {
 // implements http.Handler and is safe for concurrent use.
 type Server struct {
 	schemes map[string]core.Scheme
-	opt     engine.Options
+	base    config.Config
 	cfg     Config
 	mux     *http.ServeMux
 	stats   map[string]*endpointStats
@@ -75,25 +76,52 @@ type instanceEntry struct {
 	alt map[string]*engine.Engine
 }
 
-// endpointStats is one endpoint's request counter and latency sum,
-// updated lock-free on every call and reported by GET /stats.
+// latencyBoundsMS are the fixed per-endpoint histogram bucket upper
+// bounds, in milliseconds. One table for every endpoint: cross-endpoint
+// comparability beats per-endpoint tuning, and the range spans a cached
+// sub-millisecond /check up to a multi-second distributed batch. An
+// implicit overflow bucket catches everything beyond the last bound.
+var latencyBoundsMS = [...]float64{0.25, 0.5, 1, 2.5, 5, 10, 25, 50, 100, 250, 500, 1000, 2500}
+
+// endpointStats is one endpoint's request counter, latency sum, and
+// fixed-bound latency histogram, updated lock-free on every call and
+// reported by GET /stats.
 type endpointStats struct {
 	requests  atomic.Int64
 	latencyNS atomic.Int64
+	buckets   [len(latencyBoundsMS) + 1]atomic.Int64
+}
+
+// observe records one request's latency in the counter, the sum, and
+// exactly one histogram bucket (the first whose bound is not exceeded,
+// or the overflow bucket).
+func (st *endpointStats) observe(d time.Duration) {
+	st.requests.Add(1)
+	st.latencyNS.Add(int64(d))
+	ms := float64(d) / float64(time.Millisecond)
+	for i, le := range latencyBoundsMS {
+		if ms <= le {
+			st.buckets[i].Add(1)
+			return
+		}
+	}
+	st.buckets[len(st.buckets)-1].Add(1)
 }
 
 // New builds a server over the given scheme registry (normally
-// lcp.BuiltinSchemes()). The engine options apply to every instance the
-// server wires.
-func New(schemes map[string]core.Scheme, opt engine.Options) *Server {
-	return NewWith(schemes, opt, Config{})
+// lcp.BuiltinSchemes()). The base config applies to every instance the
+// server wires; per-request options ("backend", "distributed",
+// "partitioner") override it through the same config.Set resolver the
+// lcpserve flags go through.
+func New(schemes map[string]core.Scheme, base config.Config) *Server {
+	return NewWith(schemes, base, Config{})
 }
 
 // NewWith is New with an explicit server configuration.
-func NewWith(schemes map[string]core.Scheme, opt engine.Options, cfg Config) *Server {
+func NewWith(schemes map[string]core.Scheme, base config.Config, cfg Config) *Server {
 	s := &Server{
 		schemes:   schemes,
-		opt:       opt,
+		base:      base,
 		cfg:       cfg,
 		mux:       http.NewServeMux(),
 		stats:     make(map[string]*endpointStats),
@@ -124,8 +152,7 @@ func (s *Server) handle(pattern string, fn http.HandlerFunc) {
 	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		fn(w, r)
-		st.requests.Add(1)
-		st.latencyNS.Add(int64(time.Since(start)))
+		st.observe(time.Since(start))
 	})
 }
 
@@ -148,14 +175,21 @@ type checkRequest struct {
 	Proof map[string]string `json:"proof,omitempty"`
 	// Proofs is the batch variant (POST /check/batch only).
 	Proofs []map[string]string `json:"proofs,omitempty"`
-	// Distributed selects the sharded message-passing path.
+	// Backend overrides the execution path for this request: "core",
+	// "dist", "engine", or "engine-dist". It resolves through the same
+	// config.Set resolver as the lcpserve flags, so the names (and the
+	// semantics) are identical on the command line and on the wire.
+	// Empty means the server's configured default backend.
+	Backend string `json:"backend,omitempty"`
+	// Distributed is the legacy alias for Backend: true selects
+	// "engine-dist". Set either Distributed or Backend, not both.
 	Distributed bool `json:"distributed,omitempty"`
-	// Partitioner overrides how the distributed path assigns nodes to
-	// shards for this request: "contiguous", "bfs", or "greedy" (see
-	// internal/partition). Requires Distributed. Empty means the
-	// server's configured default. Each named partitioner gets its own
-	// long-lived engine per registered instance, so repeated requests
-	// amortize exactly like the default one.
+	// Partitioner overrides how the distributed backends assign nodes
+	// to shards for this request: "contiguous", "bfs", or "greedy" (see
+	// internal/partition). Requires a distributed backend. Empty means
+	// the server's configured default. Each named partitioner gets its
+	// own long-lived engine per registered instance, so repeated
+	// requests amortize exactly like the default one.
 	Partitioner string `json:"partitioner,omitempty"`
 	// StopOnReject makes /check/stream cancel remaining work as soon
 	// as the first rejection streams out.
@@ -167,6 +201,10 @@ type checkResponse struct {
 	Nodes     int   `json:"nodes"`
 	ProofBits int   `json:"proof_bits"`
 	Rejectors []int `json:"rejectors,omitempty"`
+	// Backend reports the execution path that produced the verdict —
+	// the resolved value of the request's "backend"/"distributed"
+	// options over the server default.
+	Backend string `json:"backend,omitempty"`
 }
 
 type errorResponse struct {
@@ -229,18 +267,28 @@ func rejectFields(w http.ResponseWriter, req *checkRequest, endpoint string) boo
 	if req.Distributed && (endpoint == "/prove" || endpoint == "/check/stream") {
 		return bad("distributed")
 	}
-	if req.Partitioner != "" {
-		if endpoint == "/prove" || endpoint == "/check/stream" {
-			return bad("partitioner")
+	if req.Backend != "" {
+		if endpoint == "/prove" {
+			return bad("backend")
 		}
-		// The partitioner shapes the distributed shard cut; on the
-		// cached-view path it would be silently ignored, which is the
-		// exact client bug this guard exists for.
-		if !req.Distributed {
-			writeError(w, http.StatusBadRequest, "%q requires %q", "partitioner", "distributed")
+		// Streaming verdicts is a shared-memory affair: the message-
+		// passing backends only have verdicts once the round protocol
+		// completes, so "stream" would be a slower spelling of /check.
+		if endpoint == "/check/stream" &&
+			req.Backend != string(config.BackendCore) && req.Backend != string(config.BackendEngine) {
+			return bad("backend")
+		}
+		if req.Distributed {
+			writeError(w, http.StatusBadRequest, "set either %q or %q, not both", "backend", "distributed")
 			return false
 		}
 	}
+	if req.Partitioner != "" && (endpoint == "/prove" || endpoint == "/check/stream") {
+		return bad("partitioner")
+	}
+	// Whether a partitioner override is honored depends on the
+	// *resolved* backend (the server default counts, not just the
+	// request fields), so that guard lives in requestConfig.
 	return true
 }
 
@@ -350,7 +398,7 @@ func (s *Server) resolve(req *checkRequest) (*instanceEntry, core.Scheme, error)
 		if err != nil {
 			return nil, nil, fmt.Errorf("parse document: %v", err)
 		}
-		entry = &instanceEntry{Doc: doc, Engine: engine.New(doc.Instance, s.opt)}
+		entry = &instanceEntry{Doc: doc, Engine: engine.New(doc.Instance, s.base.EngineOptions())}
 	default:
 		return nil, nil, fmt.Errorf("missing instance id or inline document")
 	}
@@ -368,48 +416,99 @@ func (s *Server) resolve(req *checkRequest) (*instanceEntry, core.Scheme, error)
 	return entry, scheme, nil
 }
 
-// engineFor picks the entry's engine for the request's partitioner
-// override. The empty override — and an override naming the server's
-// configured default — is the primary engine; any other name gets a
-// lazily wired engine of its own, cached on the entry so repeated
-// requests amortize their view and runtime caches exactly like the
-// default path.
-func (s *Server) engineFor(entry *instanceEntry, name string) (*engine.Engine, error) {
-	def := "contiguous"
-	if s.opt.Partitioner != nil {
-		def = s.opt.Partitioner.Name()
+// requestConfig resolves one request's execution configuration: the
+// server's base config with the request-level overrides applied through
+// config.Set — the same resolver the lcpserve flags feed, so "backend",
+// "distributed" and "partitioner" mean exactly the same thing on the
+// wire as on the command line.
+func (s *Server) requestConfig(req *checkRequest) (config.Config, error) {
+	cfg := s.base
+	if req.Backend != "" {
+		if err := cfg.Set("backend", req.Backend); err != nil {
+			return cfg, err
+		}
 	}
-	if name == "" || name == def {
-		return entry.Engine, nil
+	if req.Distributed {
+		if err := cfg.Set("distributed", "true"); err != nil {
+			return cfg, err
+		}
 	}
-	p, err := partition.ByName(name)
-	if err != nil {
-		return nil, err
+	if req.Partitioner != "" {
+		// The partitioner shapes the distributed shard cut; on the
+		// cached-view paths it would be silently ignored, which is the
+		// exact client bug this guard exists for. The check runs against
+		// the resolved backend, so a server whose *default* backend is
+		// distributed honors partitioner-only requests.
+		if b := cfg.ResolvedBackend(); b != config.BackendDist && b != config.BackendEngineDist {
+			return cfg, fmt.Errorf("%q requires a distributed backend (%q or %q), resolved backend is %q",
+				"partitioner", config.BackendDist, config.BackendEngineDist, b)
+		}
+		if err := cfg.Set("partitioner", req.Partitioner); err != nil {
+			return cfg, err
+		}
+	}
+	return cfg, nil
+}
+
+// engineFor picks the entry's engine for the resolved config's
+// partitioner. The server's configured default policy is the primary
+// engine; any other partitioner gets a lazily wired engine of its own,
+// cached on the entry so repeated requests amortize their view and
+// runtime caches exactly like the default path.
+func (s *Server) engineFor(entry *instanceEntry, cfg config.Config) *engine.Engine {
+	name := cfg.PartitionerName()
+	if name == s.base.PartitionerName() {
+		return entry.Engine
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if e, ok := entry.alt[name]; ok {
-		return e, nil
+		return e
 	}
-	opt := s.opt
 	// One policy at both levels, mirroring lcpserve's -partitioner
 	// flag: the halo cut across dist runtimes and the shard layout
-	// inside each runtime.
-	opt.Partitioner = p
-	opt.Dist.Partitioner = p
-	e := engine.New(entry.Doc.Instance, opt)
+	// inside each runtime — EngineOptions derives both from the one
+	// Config.Partitioner.
+	e := engine.New(entry.Doc.Instance, cfg.EngineOptions())
 	if entry.alt == nil {
 		entry.alt = make(map[string]*engine.Engine)
 	}
 	entry.alt[name] = e
-	return e, nil
+	return e
+}
+
+// checkerFor builds the façade checker executing one request: the
+// resolved config's backend over the entry's instance, backed by the
+// entry's cached engine on the engine backends (so every request
+// amortizes the same views and runtimes) and wrapped in the fail-closed
+// safeVerifier. Checkers on the engine backends are cheap per-request
+// shims over the shared engine; the core and dist reference backends
+// carry their own (per-request) state.
+func (s *Server) checkerFor(entry *instanceEntry, cfg config.Config, scheme core.Scheme) (lcp.Checker, error) {
+	opts := []lcp.CheckerOption{
+		lcp.WithBackend(string(cfg.ResolvedBackend())),
+		lcp.WithVerifier(safeVerifier{scheme.Verifier()}),
+	}
+	switch cfg.ResolvedBackend() {
+	case config.BackendEngine, config.BackendEngineDist:
+		opts = append(opts, lcp.WithEngine(s.engineFor(entry, cfg)))
+	case config.BackendDist:
+		d := cfg.DistOptions()
+		opts = append(opts,
+			lcp.WithSharded(d.Sharded),
+			lcp.WithShards(d.Shards),
+			lcp.WithFreeRunning(d.FreeRunning),
+			lcp.WithPartitioner(d.Partitioner),
+		)
+	}
+	return lcp.NewChecker(entry.Doc.Instance, opts...)
 }
 
 // requestProof picks the proof for a single-proof request: the inline
 // JSON proof if present, the document's proof lines otherwise.
-func requestProof(e *engine.Engine, doc *textio.Document, req *checkRequest) (core.Proof, error) {
+func requestProof(in *core.Instance, doc *textio.Document, req *checkRequest) (core.Proof, error) {
 	if req.Proof != nil {
-		return parseProof(e.Instance(), req.Proof)
+		return parseProof(in, req.Proof)
 	}
 	return doc.Proof, nil
 }
@@ -429,7 +528,7 @@ func (s *Server) handleCreateInstance(w http.ResponseWriter, r *http.Request) {
 	entry := &instanceEntry{
 		ID:     fmt.Sprintf("i%d", s.nextID),
 		Doc:    doc,
-		Engine: engine.New(doc.Instance, s.opt),
+		Engine: engine.New(doc.Instance, s.base.EngineOptions()),
 	}
 	// Evict from the cold end until the newcomer fits. In-flight checks
 	// on an evicted engine finish on the caches they resolved; the
@@ -508,7 +607,7 @@ func (s *Server) handleProve(w http.ResponseWriter, r *http.Request) {
 		writeResolveError(w, err)
 		return
 	}
-	proof, err := scheme.Prove(entry.Engine.Instance())
+	proof, err := scheme.Prove(entry.Doc.Instance)
 	if err != nil {
 		writeError(w, http.StatusUnprocessableEntity, "prove: %v", err)
 		return
@@ -520,19 +619,13 @@ func (s *Server) handleProve(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-func (s *Server) checkOne(e *engine.Engine, scheme core.Scheme, p core.Proof, distributed bool) (*core.Result, error) {
-	if distributed {
-		return e.CheckDistributed(p, safeVerifier{scheme.Verifier()})
-	}
-	return e.CheckProof(p, safeVerifier{scheme.Verifier()}), nil
-}
-
-func toResponse(e *engine.Engine, p core.Proof, res *core.Result) checkResponse {
+func toResponse(nodes int, p core.Proof, rep *lcp.Report) checkResponse {
 	return checkResponse{
-		Accepted:  res.Accepted(),
-		Nodes:     e.Instance().G.N(),
+		Accepted:  rep.Accepted(),
+		Nodes:     nodes,
 		ProofBits: p.Size(),
-		Rejectors: res.Rejectors(),
+		Rejectors: rep.Rejectors(),
+		Backend:   rep.Backend,
 	}
 }
 
@@ -546,22 +639,31 @@ func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) {
 		writeResolveError(w, err)
 		return
 	}
-	e, err := s.engineFor(entry, req.Partitioner)
+	cfg, err := s.requestConfig(&req)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	p, err := requestProof(e, entry.Doc, &req)
+	chk, err := s.checkerFor(entry, cfg, scheme)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	res, err := s.checkOne(e, scheme, p, req.Distributed)
+	p, err := requestProof(entry.Doc.Instance, entry.Doc, &req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	// The request context rides into the checker: a client that hangs
+	// up mid-check stops the work at the backend's next cancellation
+	// point (between rounds, nodes, or proofs) instead of burning
+	// goroutines on an answer nobody reads.
+	rep, err := chk.Check(r.Context(), p)
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, "check: %v", err)
 		return
 	}
-	writeJSON(w, http.StatusOK, toResponse(e, p, res))
+	writeJSON(w, http.StatusOK, toResponse(entry.Doc.Instance.G.N(), p, rep))
 }
 
 func (s *Server) handleCheckBatch(w http.ResponseWriter, r *http.Request) {
@@ -574,7 +676,12 @@ func (s *Server) handleCheckBatch(w http.ResponseWriter, r *http.Request) {
 		writeResolveError(w, err)
 		return
 	}
-	e, err := s.engineFor(entry, req.Partitioner)
+	cfg, err := s.requestConfig(&req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	chk, err := s.checkerFor(entry, cfg, scheme)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
@@ -585,75 +692,36 @@ func (s *Server) handleCheckBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	proofs := make([]core.Proof, len(req.Proofs))
 	for i, m := range req.Proofs {
-		p, err := parseProof(e.Instance(), m)
+		p, err := parseProof(entry.Doc.Instance, m)
 		if err != nil {
 			writeError(w, http.StatusBadRequest, "proofs[%d]: %v", i, err)
 			return
 		}
 		proofs[i] = p
 	}
-	var results []*core.Result
-	if req.Distributed {
-		// The proofs of one batch run concurrently on a bounded worker
-		// pool: each draws its own wirings from the engine's sharded
-		// runtimes (dist.Network no longer serializes runs), so a
-		// distributed batch saturates the machine instead of flooding
-		// one proof at a time — without spawning a goroutine per proof.
-		// After the first error, idle workers stop picking up proofs;
-		// in-flight ones finish, and the smallest failing index wins.
-		results = make([]*core.Result, len(proofs))
-		var (
-			wg       sync.WaitGroup
-			mu       sync.Mutex
-			errIdx   = -1
-			batchErr error
-			next     atomic.Int64
-		)
-		workers := runtime.GOMAXPROCS(0)
-		if workers > len(proofs) {
-			workers = len(proofs)
-		}
-		wg.Add(workers)
-		for range workers {
-			go func() {
-				defer wg.Done()
-				for {
-					i := int(next.Add(1)) - 1
-					if i >= len(proofs) {
-						return
-					}
-					mu.Lock()
-					failed := errIdx != -1
-					mu.Unlock()
-					if failed {
-						return
-					}
-					res, err := e.CheckDistributed(proofs[i], safeVerifier{scheme.Verifier()})
-					if err != nil {
-						mu.Lock()
-						if errIdx == -1 || i < errIdx {
-							errIdx, batchErr = i, err
-						}
-						mu.Unlock()
-						return
-					}
-					results[i] = res
-				}
-			}()
-		}
-		wg.Wait()
-		if batchErr != nil {
-			writeError(w, http.StatusInternalServerError, "proofs[%d]: %v", errIdx, batchErr)
+	// The façade owns the batch strategy: sequential over the cached
+	// views on the shared-memory backends, a bounded concurrent pool on
+	// the message-passing ones (each proof draws its own wiring, so the
+	// batch saturates the machine instead of flooding one proof at a
+	// time). The request context cancels between proofs and between
+	// communication rounds, so a client hang-up stops burning shard
+	// goroutines mid-batch.
+	reports, err := chk.CheckBatch(r.Context(), proofs)
+	if err != nil {
+		var be *lcp.BatchError
+		if errors.As(err, &be) {
+			writeError(w, http.StatusInternalServerError, "proofs[%d]: %v", be.Index, be.Err)
 			return
 		}
-	} else {
-		results = e.CheckBatch(proofs, safeVerifier{scheme.Verifier()})
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
 	}
-	out := make([]checkResponse, len(results))
+	out := make([]checkResponse, len(reports))
 	accepted := 0
-	for i, res := range results {
-		out[i] = toResponse(e, proofs[i], res)
-		if res.Accepted() {
+	nodes := entry.Doc.Instance.G.N()
+	for i, rep := range reports {
+		out[i] = toResponse(nodes, proofs[i], rep)
+		if rep.Accepted() {
 			accepted++
 		}
 	}
@@ -689,25 +757,48 @@ func (s *Server) handleCheckStream(w http.ResponseWriter, r *http.Request) {
 		writeResolveError(w, err)
 		return
 	}
-	e := entry.Engine
-	p, err := requestProof(e, entry.Doc, &req)
+	cfg, err := s.requestConfig(&req)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	// A server whose default backend is distributed still streams on
+	// the engine: streaming exists for early verdicts, which only the
+	// shared-memory backends can deliver (rejectFields guards the
+	// explicit request-level override the same way).
+	if b := cfg.ResolvedBackend(); b != config.BackendCore && b != config.BackendEngine {
+		if err := cfg.Set("backend", string(config.BackendEngine)); err != nil {
+			writeError(w, http.StatusInternalServerError, "%v", err)
+			return
+		}
+	}
+	chk, err := s.checkerFor(entry, cfg, scheme)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	p, err := requestProof(entry.Doc.Instance, entry.Doc, &req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	// The request context cancels the stream when the client hangs up;
+	// stop_on_reject additionally cancels it on the first rejection.
+	ctx, cancel := context.WithCancel(r.Context())
+	defer cancel()
+	stream, err := chk.CheckStream(ctx, p)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "stream: %v", err)
 		return
 	}
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.WriteHeader(http.StatusOK)
 	flusher, _ := w.(http.Flusher)
 	enc := json.NewEncoder(w)
-
-	// The request context cancels the stream when the client hangs up;
-	// stop_on_reject additionally cancels it on the first rejection.
-	ctx, cancel := context.WithCancel(r.Context())
-	defer cancel()
 	checked := 0
 	accepted := true
 	stopped := false
-	for verdict := range e.CheckStream(ctx, p, safeVerifier{scheme.Verifier()}) {
+	for verdict := range stream {
 		checked++
 		if !verdict.Accept {
 			accepted = false
@@ -722,12 +813,13 @@ func (s *Server) handleCheckStream(w http.ResponseWriter, r *http.Request) {
 			break
 		}
 	}
-	// Drain: CheckStream's workers exit on the cancelled context.
+	// Drain: the stream's workers exit on the cancelled context.
+	nodes := entry.Doc.Instance.G.N()
 	_ = enc.Encode(summaryLine{
 		Done:         true,
-		Accepted:     accepted && checked == e.Instance().G.N(),
+		Accepted:     accepted && checked == nodes,
 		Checked:      checked,
-		Nodes:        e.Instance().G.N(),
+		Nodes:        nodes,
 		StoppedEarly: stopped,
 	})
 	if flusher != nil {
@@ -746,21 +838,37 @@ func (s *Server) handleSchemes(w http.ResponseWriter, r *http.Request) {
 
 // statsEntry is one endpoint's row in the GET /stats response. The
 // counters are monotone since process start; the derived average is a
-// convenience, the sums are what a scraper should rate().
+// convenience, the sums and buckets are what a scraper should rate().
+// LatencyBucketCounts[i] counts requests whose latency fell at or under
+// LatencyBucketLEMS[i] milliseconds (and over the previous bound); the
+// final entry, one past the bounds, is the overflow bucket. The bounds
+// are fixed per process, so two scrapes subtract cleanly into a tail-
+// latency estimate — the thing a bare sum can never give.
 type statsEntry struct {
-	Requests       int64   `json:"requests"`
-	LatencyNSTotal int64   `json:"latency_ns_total"`
-	LatencyMSAvg   float64 `json:"latency_ms_avg"`
+	Requests            int64     `json:"requests"`
+	LatencyNSTotal      int64     `json:"latency_ns_total"`
+	LatencyMSAvg        float64   `json:"latency_ms_avg"`
+	LatencyBucketLEMS   []float64 `json:"latency_bucket_le_ms"`
+	LatencyBucketCounts []int64   `json:"latency_bucket_counts"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	endpoints := make(map[string]statsEntry, len(s.stats))
 	for pattern, st := range s.stats {
 		n := st.requests.Load()
-		row := statsEntry{Requests: n, LatencyNSTotal: st.latencyNS.Load()}
+		row := statsEntry{
+			Requests:          n,
+			LatencyNSTotal:    st.latencyNS.Load(),
+			LatencyBucketLEMS: latencyBoundsMS[:],
+		}
 		if n > 0 {
 			row.LatencyMSAvg = float64(row.LatencyNSTotal) / float64(n) / 1e6
 		}
+		counts := make([]int64, len(st.buckets))
+		for i := range st.buckets {
+			counts[i] = st.buckets[i].Load()
+		}
+		row.LatencyBucketCounts = counts
 		endpoints[pattern] = row
 	}
 	s.mu.Lock()

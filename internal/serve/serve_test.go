@@ -17,16 +17,16 @@ import (
 	"testing"
 
 	"lcp"
+	"lcp/internal/config"
 	"lcp/internal/core"
 	"lcp/internal/dist"
-	"lcp/internal/engine"
 	"lcp/internal/serve"
 	"lcp/internal/textio"
 )
 
 func newTestServer(t *testing.T) *httptest.Server {
 	t.Helper()
-	ts := httptest.NewServer(serve.New(lcp.BuiltinSchemes(), engine.Options{Shards: 2}))
+	ts := httptest.NewServer(serve.New(lcp.BuiltinSchemes(), config.Config{Runtimes: 2}))
 	t.Cleanup(ts.Close)
 	return ts
 }
@@ -97,10 +97,10 @@ func proofWire(p core.Proof) map[string]string {
 // and the shard barriers are exercised under contention. Verdicts must
 // match the sequential reference proof-for-proof.
 func TestServeDistributedBatchConcurrentShards(t *testing.T) {
-	ts := httptest.NewServer(serve.New(lcp.BuiltinSchemes(), engine.Options{
-		Workers: 4,
-		Shards:  3,
-		Dist:    dist.Options{Sharded: true, Shards: 2},
+	ts := httptest.NewServer(serve.New(lcp.BuiltinSchemes(), config.Config{
+		Workers:  4,
+		Runtimes: 3,
+		Dist:     dist.Options{Sharded: true, Shards: 2},
 	}))
 	t.Cleanup(ts.Close)
 
@@ -453,7 +453,7 @@ func (panicScheme) Verifier() core.Verifier {
 func (panicScheme) Prove(in *core.Instance) (core.Proof, error) { return core.Proof{}, nil }
 
 func TestServePanickingVerifierFailsClosed(t *testing.T) {
-	ts := httptest.NewServer(serve.New(map[string]core.Scheme{"panicky": panicScheme{}}, engine.Options{}))
+	ts := httptest.NewServer(serve.New(map[string]core.Scheme{"panicky": panicScheme{}}, config.Config{}))
 	t.Cleanup(ts.Close)
 	id := registerInstance(t, ts, docText(t, lcp.NewInstance(lcp.Cycle(6)), "panicky", nil))
 	for _, endpoint := range []string{"/check", "/check/stream"} {

@@ -11,8 +11,8 @@ import (
 	"testing"
 
 	"lcp"
+	"lcp/internal/config"
 	"lcp/internal/core"
-	"lcp/internal/engine"
 	"lcp/internal/serve"
 )
 
@@ -21,7 +21,7 @@ import (
 // get a 404 with the distinct "evicted" error body, while a truly
 // unknown id stays a plain error without that code.
 func TestServeInstanceLRUEviction(t *testing.T) {
-	ts := httptest.NewServer(serve.NewWith(lcp.BuiltinSchemes(), engine.Options{}, serve.Config{MaxInstances: 2}))
+	ts := httptest.NewServer(serve.NewWith(lcp.BuiltinSchemes(), config.Config{}, serve.Config{MaxInstances: 2}))
 	t.Cleanup(ts.Close)
 
 	doc := func(n int) string {
@@ -100,7 +100,7 @@ func TestServeInstanceLRUEviction(t *testing.T) {
 // TestServeStats: the /stats endpoint reports per-endpoint request
 // counts and latency sums that move with traffic.
 func TestServeStats(t *testing.T) {
-	ts := httptest.NewServer(serve.NewWith(lcp.BuiltinSchemes(), engine.Options{}, serve.Config{MaxInstances: 8}))
+	ts := httptest.NewServer(serve.NewWith(lcp.BuiltinSchemes(), config.Config{}, serve.Config{MaxInstances: 8}))
 	t.Cleanup(ts.Close)
 
 	in := lcp.NewInstance(lcp.Cycle(8))

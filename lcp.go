@@ -23,6 +23,9 @@
 package lcp
 
 import (
+	"context"
+	"fmt"
+
 	"lcp/internal/core"
 	"lcp/internal/dist"
 	"lcp/internal/engine"
@@ -107,13 +110,30 @@ func NewInstance(g *Graph) *Instance { return core.NewInstance(g) }
 // Prove runs a scheme's prover.
 func Prove(s Scheme, in *Instance) (Proof, error) { return s.Prove(in) }
 
-// Check runs the verifier sequentially on every node.
-func Check(in *Instance, p Proof, v Verifier) *Result { return core.Check(in, p, v) }
+// Check runs the verifier sequentially on every node, through the
+// façade's core backend.
+//
+// Deprecated: use NewChecker with WithBackend(BackendCore). The façade
+// adds context cancellation, batching, streaming, and the unified
+// Report; this wrapper survives so existing callers keep compiling.
+func Check(in *Instance, p Proof, v Verifier) *Result {
+	c, err := NewChecker(in, WithVerifier(v), WithBackend(BackendCore))
+	if err != nil {
+		panic(fmt.Sprintf("lcp.Check: %v", err))
+	}
+	rep, err := c.Check(context.Background(), p)
+	if err != nil {
+		panic(fmt.Sprintf("lcp.Check: %v", err))
+	}
+	return rep.Result()
+}
 
 // CheckDistributed runs the verifier on the goroutine-per-node LOCAL
 // runtime: each node collects its radius-r view by flooding and decides.
+//
+// Deprecated: use NewChecker with WithBackend(BackendDist).
 func CheckDistributed(in *Instance, p Proof, v Verifier) (*Result, error) {
-	return dist.Check(in, p, v)
+	return CheckDistributedWith(in, p, v, DistOptions{})
 }
 
 // DistOptions tunes the message-passing runtime's scheduler: sharded
@@ -158,8 +178,22 @@ func PartitionerByName(name string) (Partitioner, error) { return partition.ByNa
 // which closes most of the gap to the sequential runner once the node
 // count dwarfs GOMAXPROCS while staying verdict-identical (see the
 // performance guide in README.md).
+//
+// Deprecated: use NewChecker with WithBackend(BackendDist) plus
+// WithSharded/WithShards/WithFreeRunning/WithPartitioner — and keep the
+// Checker around: it reuses its wiring across proofs, which this
+// one-shot wrapper cannot.
 func CheckDistributedWith(in *Instance, p Proof, v Verifier, opt DistOptions) (*Result, error) {
-	return dist.CheckWith(in, p, v, opt)
+	c, err := NewChecker(in, WithVerifier(v), WithBackend(BackendDist), withDistOptions(opt))
+	if err != nil {
+		return nil, err
+	}
+	defer c.(*checker).close()
+	rep, err := c.Check(context.Background(), p)
+	if err != nil {
+		return nil, err
+	}
+	return rep.Result(), nil
 }
 
 // ProveAndCheck proves and then verifies everywhere, failing loudly on
@@ -185,10 +219,18 @@ type (
 	Verdict = engine.Verdict
 )
 
-// NewEngine builds a default-configured engine for the instance.
+// NewEngine builds a default-configured engine for the instance. Pair
+// it with NewChecker's WithEngine option when several checkers (one per
+// scheme, say) should share one set of cached views and runtimes.
 func NewEngine(in *Instance) *Engine { return engine.New(in, engine.Options{}) }
 
 // NewEngineWith builds an engine with an explicit configuration.
+//
+// Deprecated: use NewChecker with WithBackend(BackendEngine) or
+// WithBackend(BackendEngineDist) plus WithWorkers/WithRuntimes/
+// WithPartitioner — the same knobs, compiled through the shared Config
+// — and WithEngine(NewEngine(in)) where an explicit engine must be
+// shared.
 func NewEngineWith(in *Instance, opt EngineOptions) *Engine { return engine.New(in, opt) }
 
 // Built-in schemes (Table 1 of the paper). Each constructor returns a
