@@ -1,27 +1,23 @@
 // Command doclint fails the build when a package is missing its package
-// comment. Every package in this repository is part of the paper-to-code
-// map documented in docs/ARCHITECTURE.md, and the package comment is
-// where each one states which definitions of Göös & Suomela (PODC 2011)
-// it implements — so an undocumented package is treated like a vet
-// failure, not a style nit. make check runs it alongside go vet.
+// comment. It survives as a thin wrapper over the doccomment analyzer of
+// internal/lint, which absorbed its rule: the package comments are the
+// paper-to-code map (see docs/ARCHITECTURE.md), so a missing one is a
+// documentation regression, not a style nit.
+//
+// Deprecated: use cmd/lcplint, which runs doccomment alongside the
+// concurrency and API analyzers; make check already does. This command is
+// kept so `make doclint` and old muscle memory keep working.
 //
 // Usage:
 //
 //	doclint DIR...
-//
-// Each DIR is scanned with the Go parser (test files excluded); a
-// package whose files all lack a package doc comment is reported, and
-// the exit status is non-zero if any package is undocumented.
 package main
 
 import (
 	"fmt"
-	"go/parser"
-	"go/token"
 	"os"
-	"path/filepath"
-	"sort"
-	"strings"
+
+	"lcp/internal/lint"
 )
 
 func main() {
@@ -29,51 +25,31 @@ func main() {
 		fmt.Fprintln(os.Stderr, "usage: doclint DIR...")
 		os.Exit(2)
 	}
+	loader, err := lint.NewLoader(os.Args[1])
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "doclint: %v\n", err)
+		os.Exit(2)
+	}
 	bad := 0
 	for _, dir := range os.Args[1:] {
-		undocumented, err := undocumentedPackages(dir)
+		pkg, err := loader.Load(dir)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "doclint: %s: %v\n", dir, err)
 			bad++
 			continue
 		}
-		for _, name := range undocumented {
-			fmt.Fprintf(os.Stderr, "doclint: package %s (%s) has no package comment\n", name, dir)
+		diags, err := lint.Run(pkg, []*lint.Analyzer{lint.DocComment}, lint.RunOptions{})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "doclint: %v\n", err)
+			bad++
+			continue
+		}
+		for _, d := range diags {
+			fmt.Fprintf(os.Stderr, "doclint: %s (%s)\n", d.Message, dir)
 			bad++
 		}
 	}
 	if bad > 0 {
 		os.Exit(1)
 	}
-}
-
-// undocumentedPackages returns the names of every non-test package in
-// dir that carries no package doc comment on any of its files, sorted
-// for deterministic output.
-func undocumentedPackages(dir string) ([]string, error) {
-	fset := token.NewFileSet()
-	pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
-		return !strings.HasSuffix(fi.Name(), "_test.go")
-	}, parser.ParseComments|parser.PackageClauseOnly)
-	if err != nil {
-		return nil, err
-	}
-	if len(pkgs) == 0 {
-		return nil, fmt.Errorf("no Go package in %s", filepath.Base(dir))
-	}
-	var undocumented []string
-	for name, pkg := range pkgs {
-		documented := false
-		for _, f := range pkg.Files {
-			if f.Doc != nil && strings.TrimSpace(f.Doc.Text()) != "" {
-				documented = true
-				break
-			}
-		}
-		if !documented {
-			undocumented = append(undocumented, name)
-		}
-	}
-	sort.Strings(undocumented)
-	return undocumented, nil
 }

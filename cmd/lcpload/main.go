@@ -183,7 +183,7 @@ func fire(url string, reqBody []byte, concurrency int, duration time.Duration) l
 					continue
 				}
 				_, _ = io.Copy(io.Discard, resp.Body)
-				resp.Body.Close()
+				_ = resp.Body.Close()
 				if resp.StatusCode != http.StatusOK {
 					myErrs++
 					continue

@@ -482,6 +482,7 @@ func (r *Result) String() string {
 
 // Check runs the verifier on every node sequentially and collects outputs.
 func Check(in *Instance, p Proof, v Verifier) *Result {
+	//lint:ignore ctxflow ctx-less Check is the documented uncancellable entry point; CheckCtx is the threaded variant
 	res, _ := CheckCtx(context.Background(), in, p, v)
 	return res
 }

@@ -149,6 +149,7 @@ func Check(in *core.Instance, p core.Proof, v core.Verifier) (*core.Result, erro
 // including Options.Sharded, which runs the same protocol on shared
 // shard goroutines instead of one goroutine per node.
 func CheckWith(in *core.Instance, p core.Proof, v core.Verifier, opt Options) (*core.Result, error) {
+	//lint:ignore ctxflow ctx-less CheckWith is the documented uncancellable entry point; CheckWithCtx is the threaded variant
 	return CheckWithCtx(context.Background(), in, p, v, opt)
 }
 

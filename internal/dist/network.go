@@ -84,6 +84,7 @@ func (nw *Network) Instance() *core.Instance { return nw.in }
 // each run gets its own wiring, built on demand when the idle ones are
 // taken.
 func (nw *Network) Check(p core.Proof, v core.Verifier) (*core.Result, error) {
+	//lint:ignore ctxflow ctx-less Check is the documented uncancellable entry point; CheckCtx is the threaded variant
 	return nw.CheckCtx(context.Background(), p, v)
 }
 

@@ -130,6 +130,7 @@ type node struct {
 var nodePool = sync.Pool{New: func() any { return new(node) }}
 
 func newNode(in *core.Instance, id int) *node {
+	//lint:ignore poolput ownership transfer: the run that wired this node returns it via node.release (one-shot runners after the verdict, Networks on Close)
 	nd := nodePool.Get().(*node)
 	nd.id = id
 	nd.base = initialRecord(in, id, nd.base.edges)

@@ -167,6 +167,7 @@ func (e *Engine) viewsFor(radius int) []*core.View {
 // The table is owned by one check; return it with releaseFlat once every
 // view that references it has been verified.
 func (e *Engine) flatFor(p core.Proof) *core.FlatProof {
+	//lint:ignore poolput ownership transfer: the check that called flatFor returns the table via releaseFlat once its views are verified
 	fp, ok := e.flats.Get().(*core.FlatProof)
 	if !ok {
 		fp = core.NewFlatProof(e.in.G)
@@ -212,6 +213,7 @@ func (e *Engine) CheckProof(p core.Proof, v core.Verifier) *core.Result {
 // CheckBatch verifies many proofs against the same cached views,
 // returning one result per proof in order.
 func (e *Engine) CheckBatch(proofs []core.Proof, v core.Verifier) []*core.Result {
+	//lint:ignore ctxflow ctx-less CheckBatch is the documented uncancellable entry point; CheckBatchCtx is the threaded variant
 	out, _ := e.CheckBatchCtx(context.Background(), proofs, v)
 	return out
 }

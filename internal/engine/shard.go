@@ -136,6 +136,7 @@ func haloInstance(in *core.Instance, owned []int, radius int) *core.Instance {
 // identical to dist.Check on the full instance (and hence to
 // core.Check).
 func (e *Engine) CheckDistributed(p core.Proof, v core.Verifier) (*core.Result, error) {
+	//lint:ignore ctxflow ctx-less CheckDistributed is the documented uncancellable entry point; CheckDistributedCtx is the threaded variant
 	return e.CheckDistributedCtx(context.Background(), p, v)
 }
 

@@ -1,0 +1,36 @@
+package lint_test
+
+import (
+	"testing"
+
+	"lcp/internal/lint"
+)
+
+// TestLintCleanRepo is the repo-wide zero-diagnostics guarantee: every
+// package of the module passes every analyzer, with the directive audit on,
+// forever. It is the same run `make lint` (and through it `make check` and
+// CI) performs via cmd/lcplint, pinned as a plain unit test so a plain
+// `go test ./...` catches regressions too.
+func TestLintCleanRepo(t *testing.T) {
+	l := loader(t)
+	dirs, err := lint.ModulePackageDirs(l.ModuleRoot)
+	if err != nil {
+		t.Fatalf("package dirs: %v", err)
+	}
+	if len(dirs) < 20 {
+		t.Fatalf("suspiciously few package dirs (%d): module walk broken?", len(dirs))
+	}
+	for _, dir := range dirs {
+		pkg, err := l.Load(dir)
+		if err != nil {
+			t.Fatalf("load %s: %v", dir, err)
+		}
+		diags, err := lint.Run(pkg, lint.All(), lint.RunOptions{CheckDirectives: true})
+		if err != nil {
+			t.Fatalf("run %s: %v", dir, err)
+		}
+		for _, d := range diags {
+			t.Errorf("%s", d)
+		}
+	}
+}

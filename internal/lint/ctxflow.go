@@ -1,0 +1,98 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// CtxFlow pins the invariant PR 5 established by hand: cancellation flows
+// down from the caller, through every layer, and is never re-rooted in the
+// middle of the stack. Two rules:
+//
+//  1. context.Background() and context.TODO() are flagged in every non-main
+//     package. Library code (internal/..., the lcp root package) must accept
+//     a ctx and thread it down; only entry points — package main, tests —
+//     may mint a root context. Deliberate roots (a detached janitor, a
+//     deprecated wrapper kept for compatibility) carry a //lint:ignore
+//     ctxflow with the reason.
+//
+//  2. A declared function or method (or function literal) that takes a named
+//     context.Context parameter must actually use it somewhere in its body.
+//     An ignored ctx parameter is how cancellation silently stops
+//     propagating — the exact bug class the Checker façade's uniform
+//     cancellation closed. Interface implementations that genuinely have
+//     nothing to cancel spell it `_ context.Context` or carry an ignore.
+var CtxFlow = &Analyzer{
+	Name: "ctxflow",
+	Doc:  "flag context.Background/TODO in library code and ctx parameters that are never used",
+	Run:  runCtxFlow,
+}
+
+func runCtxFlow(p *Pass) error {
+	libraryCode := p.Pkg.Name() != "main"
+	for _, f := range p.Files {
+		if libraryCode {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				fn := calleeFunc(p.TypesInfo, call)
+				if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "context" {
+					return true
+				}
+				if name := fn.Name(); name == "Background" || name == "TODO" {
+					p.Reportf(call.Pos(), "context.%s() in library code: accept a ctx parameter and thread it down", name)
+				}
+				return true
+			})
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			var ftype *ast.FuncType
+			var body *ast.BlockStmt
+			var where string
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				ftype, body, where = fn.Type, fn.Body, fn.Name.Name
+			case *ast.FuncLit:
+				ftype, body, where = fn.Type, fn.Body, "function literal"
+			default:
+				return true
+			}
+			if body == nil || len(body.List) == 0 {
+				return true
+			}
+			checkCtxParamUsed(p, ftype, body, where)
+			return true
+		})
+	}
+	return nil
+}
+
+// checkCtxParamUsed reports each named context.Context parameter of the
+// function that is never referenced in its body.
+func checkCtxParamUsed(p *Pass, ftype *ast.FuncType, body *ast.BlockStmt, where string) {
+	for _, field := range ftype.Params.List {
+		for _, name := range field.Names {
+			if name.Name == "_" {
+				continue
+			}
+			obj := p.TypesInfo.Defs[name]
+			if obj == nil || !isContextType(obj.Type()) {
+				continue
+			}
+			used := false
+			ast.Inspect(body, func(n ast.Node) bool {
+				if used {
+					return false
+				}
+				if id, ok := n.(*ast.Ident); ok && p.TypesInfo.Uses[id] == obj {
+					used = true
+				}
+				return true
+			})
+			if !used {
+				p.Reportf(name.Pos(), "%s takes ctx %q but never uses it: thread it to callees or rename it _", where, name.Name)
+			}
+		}
+	}
+}

@@ -1,0 +1,88 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ErrIgnored flags call statements that silently discard an error result.
+// Every hard-to-reproduce bug starts life as a swallowed error; in a
+// verification codebase whose whole point is rejecting bad inputs, an
+// unchecked error is a verifier that cannot say no. Only plain expression
+// statements are flagged (not `go`/`defer` calls, and test files are never
+// loaded); discarding explicitly with `_ = f()` is always accepted, as are a
+// small allowlist of callees whose error results are unactionable by
+// contract: the fmt print family (an error writing to stdout has no
+// recovery) and the Write methods of strings.Builder and bytes.Buffer
+// (documented to never return a non-nil error).
+var ErrIgnored = &Analyzer{
+	Name: "errignored",
+	Doc:  "flag expression statements that discard an error result",
+	Run:  runErrIgnored,
+}
+
+// errAllowlisted reports callees whose returned error is unactionable.
+func errAllowlisted(fn *types.Func) bool {
+	if fn == nil || fn.Pkg() == nil {
+		return false
+	}
+	switch fn.Pkg().Path() {
+	case "fmt":
+		switch fn.Name() {
+		case "Print", "Printf", "Println", "Fprint", "Fprintf", "Fprintln":
+			return true
+		}
+	case "strings":
+		return namedRecv(fn, "strings", "Builder")
+	case "bytes":
+		return namedRecv(fn, "bytes", "Buffer")
+	}
+	return false
+}
+
+func namedRecv(fn *types.Func, pkgPath, recvName string) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	return namedTypeIs(sig.Recv().Type(), pkgPath, recvName)
+}
+
+func runErrIgnored(p *Pass) error {
+	errorType := types.Universe.Lookup("error").Type()
+	returnsError := func(call *ast.CallExpr) bool {
+		tv, ok := p.TypesInfo.Types[call.Fun]
+		if !ok || tv.IsType() { // conversions have no results
+			return false
+		}
+		sig, ok := tv.Type.Underlying().(*types.Signature)
+		if !ok { // builtins and type expressions
+			return false
+		}
+		results := sig.Results()
+		for i := 0; i < results.Len(); i++ {
+			if types.Identical(results.At(i).Type(), errorType) {
+				return true
+			}
+		}
+		return false
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			stmt, ok := n.(*ast.ExprStmt)
+			if !ok {
+				return true
+			}
+			call, ok := ast.Unparen(stmt.X).(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if !returnsError(call) || errAllowlisted(calleeFunc(p.TypesInfo, call)) {
+				return true
+			}
+			p.Reportf(stmt.Pos(), "error result of %s is silently discarded (handle it or assign to _)", types.ExprString(call.Fun))
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,127 @@
+package lint_test
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"lcp/internal/lint"
+	"lcp/internal/lint/linttest"
+)
+
+// sharedLoader gives every fixture test one Loader, so the stdlib is
+// type-checked once per test binary.
+var sharedLoader *lint.Loader
+
+func loader(t *testing.T) *lint.Loader {
+	t.Helper()
+	if sharedLoader == nil {
+		l, err := lint.NewLoader(".")
+		if err != nil {
+			t.Fatalf("loader: %v", err)
+		}
+		sharedLoader = l
+	}
+	return sharedLoader
+}
+
+// TestAnalyzerFixtures proves each analyzer catches its seeded violations
+// and stays silent on the fixed versions living in the same fixture.
+func TestAnalyzerFixtures(t *testing.T) {
+	cases := []struct {
+		dir       string
+		analyzers []*lint.Analyzer
+	}{
+		{"lockheld", []*lint.Analyzer{lint.LockHeld}},
+		{"poolput", []*lint.Analyzer{lint.PoolPut}},
+		{"ctxflow", []*lint.Analyzer{lint.CtxFlow}},
+		{"errignored", []*lint.Analyzer{lint.ErrIgnored}},
+		{"doccomment", []*lint.Analyzer{lint.DocComment}},
+		{"doccomment_clean", []*lint.Analyzer{lint.DocComment}},
+	}
+	for _, c := range cases {
+		t.Run(c.dir, func(t *testing.T) {
+			linttest.RunWith(t, loader(t), filepath.Join("testdata", "src", c.dir), c.analyzers...)
+		})
+	}
+}
+
+// TestSuppression proves //lint:ignore silences every analyzer in both
+// placements (same line and line above): the suppressed fixture seeds one
+// violation per analyzer and must come back clean.
+func TestSuppression(t *testing.T) {
+	linttest.RunWith(t, loader(t), filepath.Join("testdata", "src", "suppressed"), lint.All()...)
+}
+
+// TestDirectiveAudit proves the full-set run reports malformed, unknown,
+// and stale ignore directives as diagnostics of the pseudo-analyzer lint.
+func TestDirectiveAudit(t *testing.T) {
+	pkg, err := loader(t).Load(filepath.Join("testdata", "src", "directives"))
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	diags, err := lint.Run(pkg, lint.All(), lint.RunOptions{CheckDirectives: true})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	wantFragments := []string{
+		"needs an analyzer name and a reason",
+		"lint:ignore lockheld needs a written reason",
+		`unknown analyzer "nosuch"`,
+		"unused lint:ignore errignored directive",
+	}
+	if len(diags) != len(wantFragments) {
+		t.Fatalf("got %d diagnostics, want %d:\n%v", len(diags), len(wantFragments), diags)
+	}
+	for i, d := range diags {
+		if d.Analyzer != "lint" {
+			t.Errorf("diagnostic %d: analyzer %q, want lint", i, d.Analyzer)
+		}
+		if !strings.Contains(d.Message, wantFragments[i]) {
+			t.Errorf("diagnostic %d: message %q does not contain %q", i, d.Message, wantFragments[i])
+		}
+	}
+	// The same package without the audit has no diagnostics at all: the
+	// directives only matter to the full-set run.
+	diags, err = lint.Run(pkg, lint.All(), lint.RunOptions{})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if len(diags) != 0 {
+		t.Fatalf("without CheckDirectives, got %v, want none", diags)
+	}
+}
+
+func TestByName(t *testing.T) {
+	as, err := lint.ByName("lockheld, doccomment")
+	if err != nil {
+		t.Fatalf("ByName: %v", err)
+	}
+	if len(as) != 2 || as[0].Name != "lockheld" || as[1].Name != "doccomment" {
+		t.Fatalf("ByName selection wrong: %v", as)
+	}
+	if _, err := lint.ByName("nosuch"); err == nil {
+		t.Fatal("ByName(nosuch) should fail")
+	}
+	if _, err := lint.ByName(" , "); err == nil {
+		t.Fatal("ByName(empty) should fail")
+	}
+}
+
+// TestAllHaveDocs keeps the analyzer set self-describing: every analyzer
+// carries a name and a one-line Doc, and names are unique.
+func TestAllHaveDocs(t *testing.T) {
+	seen := make(map[string]bool)
+	for _, a := range lint.All() {
+		if a.Name == "" || a.Doc == "" || a.Run == nil {
+			t.Errorf("analyzer %+v incomplete", a)
+		}
+		if seen[a.Name] {
+			t.Errorf("duplicate analyzer name %q", a.Name)
+		}
+		seen[a.Name] = true
+	}
+	if len(seen) < 5 {
+		t.Errorf("expected at least 5 analyzers, have %d", len(seen))
+	}
+}

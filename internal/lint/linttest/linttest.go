@@ -1,0 +1,113 @@
+// Package linttest is the analysistest-style harness for internal/lint: it
+// loads a fixture package, runs analyzers over it, and checks the resulting
+// diagnostics against `// want "regexp"` comments embedded in the fixture
+// source. It lives in its own package so that cmd/lcplint does not link the
+// testing package.
+package linttest
+
+import (
+	"fmt"
+	"regexp"
+	"strings"
+	"testing"
+
+	"lcp/internal/lint"
+)
+
+// wantRE matches the expectation comments understood by Run:
+// `// want "regexp"` with one or more quoted regexps.
+var wantRE = regexp.MustCompile(`//\s*want\s+(.+)$`)
+
+var wantArgRE = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
+
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	raw  string
+	hit  bool
+}
+
+// Run loads the fixture package in dir, runs the analyzers over it, and
+// compares the diagnostics against the fixture's `// want "regexp"`
+// comments, analysistest-style: every want must be matched by a diagnostic
+// of one of the analyzers on the same line, and every diagnostic must be
+// claimed by a want. //lint:ignore directives apply inside fixtures too, so
+// suppression is testable the same way.
+func Run(t *testing.T, dir string, analyzers ...*lint.Analyzer) {
+	t.Helper()
+	loader, err := lint.NewLoader(dir)
+	if err != nil {
+		t.Fatalf("loader: %v", err)
+	}
+	RunWith(t, loader, dir, analyzers...)
+}
+
+// RunWith is Run with a caller-provided Loader, so a test running many
+// fixtures can share one stdlib typecheck across all of them.
+func RunWith(t *testing.T, loader *lint.Loader, dir string, analyzers ...*lint.Analyzer) {
+	t.Helper()
+	pkg, err := loader.Load(dir)
+	if err != nil {
+		t.Fatalf("load %s: %v", dir, err)
+	}
+	diags, err := lint.Run(pkg, analyzers, lint.RunOptions{})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	wants, err := parseWants(pkg)
+	if err != nil {
+		t.Fatalf("fixture %s: %v", dir, err)
+	}
+	claimed := make([]bool, len(diags))
+	for _, w := range wants {
+		for i, d := range diags {
+			if claimed[i] || d.Pos.Filename != w.file || d.Pos.Line != w.line {
+				continue
+			}
+			if w.re.MatchString(d.Message) {
+				claimed[i] = true
+				w.hit = true
+				break
+			}
+		}
+		if !w.hit {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.raw)
+		}
+	}
+	for i, d := range diags {
+		if !claimed[i] {
+			t.Errorf("%s:%d: unexpected diagnostic: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Analyzer, d.Message)
+		}
+	}
+}
+
+// parseWants extracts the expectations from every fixture file.
+func parseWants(pkg *lint.Package) ([]*expectation, error) {
+	var wants []*expectation
+	for _, f := range pkg.Files {
+		filename := pkg.Fset.Position(f.Pos()).Filename
+		for _, group := range f.Comments {
+			for _, c := range group.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				args := wantArgRE.FindAllStringSubmatch(m[1], -1)
+				if len(args) == 0 {
+					return nil, fmt.Errorf("%s: want comment with no quoted regexp: %s", filename, c.Text)
+				}
+				line := pkg.Fset.Position(c.Pos()).Line
+				for _, a := range args {
+					raw := strings.ReplaceAll(a[1], `\"`, `"`)
+					re, err := regexp.Compile(raw)
+					if err != nil {
+						return nil, fmt.Errorf("%s:%d: bad want regexp %q: %v", filename, line, raw, err)
+					}
+					wants = append(wants, &expectation{file: filename, line: line, re: re, raw: raw})
+				}
+			}
+		}
+	}
+	return wants, nil
+}

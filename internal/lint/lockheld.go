@@ -1,0 +1,117 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// LockHeld flags blocking channel operations performed while a sync.Mutex or
+// sync.RWMutex is held. This is the shape of the PR 3 cold-wiring bug: a
+// mutex guarding shared state was held across goroutine spawns and channel
+// work, serialising every concurrent check (and one refactor away from a
+// deadlock). The analysis is intra-procedural and lexical: within one
+// function body, a receiver is considered held from its Lock/RLock call
+// until a non-deferred Unlock/RUnlock on the same receiver expression (a
+// deferred unlock keeps it held to the end of the function). While any lock
+// is held it flags channel sends, receives, selects, ranges over channels,
+// and sync.WaitGroup.Wait. Function literals are separate functions: a
+// goroutine body does not inherit its spawner's locks. Lexical order is an
+// approximation of control flow — an early-return branch that unlocks stops
+// the tracking — so the analyzer under-reports rather than over-reports;
+// genuine hand-over-hand designs get a //lint:ignore lockheld with a reason.
+var LockHeld = &Analyzer{
+	Name: "lockheld",
+	Doc:  "flag channel operations and WaitGroup.Wait while a sync (RW)Mutex is held",
+	Run:  runLockHeld,
+}
+
+func runLockHeld(p *Pass) error {
+	for _, unit := range funcUnits(p.Files) {
+		checkLockHeld(p, unit)
+	}
+	return nil
+}
+
+func checkLockHeld(p *Pass, unit funcUnit) {
+	held := make(map[string]bool) // receiver key -> currently held
+	heldList := func() string {
+		keys := make([]string, 0, len(held))
+		for k := range held {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		return strings.Join(keys, ", ")
+	}
+	var stack []ast.Node
+	parentIs := func(want func(ast.Node) bool) bool {
+		return len(stack) > 0 && want(stack[len(stack)-1])
+	}
+	inSelect := 0
+	ast.Inspect(unit.body, func(n ast.Node) bool {
+		if n == nil {
+			// Inspect only emits the nil pop for nodes whose children were
+			// visited, which is exactly the set we pushed below.
+			if _, ok := stack[len(stack)-1].(*ast.SelectStmt); ok && inSelect > 0 {
+				inSelect--
+			}
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false // analysed as its own unit with no inherited locks
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr)
+			if !ok {
+				break
+			}
+			fn := calleeFunc(p.TypesInfo, n)
+			deferred := parentIs(func(pn ast.Node) bool { _, ok := pn.(*ast.DeferStmt); return ok })
+			switch {
+			case isMethodOn(fn, "sync", "Mutex", "Lock"),
+				isMethodOn(fn, "sync", "RWMutex", "Lock"),
+				isMethodOn(fn, "sync", "RWMutex", "RLock"):
+				if !deferred {
+					held[receiverKey(sel.X)] = true
+				}
+			case isMethodOn(fn, "sync", "Mutex", "Unlock"),
+				isMethodOn(fn, "sync", "RWMutex", "Unlock"),
+				isMethodOn(fn, "sync", "RWMutex", "RUnlock"):
+				if !deferred {
+					delete(held, receiverKey(sel.X))
+				}
+			case isMethodOn(fn, "sync", "WaitGroup", "Wait"):
+				if len(held) > 0 && !deferred {
+					p.Reportf(n.Pos(), "sync.WaitGroup.Wait in %s while %s is held", unit.name, heldList())
+				}
+			}
+		case *ast.SendStmt:
+			if len(held) > 0 && inSelect == 0 {
+				p.Reportf(n.Pos(), "channel send in %s while %s is held", unit.name, heldList())
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW && len(held) > 0 && inSelect == 0 {
+				p.Reportf(n.Pos(), "channel receive in %s while %s is held", unit.name, heldList())
+			}
+		case *ast.SelectStmt:
+			if len(held) > 0 {
+				p.Reportf(n.Pos(), "select in %s while %s is held", unit.name, heldList())
+				inSelect++ // the comm clauses are part of the already-reported select
+			}
+		case *ast.RangeStmt:
+			if len(held) > 0 {
+				if t, ok := p.TypesInfo.Types[n.X]; ok {
+					if _, isChan := t.Type.Underlying().(*types.Chan); isChan {
+						p.Reportf(n.Pos(), "range over channel in %s while %s is held", unit.name, heldList())
+					}
+				}
+			}
+		}
+		stack = append(stack, n)
+		return true
+	})
+}

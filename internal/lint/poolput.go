@@ -1,0 +1,123 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// PoolPut flags sync.Pool.Get calls whose object can leave the function
+// without a matching Put. This is the shape of the PR 4 batch-ring alias
+// leak: a pooled object (or an alias into one) escaped its Get/Put bracket
+// and was reused while still reachable. Within one function body, every pool
+// receiver with a Get must either have a deferred Put (directly or inside a
+// deferred closure), or a Put positioned between the Get and every later
+// return (and at least one Put overall for the fall-off-the-end path). The
+// check is lexical, not path-sensitive, so it under-approximates branches;
+// designs that transfer ownership across functions — a constructor that
+// draws from a pool released by Close, like the dist node and wiring pools —
+// are legitimate and carry a //lint:ignore poolput with the reason written
+// next to the Get.
+var PoolPut = &Analyzer{
+	Name: "poolput",
+	Doc:  "flag sync.Pool Get calls without a matching Put on every exit path",
+	Run:  runPoolPut,
+}
+
+func runPoolPut(p *Pass) error {
+	for _, unit := range funcUnits(p.Files) {
+		checkPoolPut(p, unit)
+	}
+	return nil
+}
+
+type poolUse struct {
+	firstGet token.Pos
+	puts     []token.Pos // non-deferred Put calls, in source order
+	deferred bool        // a deferred Put exists (defer p.Put or Put in a deferred closure)
+}
+
+func checkPoolPut(p *Pass, unit funcUnit) {
+	pools := make(map[string]*poolUse)
+	var returns []token.Pos
+
+	// walk visits the unit body; deferDepth > 0 while inside a deferred call
+	// (including a deferred closure body, whose Puts run at function exit).
+	// Nested non-deferred closures are separate units and are skipped here,
+	// except that their bodies still execute at exit when deferred.
+	var walk func(n ast.Node, deferDepth int)
+	walk = func(root ast.Node, deferDepth int) {
+		ast.Inspect(root, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.DeferStmt:
+				walk(n.Call, deferDepth+1)
+				return false
+			case *ast.FuncLit:
+				if deferDepth == 0 {
+					return false // its own unit
+				}
+				return true // deferred closure: its Puts count as deferred
+			case *ast.ReturnStmt:
+				if deferDepth == 0 {
+					returns = append(returns, n.Pos())
+				}
+			case *ast.CallExpr:
+				sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr)
+				if !ok {
+					break
+				}
+				fn := calleeFunc(p.TypesInfo, n)
+				switch {
+				case isMethodOn(fn, "sync", "Pool", "Get"):
+					key := receiverKey(sel.X)
+					if pools[key] == nil {
+						pools[key] = &poolUse{firstGet: n.Pos()}
+					}
+				case isMethodOn(fn, "sync", "Pool", "Put"):
+					key := receiverKey(sel.X)
+					if pools[key] == nil {
+						pools[key] = &poolUse{}
+					}
+					if deferDepth > 0 {
+						pools[key].deferred = true
+					} else {
+						pools[key].puts = append(pools[key].puts, n.Pos())
+					}
+				}
+			}
+			return true
+		})
+	}
+	walk(unit.body, 0)
+
+	for key, use := range pools {
+		if use.firstGet == token.NoPos || use.deferred {
+			continue
+		}
+		putAfterGet := false
+		for _, put := range use.puts {
+			if put > use.firstGet {
+				putAfterGet = true
+				break
+			}
+		}
+		if !putAfterGet {
+			p.Reportf(use.firstGet, "%s.Get in %s has no matching Put (defer %s.Put, or annotate the ownership transfer)", key, unit.name, key)
+			continue
+		}
+		for _, ret := range returns {
+			if ret < use.firstGet {
+				continue
+			}
+			covered := false
+			for _, put := range use.puts {
+				if put > use.firstGet && put < ret {
+					covered = true
+					break
+				}
+			}
+			if !covered {
+				p.Reportf(ret, "return in %s leaks the %s.Get object acquired earlier (no Put on this path)", unit.name, key)
+			}
+		}
+	}
+}

@@ -1,0 +1,48 @@
+// Package ctxflow is the fixture for the ctxflow analyzer: seeded
+// violations mint root contexts in library code or accept a ctx they never
+// use; fixed versions thread the caller's ctx down or spell the unused
+// parameter _.
+package ctxflow
+
+import "context"
+
+func mintsBackground() {
+	ctx := context.Background() // want "context.Background\(\) in library code"
+	_ = ctx
+}
+
+func mintsTODO() error {
+	return work(context.TODO()) // want "context.TODO\(\) in library code"
+}
+
+func dropsCtx(ctx context.Context, n int) int { // want "dropsCtx takes ctx \"ctx\" but never uses it"
+	return n + 1
+}
+
+func literalDropsCtx() func(context.Context) int {
+	return func(ctx context.Context) int { // want "function literal takes ctx \"ctx\" but never uses it"
+		return 0
+	}
+}
+
+// Fixed versions: no diagnostics below this line.
+
+func threads(ctx context.Context) error {
+	return work(ctx)
+}
+
+func work(ctx context.Context) error {
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	default:
+		return nil
+	}
+}
+
+func explicitlyUnused(_ context.Context, n int) int {
+	return n
+}
+
+func emptyBodyIsFine(ctx context.Context) {
+}

@@ -1,0 +1,17 @@
+// Package directives exercises the directive audit that runs with the full
+// analyzer set: a directive with no analyzer name, one with no reason, one
+// naming an unknown analyzer, and one that no longer suppresses anything
+// each become a diagnostic of the pseudo-analyzer "lint".
+package directives
+
+//lint:ignore
+var missingName = 1
+
+//lint:ignore lockheld
+var missingReason = 2
+
+//lint:ignore nosuch this analyzer does not exist
+var unknownAnalyzer = 3
+
+//lint:ignore errignored stale: the discarded call below was fixed long ago
+var unused = 4

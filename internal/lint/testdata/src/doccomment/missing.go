@@ -1,0 +1,5 @@
+package doccomment // want "package doccomment has no package comment"
+
+// A trailing comment on the package clause is not a doc comment, and a
+// documented identifier does not document the package.
+var Documented = 1

@@ -1,0 +1,4 @@
+// Package doccomment_clean is the fixed counterpart of the doccomment
+// fixture: one file carries a package doc comment, so the analyzer stays
+// silent even though the second file has none.
+package doccomment_clean

@@ -1,0 +1,3 @@
+package doccomment_clean
+
+var documented = 1

@@ -1,0 +1,55 @@
+// Package errignored is the fixture for the errignored analyzer: seeded
+// violations drop error results on the floor in expression statements;
+// fixed versions handle the error, discard it explicitly with _, or call
+// allowlisted never-fails writers.
+package errignored
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+func fails() error { return errors.New("boom") }
+
+func failsWithValue() (int, error) { return 0, nil }
+
+func dropsErrors() {
+	fails()          // want "error result of fails is silently discarded"
+	failsWithValue() // want "error result of failsWithValue is silently discarded"
+}
+
+func dropsMethodError() {
+	var sb strings.Builder
+	errors.Join(fails()) // want "error result of errors.Join is silently discarded"
+	_ = sb
+}
+
+// Fixed versions: no diagnostics below this line.
+
+func handles() error {
+	if err := fails(); err != nil {
+		return err
+	}
+	_ = fails() // explicit discard is deliberate
+	n, err := failsWithValue()
+	_, _ = n, err
+	return nil
+}
+
+func allowlistedWriters() {
+	fmt.Println("stdout errors are unactionable")
+	var sb strings.Builder
+	sb.WriteString("never fails by contract")
+	fmt.Fprintf(&sb, "%d", 1)
+}
+
+func deferAndGoAreOutOfScope() {
+	defer fails()
+	go fails()
+}
+
+func noErrorResult() int {
+	n, _ := failsWithValue()
+	return n
+}

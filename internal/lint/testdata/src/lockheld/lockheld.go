@@ -1,0 +1,89 @@
+// Package lockheld is the fixture for the lockheld analyzer: each seeded
+// violation blocks on a channel (or a WaitGroup) while a mutex is held, and
+// each fixed version releases the lock first or moves the channel work into
+// a goroutine that holds no lock.
+package lockheld
+
+import "sync"
+
+type s struct {
+	mu sync.Mutex
+	rw sync.RWMutex
+	ch chan int
+	wg sync.WaitGroup
+}
+
+func (x *s) sendWhileHeld() {
+	x.mu.Lock()
+	x.ch <- 1 // want "channel send in sendWhileHeld while x.mu is held"
+	x.mu.Unlock()
+}
+
+func (x *s) recvWhileDeferHeld() int {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	return <-x.ch // want "channel receive in recvWhileDeferHeld while x.mu is held"
+}
+
+func (x *s) selectWhileReadLocked() {
+	x.rw.RLock()
+	defer x.rw.RUnlock()
+	select { // want "select in selectWhileReadLocked while x.rw is held"
+	case v := <-x.ch:
+		_ = v
+	default:
+	}
+}
+
+func (x *s) waitWhileHeld() {
+	x.mu.Lock()
+	x.wg.Wait() // want "sync.WaitGroup.Wait in waitWhileHeld while x.mu is held"
+	x.mu.Unlock()
+}
+
+func (x *s) rangeWhileHeld() {
+	x.mu.Lock()
+	for v := range x.ch { // want "range over channel in rangeWhileHeld while x.mu is held"
+		_ = v
+	}
+	x.mu.Unlock()
+}
+
+type embedded struct {
+	sync.Mutex
+	ch chan int
+}
+
+func (e *embedded) promotedLock() {
+	e.Lock()
+	e.ch <- 1 // want "channel send in promotedLock while e is held"
+	e.Unlock()
+}
+
+// Fixed versions: no diagnostics below this line.
+
+func (x *s) sendAfterUnlock() {
+	x.mu.Lock()
+	x.mu.Unlock()
+	x.ch <- 1
+}
+
+func (x *s) goroutineHoldsNoLock() {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	go func() {
+		x.ch <- 1 // runs without the spawner's lock
+	}()
+}
+
+func (x *s) readLockReleasedBeforeRecv() int {
+	x.rw.RLock()
+	x.rw.RUnlock()
+	return <-x.ch
+}
+
+func (x *s) waitAfterUnlock() {
+	x.mu.Lock()
+	x.mu.Unlock()
+	x.wg.Wait()
+}

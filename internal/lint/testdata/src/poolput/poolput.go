@@ -1,0 +1,65 @@
+// Package poolput is the fixture for the poolput analyzer: each seeded
+// violation lets a sync.Pool object leave the function without a Put, and
+// each fixed version brackets the Get with a defer or covers every return.
+package poolput
+
+import "sync"
+
+var pool = sync.Pool{New: func() any { return new([]byte) }}
+
+type owner struct {
+	bufs sync.Pool
+}
+
+func neverReturned() {
+	buf := pool.Get().(*[]byte) // want "pool.Get in neverReturned has no matching Put"
+	_ = buf
+}
+
+func leakOnEarlyReturn(cond bool) {
+	buf := pool.Get().(*[]byte)
+	if cond {
+		return // want "return in leakOnEarlyReturn leaks the pool.Get object"
+	}
+	pool.Put(buf)
+}
+
+func (o *owner) fieldPoolLeak() {
+	buf := o.bufs.Get() // want "o.bufs.Get in fieldPoolLeak has no matching Put"
+	_ = buf
+}
+
+// Fixed versions: no diagnostics below this line.
+
+func deferredPut() {
+	buf := pool.Get().(*[]byte)
+	defer pool.Put(buf)
+	_ = buf
+}
+
+func deferredClosurePut() {
+	buf := pool.Get().(*[]byte)
+	defer func() {
+		pool.Put(buf)
+	}()
+	_ = buf
+}
+
+func putOnEveryPath(cond bool) {
+	buf := pool.Get().(*[]byte)
+	if cond {
+		pool.Put(buf)
+		return
+	}
+	pool.Put(buf)
+}
+
+func (o *owner) fieldPoolBracketed() {
+	buf := o.bufs.Get()
+	defer o.bufs.Put(buf)
+	_ = buf
+}
+
+func putWithoutGetIsFine(v any) {
+	pool.Put(v)
+}

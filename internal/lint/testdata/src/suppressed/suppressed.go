@@ -1,0 +1,42 @@
+// Package suppressed exercises //lint:ignore directives: every seeded
+// violation below is covered by one — both placements, the flagged line
+// itself and the line directly above — so running the full analyzer set
+// over this fixture must produce zero diagnostics.
+package suppressed
+
+import (
+	"context"
+	"errors"
+	"sync"
+)
+
+type s struct {
+	mu sync.Mutex
+	ch chan int
+}
+
+var pool = sync.Pool{New: func() any { return new([]byte) }}
+
+func fails() error { return errors.New("boom") }
+
+func suppressedSend(x *s) {
+	x.mu.Lock()
+	//lint:ignore lockheld fixture: hand-over-hand design justified here
+	x.ch <- 1
+	x.mu.Unlock()
+}
+
+func suppressedGet() *[]byte {
+	//lint:ignore poolput fixture: ownership transfers to the caller
+	buf := pool.Get().(*[]byte)
+	return buf
+}
+
+func suppressedRoot() context.Context {
+	//lint:ignore ctxflow fixture: deliberate detached root
+	return context.Background()
+}
+
+func suppressedDrop() {
+	fails() //lint:ignore errignored fixture: same-line placement
+}

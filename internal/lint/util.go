@@ -1,0 +1,91 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// calleeFunc resolves the *types.Func a call invokes, unwrapping parens.
+// It returns nil for calls through plain function values, conversions, and
+// builtins, where no named callee exists.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// isMethodOn reports whether fn is the method pkgPath.(recvName).name —
+// e.g. isMethodOn(fn, "sync", "Mutex", "Lock"). Pointer receivers match.
+func isMethodOn(fn *types.Func, pkgPath, recvName, name string) bool {
+	if fn == nil || fn.Name() != name || fn.Pkg() == nil || fn.Pkg().Path() != pkgPath {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	return namedTypeIs(sig.Recv().Type(), pkgPath, recvName)
+}
+
+// namedTypeIs reports whether t (possibly behind a pointer) is the named
+// type pkgPath.name.
+func namedTypeIs(t types.Type, pkgPath, name string) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == name && obj.Pkg() != nil && obj.Pkg().Path() == pkgPath
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}
+
+// receiverKey renders the receiver expression of a method call as a stable
+// string key, so "c.mu" in Lock and Unlock calls land on the same entry.
+func receiverKey(e ast.Expr) string {
+	return types.ExprString(ast.Unparen(e))
+}
+
+// funcUnits yields every function body in the files: declared functions and
+// methods plus every function literal, each as an independent unit. The
+// analyzers that reason about control flow treat a closure as its own
+// function — a goroutine body does not inherit the locks its spawner holds.
+type funcUnit struct {
+	name string
+	body *ast.BlockStmt
+}
+
+func funcUnits(files []*ast.File) []funcUnit {
+	var units []funcUnit
+	for _, f := range files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					units = append(units, funcUnit{name: fn.Name.Name, body: fn.Body})
+				}
+			case *ast.FuncLit:
+				units = append(units, funcUnit{name: "func literal", body: fn.Body})
+			}
+			return true
+		})
+	}
+	return units
+}

@@ -121,6 +121,7 @@ func Check(in *Instance, p Proof, v Verifier) *Result {
 	if err != nil {
 		panic(fmt.Sprintf("lcp.Check: %v", err))
 	}
+	//lint:ignore ctxflow deprecated ctx-less wrapper kept for compatibility; new callers use Checker.Check with their own ctx
 	rep, err := c.Check(context.Background(), p)
 	if err != nil {
 		panic(fmt.Sprintf("lcp.Check: %v", err))
@@ -189,6 +190,7 @@ func CheckDistributedWith(in *Instance, p Proof, v Verifier, opt DistOptions) (*
 		return nil, err
 	}
 	defer c.(*checker).close()
+	//lint:ignore ctxflow deprecated ctx-less wrapper kept for compatibility; new callers use Checker.Check with their own ctx
 	rep, err := c.Check(context.Background(), p)
 	if err != nil {
 		return nil, err
