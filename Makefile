@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet lint doclint test test-short race bench bench-smoke load-smoke
+.PHONY: check build vet lint doclint test test-short race bench bench-smoke load-smoke obs-smoke
 
 check: build vet lint test
 
@@ -58,3 +58,14 @@ bench-smoke:
 load-smoke:
 	$(GO) run ./cmd/lcpload -duration 2s -concurrency 4 -nodes 64 -batch 8
 	$(GO) run ./cmd/lcpload -duration 2s -concurrency 4 -nodes 64 -batch 8 -backend engine-dist -partitioner bfs
+
+# obs-smoke exercises the observability contract end to end: a short
+# lcpload burst per backend family scrapes /metrics before and after the
+# window and exits non-zero if the Prometheus exposition fails to parse
+# or any counter moves backwards, on top of the package-level tests for
+# trace-ID propagation and exposition well-formedness.
+obs-smoke:
+	$(GO) test -run 'TestServeTrace|TestServeMetrics|TestServeRequestLogging' ./internal/serve/
+	$(GO) test -run 'TestWriteProm|TestTrace' ./internal/obs/
+	$(GO) run ./cmd/lcpload -duration 1s -concurrency 4 -nodes 64 -batch 8 -backend dist
+	$(GO) run ./cmd/lcpload -duration 1s -concurrency 4 -nodes 64 -batch 8 -backend engine-dist -partitioner bfs

@@ -24,6 +24,7 @@ import (
 	"lcp/internal/core"
 	"lcp/internal/dist"
 	"lcp/internal/engine"
+	"lcp/internal/obs"
 )
 
 // Backend names accepted by WithBackend. Each selects one execution
@@ -86,6 +87,25 @@ type Report struct {
 	Outputs map[int]bool
 	// Elapsed is the wall-clock time of the check.
 	Elapsed time.Duration
+	// Stages is the per-stage breakdown of Elapsed, in the order the
+	// stages first ran. Which stages appear depends on the backend
+	// ("core.check"; "dist.wire"/"dist.seed"/"dist.flood"/"dist.run";
+	// "engine.views"/"engine.verify"; "engine.partition"/"engine.wire"/
+	// "engine.run" plus the dist stages of every halo runtime). Stages
+	// recorded by concurrent workers sum their wall time, so a stage's
+	// Total can exceed Elapsed; Count says how many observations merged.
+	Stages []Stage
+}
+
+// Stage is one named phase of a check with its accumulated wall time.
+type Stage struct {
+	// Name identifies the phase, prefixed by the layer that ran it
+	// ("core.", "dist.", "engine.").
+	Name string
+	// Total is the accumulated wall time of every run of the stage.
+	Total time.Duration
+	// Count is how many observations were merged into Total.
+	Count int64
 }
 
 // Nodes is the number of nodes that decided.
@@ -329,29 +349,63 @@ func (c *checker) report(res *core.Result, start time.Time) *Report {
 
 func (c *checker) Check(ctx context.Context, p Proof) (*Report, error) {
 	start := time.Now()
+	// Every check gets its own timeline (shadowing any outer one), so the
+	// reports of a batch carry per-proof breakdowns, not a shared blur.
+	tl := obs.NewTimeline()
+	ctx = obs.ContextWithTimeline(ctx, tl)
 	var res *core.Result
 	var err error
 	switch c.backend() {
 	case config.BackendCore:
+		stop := tl.Start("core.check")
 		res, err = core.CheckCtx(ctx, c.in, p, c.v)
+		stop()
 	case config.BackendDist:
 		var nw *dist.Network
-		if nw, err = c.network(); err == nil {
+		stop := tl.Start("dist.wire")
+		nw, err = c.network()
+		stop()
+		if err == nil {
 			res, err = nw.CheckCtx(ctx, p, c.v)
 		}
 	case config.BackendEngine:
-		if err = ctx.Err(); err == nil {
-			res = c.eng.CheckProof(p, c.v)
-		}
+		res, err = c.eng.CheckProofCtx(ctx, p, c.v)
 	case config.BackendEngineDist:
 		res, err = c.eng.CheckDistributedCtx(ctx, p, c.v)
 	default:
 		err = fmt.Errorf("lcp: unknown backend %q", c.backend())
 	}
+	c.record(tl, res, err)
 	if err != nil {
 		return nil, err
 	}
-	return c.report(res, start), nil
+	rep := c.report(res, start)
+	for _, st := range tl.Snapshot() {
+		rep.Stages = append(rep.Stages, Stage{Name: st.Name, Total: st.Total, Count: st.Count})
+	}
+	return rep, nil
+}
+
+// record publishes one check's outcome and stage times to the process
+// metrics, labelled by backend — the scrapeable aggregate of what the
+// per-check Report.Stages break down individually.
+func (c *checker) record(tl *obs.Timeline, res *core.Result, err error) {
+	backend := obs.Label{Name: "backend", Value: string(c.backend())}
+	outcome := "accepted"
+	switch {
+	case err != nil:
+		outcome = "error"
+	case !res.Accepted():
+		outcome = "rejected"
+	}
+	obs.Default().Counter("lcp_checker_checks_total",
+		"Façade checks by backend and outcome.",
+		backend, obs.Label{Name: "outcome", Value: outcome}).Inc()
+	for _, st := range tl.Snapshot() {
+		obs.Default().Counter("lcp_checker_stage_seconds_total",
+			"Accumulated stage wall time of façade checks, by backend and stage.",
+			backend, obs.Label{Name: "stage", Value: st.Name}).Add(st.Total.Seconds())
+	}
 }
 
 func (c *checker) CheckBatch(ctx context.Context, proofs []Proof) ([]*Report, error) {

@@ -314,3 +314,46 @@ func TestLegacyWrappersDelegate(t *testing.T) {
 		}
 	}
 }
+
+// TestCheckerReportStages: every backend attaches a per-stage timing
+// breakdown to its Report, containing the stages of the layers that
+// actually ran (and nothing negative or zero-count).
+func TestCheckerReportStages(t *testing.T) {
+	in := lcp.NewInstance(lcp.Cycle(8))
+	scheme := lcp.BipartiteScheme()
+	p, err := lcp.Prove(scheme, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantStages := map[string][]string{
+		lcp.BackendCore:       {"core.check"},
+		lcp.BackendDist:       {"dist.wire", "dist.seed", "dist.flood", "dist.run"},
+		lcp.BackendEngine:     {"engine.views", "engine.verify"},
+		lcp.BackendEngineDist: {"engine.run", "dist.run"},
+	}
+	for backend, want := range wantStages {
+		chk, err := lcp.NewChecker(in, lcp.WithScheme(scheme), lcp.WithBackend(backend))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := chk.Check(context.Background(), p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rep.Stages) == 0 {
+			t.Fatalf("%s: Report.Stages empty", backend)
+		}
+		seen := make(map[string]lcp.Stage, len(rep.Stages))
+		for _, st := range rep.Stages {
+			if st.Total < 0 || st.Count < 1 {
+				t.Fatalf("%s: malformed stage %+v", backend, st)
+			}
+			seen[st.Name] = st
+		}
+		for _, name := range want {
+			if _, ok := seen[name]; !ok {
+				t.Errorf("%s: stage %q missing from %v", backend, name, rep.Stages)
+			}
+		}
+	}
+}

@@ -16,6 +16,12 @@
 // scheme, proved by the server's own registry) and then re-verifies its
 // certificate — the register-once / check-many pattern the amortized
 // engine behind the server is built for.
+//
+// Around the load window the harness scrapes GET /metrics and prints the
+// counter deltas (requests by route, checker outcomes, engine cache
+// hits, dist rounds and deliveries), and fails the run if the exposition
+// does not parse or any counter moved backwards — so every load run also
+// smoke-tests the observability contract.
 package main
 
 import (
@@ -116,6 +122,10 @@ func run(url string, duration time.Duration, concurrency, nodes, batch int, back
 
 	fmt.Printf("target %s, instance %s (n=%d), %d workers, %s per endpoint, batch=%d\n\n",
 		url, reg.ID, nodes, concurrency, duration, batch)
+	before, err := scrapeCounters(url + "/metrics")
+	if err != nil {
+		return fmt.Errorf("pre-load metrics scrape: %v", err)
+	}
 	fmt.Printf("%-14s %10s %8s %10s %10s %10s\n", "endpoint", "requests", "errors", "req/s", "p50 ms", "p99 ms")
 	failures := 0
 	for _, ep := range []struct {
@@ -129,6 +139,13 @@ func run(url string, duration time.Duration, concurrency, nodes, batch int, back
 		fmt.Printf("%-14s %10d %8d %10.0f %10.3f %10.3f\n",
 			ep.path, r.requests, r.errors, r.reqPerSec, r.p50.Seconds()*1e3, r.p99.Seconds()*1e3)
 		failures += r.errors
+	}
+	after, err := scrapeCounters(url + "/metrics")
+	if err != nil {
+		return fmt.Errorf("post-load metrics scrape: %v", err)
+	}
+	if err := printCounterDeltas(os.Stdout, before, after); err != nil {
+		return err
 	}
 	if failures > 0 {
 		return fmt.Errorf("%d requests failed", failures)

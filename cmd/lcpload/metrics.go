@@ -1,0 +1,145 @@
+package main
+
+// Scrape-and-diff support for the server's Prometheus endpoint: lcpload
+// snapshots GET /metrics before and after the load window and prints the
+// counter deltas, so one run shows the observable cost of the traffic it
+// generated — requests by route and code, checker outcomes, engine cache
+// hits/misses, dist rounds and deliveries. A malformed exposition is a
+// hard error (non-zero exit): the load harness doubles as a smoke test
+// for the /metrics contract.
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// counterSnapshot maps a series identity (metric name plus label set,
+// verbatim from the exposition) to its value, for counter-kind families
+// only — gauges move both ways and would make the delta table noise.
+type counterSnapshot map[string]float64
+
+// scrapeCounters fetches and parses the Prometheus text exposition,
+// returning every counter sample. Histogram series are skipped: the
+// per-request latency distribution is already lcpload's own output.
+func scrapeCounters(metricsURL string) (counterSnapshot, error) {
+	resp, err := http.Get(metricsURL)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(resp.Body)
+		return nil, fmt.Errorf("GET /metrics: status %d: %s", resp.StatusCode, strings.TrimSpace(string(b)))
+	}
+	snap := make(counterSnapshot)
+	kinds := make(map[string]string)
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" || strings.HasPrefix(line, "# HELP ") {
+			continue
+		}
+		if rest, ok := strings.CutPrefix(line, "# TYPE "); ok {
+			name, kind, found := strings.Cut(rest, " ")
+			if !found {
+				return nil, fmt.Errorf("malformed TYPE line: %q", line)
+			}
+			kinds[name] = kind
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			return nil, fmt.Errorf("unexpected comment line: %q", line)
+		}
+		series, raw, found := cutSampleValue(line)
+		if !found {
+			return nil, fmt.Errorf("malformed sample line: %q", line)
+		}
+		name := series
+		if i := strings.IndexByte(series, '{'); i >= 0 {
+			name = series[:i]
+		}
+		kind, ok := kinds[name]
+		if !ok {
+			// Histogram child series (_bucket/_sum/_count) resolve to
+			// their family's TYPE; anything else untyped is a bug.
+			kind = histogramFamilyKind(name, kinds)
+			if kind == "" {
+				return nil, fmt.Errorf("sample %q has no preceding # TYPE", line)
+			}
+		}
+		v, err := strconv.ParseFloat(raw, 64)
+		if err != nil {
+			return nil, fmt.Errorf("sample %q: %v", line, err)
+		}
+		if kind == "counter" {
+			snap[series] = v
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(kinds) == 0 {
+		return nil, fmt.Errorf("GET /metrics: empty exposition")
+	}
+	return snap, nil
+}
+
+func histogramFamilyKind(name string, kinds map[string]string) string {
+	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+		if fam, ok := strings.CutSuffix(name, suffix); ok && kinds[fam] == "histogram" {
+			return "histogram"
+		}
+	}
+	return ""
+}
+
+// cutSampleValue splits a sample line at the last space outside braces
+// (label values may contain escaped spaces).
+func cutSampleValue(line string) (series, value string, ok bool) {
+	depth := 0
+	for i := len(line) - 1; i >= 0; i-- {
+		switch line[i] {
+		case '}':
+			depth++
+		case '{':
+			depth--
+		case ' ':
+			if depth == 0 {
+				return line[:i], line[i+1:], true
+			}
+		}
+	}
+	return "", "", false
+}
+
+// printCounterDeltas renders the counters that moved during the load
+// window, sorted by series name. A counter that decreased is a contract
+// violation and is reported as an error.
+func printCounterDeltas(w io.Writer, before, after counterSnapshot) error {
+	var moved []string
+	for series, v := range after {
+		if v != before[series] {
+			moved = append(moved, series)
+		}
+	}
+	sort.Strings(moved)
+	fmt.Fprintf(w, "\ncounter deltas over the load window (%d series moved):\n", len(moved))
+	var decreased []string
+	for _, series := range moved {
+		delta := after[series] - before[series]
+		fmt.Fprintf(w, "  %-70s %+g\n", series, delta)
+		if delta < 0 {
+			decreased = append(decreased, series)
+		}
+	}
+	if len(decreased) > 0 {
+		return fmt.Errorf("counters decreased during the run: %s", strings.Join(decreased, ", "))
+	}
+	return nil
+}

@@ -22,13 +22,18 @@
 //	# request counters, latency sums and fixed-bound latency histograms
 //	curl -s localhost:8080/stats
 //
+//	# the same counters plus engine/dist/checker metrics, Prometheus text
+//	curl -s localhost:8080/metrics
+//
 // Every verification knob is one flag per key of the shared
 // internal/config resolver — the same keys HTTP requests accept as
 // JSON options — so the command line cannot drift from the wire
 // protocol: -backend picks the default execution path (core, dist,
 // engine, engine-dist), -workers / -runtimes / -sharded / -shards /
 // -free-running / -partitioner tune it. Server-level knobs stay their
-// own flags: -addr and -max-instances (LRU instance-store bound).
+// own flags: -addr, -max-instances (LRU instance-store bound) and
+// -log-requests (one structured log line per request, carrying the
+// request's trace ID so log lines join with X-Trace-Id headers).
 // See the package comment of internal/serve for the full endpoint
 // list and examples/proofservice for an end-to-end driver.
 package main
@@ -53,13 +58,17 @@ import (
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	maxInstances := flag.Int("max-instances", 0, "bound the in-memory instance store; the least recently used instance is evicted past the bound (0 = unbounded)")
+	logRequests := flag.Bool("log-requests", false, "log one structured line per request (trace ID, route, backend, verdict, status, latency) to stderr")
 	// The verification flags are generated from the config key table:
 	// one flag per resolver key, all funneling through config.Set.
 	var base config.Config
 	config.Flags(flag.CommandLine, &base)
 	flag.Parse()
 
-	handler := serve.NewWith(lcp.BuiltinSchemes(), base, serve.Config{MaxInstances: *maxInstances})
+	handler := serve.NewWith(lcp.BuiltinSchemes(), base, serve.Config{
+		MaxInstances: *maxInstances,
+		LogRequests:  *logRequests,
+	})
 	srv := &http.Server{
 		Addr:              *addr,
 		Handler:           handler,

@@ -6,10 +6,13 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"lcp/internal/bitstr"
 	"lcp/internal/core"
 	"lcp/internal/graph"
+	"lcp/internal/obs"
 	"lcp/internal/partition"
 )
 
@@ -320,6 +323,12 @@ type network struct {
 	shards   [][]*node // non-nil iff Options.Sharded; partition of nodes
 	bar      *barrier  // nil in free-running mode
 	ringLen  int       // free-running sharded batch ring length (portBuffer+2)
+	// crossPorts and localLinks fix the per-round delivery counts for
+	// this wiring: every port carries one batch per round, every local
+	// link merges once per round. countRun multiplies them by the round
+	// count, so the flooding loops never touch a counter.
+	crossPorts int // directed channel ports
+	localLinks int // directed same-shard merge links
 }
 
 func buildNetwork(in *core.Instance, opt Options) (*network, error) {
@@ -365,11 +374,13 @@ func buildNetwork(in *core.Instance, opt Options) (*network, error) {
 			if assign != nil && assign[in.G.Index(w)] == assign[i] {
 				// Same shard: deliver by direct merge, no channel.
 				nd.local = append(nd.local, byID[w])
+				net.localLinks++
 				continue
 			}
 			ch := make(chan batch, buf)
 			nd.out = append(nd.out, ch)
 			byID[w].in = append(byID[w].in, ch)
+			net.crossPorts++
 		}
 	}
 	if !opt.FreeRunning {
@@ -414,9 +425,12 @@ func (net *network) run(ctx context.Context, in *core.Instance, p core.Proof, v 
 	if rounds < 0 {
 		rounds = 0
 	}
+	tl := obs.TimelineFrom(ctx)
+	stopSeed := tl.Start("dist.seed")
 	for _, nd := range net.nodes {
 		nd.seed(p)
 	}
+	stopSeed()
 	if net.bar != nil {
 		net.bar.reset()
 		if ctx != nil && ctx.Done() != nil {
@@ -444,10 +458,19 @@ func (net *network) run(ctx context.Context, in *core.Instance, p core.Proof, v 
 	// Deciders never block sending: the channel holds every verdict.
 	verdicts := make(chan nodeVerdict, net.deciders)
 	var wg sync.WaitGroup
+	// floodNS, when a timeline is watching, collects the slowest worker's
+	// flood time — the critical path of the parallel phase. Workers only
+	// read the clock when the pointer is non-nil, so unobserved runs (and
+	// every benchmark) skip even that.
+	var floodNS *atomic.Int64
+	if tl != nil {
+		floodNS = new(atomic.Int64)
+	}
+	stopRun := tl.Start("dist.run")
 	if net.shards != nil {
-		net.runSharded(in, radius, rounds, v, verdicts, &wg)
+		net.runSharded(in, radius, rounds, v, verdicts, &wg, floodNS)
 	} else {
-		net.runPerNode(in, radius, rounds, v, opt, verdicts, &wg)
+		net.runPerNode(in, radius, rounds, v, opt, verdicts, &wg, floodNS)
 	}
 	res := &core.Result{Outputs: make(map[int]bool, net.deciders)}
 	var firstErr error
@@ -459,7 +482,13 @@ func (net *network) run(ctx context.Context, in *core.Instance, p core.Proof, v 
 		res.Outputs[nv.id] = nv.ok
 	}
 	wg.Wait()
-	if errors.Is(firstErr, errRunAborted) {
+	stopRun()
+	if tl != nil {
+		tl.Observe("dist.flood", time.Duration(floodNS.Load()))
+	}
+	aborted := errors.Is(firstErr, errRunAborted)
+	countRun(net, rounds, aborted)
+	if aborted {
 		if ctx != nil && ctx.Err() != nil {
 			return nil, ctx.Err()
 		}
@@ -476,7 +505,7 @@ func (net *network) run(ctx context.Context, in *core.Instance, p core.Proof, v 
 // throttled by the fan-out semaphore. An aborted flood still reports a
 // verdict per decider — carrying errRunAborted instead of a decision —
 // so run's collection loop always drains exactly net.deciders entries.
-func (net *network) runPerNode(in *core.Instance, radius, rounds int, v core.Verifier, opt Options, verdicts chan<- nodeVerdict, wg *sync.WaitGroup) {
+func (net *network) runPerNode(in *core.Instance, radius, rounds int, v core.Verifier, opt Options, verdicts chan<- nodeVerdict, wg *sync.WaitGroup, floodNS *atomic.Int64) {
 	var sem chan struct{}
 	if k := opt.fanout(); k > 0 {
 		sem = make(chan struct{}, k)
@@ -485,7 +514,14 @@ func (net *network) runPerNode(in *core.Instance, radius, rounds int, v core.Ver
 	for _, nd := range net.nodes {
 		go func(nd *node) {
 			defer wg.Done()
+			var t0 time.Time
+			if floodNS != nil {
+				t0 = time.Now()
+			}
 			aborted := nd.flood(rounds, net.bar)
+			if floodNS != nil {
+				storeMax(floodNS, int64(time.Since(t0)))
+			}
 			if nd.carrier {
 				return
 			}

@@ -2,6 +2,8 @@ package dist
 
 import (
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"lcp/internal/core"
 )
@@ -43,12 +45,19 @@ import (
 // cancelled run poisoning the shard barrier) still reports one verdict
 // per owned decider, carrying errRunAborted, so run's collection loop
 // drains exactly net.deciders entries.
-func (net *network) runSharded(in *core.Instance, radius, rounds int, v core.Verifier, verdicts chan<- nodeVerdict, wg *sync.WaitGroup) {
+func (net *network) runSharded(in *core.Instance, radius, rounds int, v core.Verifier, verdicts chan<- nodeVerdict, wg *sync.WaitGroup, floodNS *atomic.Int64) {
 	wg.Add(len(net.shards))
 	for _, group := range net.shards {
 		go func(group []*node) {
 			defer wg.Done()
+			var t0 time.Time
+			if floodNS != nil {
+				t0 = time.Now()
+			}
 			aborted := floodShard(group, rounds, net.bar, net.ringLen)
+			if floodNS != nil {
+				storeMax(floodNS, int64(time.Since(t0)))
+			}
 			for _, nd := range group {
 				if nd.carrier {
 					continue

@@ -7,6 +7,7 @@ import (
 
 	"lcp/internal/core"
 	"lcp/internal/dist"
+	"lcp/internal/obs"
 	"lcp/internal/partition"
 )
 
@@ -140,7 +141,11 @@ func (e *Engine) InvalidateRadius(radius int) {
 // checks shallow-copy them and attach the check's flat proof table, so
 // the maps inside are shared read-only across all concurrent checks and
 // no per-ball proof restriction is ever materialized.
-func (e *Engine) viewsFor(radius int) []*core.View {
+//
+// tl, when non-nil, receives the time spent in this call as the
+// "engine.views" stage — near zero on a warm cache, the whole skeleton
+// build on a miss (or the wait for a concurrent builder).
+func (e *Engine) viewsFor(radius int, tl *obs.Timeline) []*core.View {
 	e.mu.Lock()
 	c, ok := e.views[radius]
 	if !ok {
@@ -148,7 +153,10 @@ func (e *Engine) viewsFor(radius int) []*core.View {
 		e.views[radius] = c
 	}
 	e.mu.Unlock()
+	stop := tl.Start("engine.views")
+	built := false
 	c.once.Do(func() {
+		built = true
 		nodes := e.in.G.Nodes()
 		vs := make([]*core.View, len(nodes))
 		forEachRange(len(nodes), e.opt.workers(), func(lo, hi int) {
@@ -159,7 +167,14 @@ func (e *Engine) viewsFor(radius int) []*core.View {
 			}
 		})
 		c.views = vs
+		engineSkeletons.Add(float64(len(nodes)))
 	})
+	stop()
+	if built {
+		engineViewMisses.Inc()
+	} else {
+		engineViewHits.Inc()
+	}
 	return c.views
 }
 
@@ -193,16 +208,34 @@ func verifyOnSkeleton(skel *core.View, fp *core.FlatProof, v core.Verifier) bool
 // core.Check(in, p, v), at a fraction of the per-proof cost once the
 // radius is warm.
 func (e *Engine) CheckProof(p core.Proof, v core.Verifier) *core.Result {
-	views := e.viewsFor(v.Radius())
+	return e.checkProof(nil, p, v)
+}
+
+// CheckProofCtx is CheckProof with the context conventions of the other
+// Ctx entry points: a context already done fails fast with ctx.Err()
+// (a single proof remains the unit of work — once started, the check
+// runs to completion), and a context-carried obs.Timeline receives the
+// per-stage breakdown ("engine.views", "engine.verify").
+func (e *Engine) CheckProofCtx(ctx context.Context, p core.Proof, v core.Verifier) (*core.Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return e.checkProof(obs.TimelineFrom(ctx), p, v), nil
+}
+
+func (e *Engine) checkProof(tl *obs.Timeline, p core.Proof, v core.Verifier) *core.Result {
+	views := e.viewsFor(v.Radius(), tl)
 	nodes := e.in.G.Nodes()
 	outs := make([]bool, len(nodes))
 	fp := e.flatFor(p)
 	defer e.releaseFlat(fp)
+	stop := tl.Start("engine.verify")
 	forEachRange(len(nodes), e.opt.workers(), func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			outs[i] = verifyOnSkeleton(views[i], fp, v)
 		}
 	})
+	stop()
 	res := &core.Result{Outputs: make(map[int]bool, len(nodes))}
 	for i, id := range nodes {
 		res.Outputs[id] = outs[i]
@@ -225,15 +258,16 @@ func (e *Engine) CheckBatch(proofs []core.Proof, v core.Verifier) []*core.Result
 // HTTP request stops costing at the next proof boundary instead of
 // after the whole batch.
 func (e *Engine) CheckBatchCtx(ctx context.Context, proofs []core.Proof, v core.Verifier) ([]*core.Result, error) {
+	tl := obs.TimelineFrom(ctx)
 	if len(proofs) > 0 {
-		e.viewsFor(v.Radius()) // warm once, outside the per-proof loop
+		e.viewsFor(v.Radius(), tl) // warm once, outside the per-proof loop
 	}
 	out := make([]*core.Result, 0, len(proofs))
 	for _, p := range proofs {
 		if err := ctx.Err(); err != nil {
 			return out, err
 		}
-		out = append(out, e.CheckProof(p, v))
+		out = append(out, e.checkProof(tl, p, v))
 	}
 	return out, nil
 }
@@ -251,7 +285,7 @@ func (e *Engine) CheckStream(ctx context.Context, p core.Proof, v core.Verifier)
 	out := make(chan Verdict)
 	go func() {
 		defer close(out)
-		views := e.viewsFor(v.Radius())
+		views := e.viewsFor(v.Radius(), obs.TimelineFrom(ctx))
 		nodes := e.in.G.Nodes()
 		fp := e.flatFor(p)
 		defer e.releaseFlat(fp)

@@ -4,7 +4,7 @@ package engine
 // sub-instance (owned nodes + radius-r carriers) so tests can assert
 // that locality-aware partitioning shrinks carrier duplication.
 func (e *Engine) HaloSizes(radius int) ([]int, error) {
-	sn, err := e.netsFor(radius)
+	sn, err := e.netsFor(radius, nil)
 	if err != nil {
 		return nil, err
 	}

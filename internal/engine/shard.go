@@ -7,6 +7,7 @@ import (
 
 	"lcp/internal/core"
 	"lcp/internal/dist"
+	"lcp/internal/obs"
 	"lcp/internal/partition"
 )
 
@@ -41,8 +42,11 @@ func (sn *shardedNets) close() {
 }
 
 // netsFor returns the sharded runtimes for the radius, wiring them on
-// first use behind the radius's build guard.
-func (e *Engine) netsFor(radius int) (*shardedNets, error) {
+// first use behind the radius's build guard. tl, when non-nil, receives
+// the cold build's cost split into the "engine.partition" (node→shard
+// assignment) and "engine.wire" (halo construction + runtime wiring)
+// stages; warm calls contribute nothing.
+func (e *Engine) netsFor(radius int, tl *obs.Timeline) (*shardedNets, error) {
 	e.mu.Lock()
 	c, ok := e.nets[radius]
 	if !ok {
@@ -59,13 +63,18 @@ func (e *Engine) netsFor(radius int) (*shardedNets, error) {
 		}
 		var groups [][]int
 		if shards > 0 && len(nodes) > 0 {
+			stop := tl.Start("engine.partition")
 			assign := e.opt.partitioner().Assign(e.in.G, shards)
 			if err := partition.Validate(assign, len(nodes), shards); err != nil {
+				stop()
 				c.err = fmt.Errorf("engine: partitioner %q: %v", e.opt.partitioner().Name(), err)
 				return
 			}
 			groups = partition.Groups(e.in.G, assign, shards)
+			stop()
 		}
+		stopWire := tl.Start("engine.wire")
+		defer stopWire()
 		for _, owned := range groups {
 			if len(owned) == 0 {
 				continue
@@ -87,6 +96,9 @@ func (e *Engine) netsFor(radius int) (*shardedNets, error) {
 				c.err = err
 				return
 			}
+			engineHaloOwned.Add(float64(len(owned)))
+			engineHaloCarrier.Add(float64(sub.G.N() - len(owned)))
+			engineRuntimes.Inc()
 			sn.shards = append(sn.shards, &distShard{owned: owned, net: nw})
 		}
 		c.sn = sn
@@ -152,10 +164,17 @@ func (e *Engine) CheckDistributedCtx(ctx context.Context, p core.Proof, v core.V
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	sn, err := e.netsFor(v.Radius())
+	tl := obs.TimelineFrom(ctx)
+	sn, err := e.netsFor(v.Radius(), tl)
 	if err != nil {
 		return nil, err
 	}
+	// The shards flood concurrently, each recording its own dist.* stages
+	// into the same timeline; "engine.run" is the wall time of the whole
+	// fan-out (so dist stage totals can exceed it — Count discloses the
+	// summation).
+	stopRun := tl.Start("engine.run")
+	defer stopRun()
 	res := &core.Result{Outputs: make(map[int]bool, e.in.G.N())}
 	var (
 		mu       sync.Mutex

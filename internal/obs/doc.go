@@ -1,0 +1,31 @@
+// Package obs is the repo's stdlib-only observability layer: the one
+// place that knows how a request is traced, how a quantity becomes a
+// metric, and how a check's time splits into stages. Three independent
+// pieces compose it:
+//
+//   - Trace IDs. NewTraceID mints a request-scoped identifier;
+//     ContextWithTraceID/TraceIDFrom carry it through context so every
+//     layer of a check (serve middleware, checker façade, engine, dist
+//     runtime) can tag its work with the same ID. The HTTP convention
+//     (adopt a client's X-Trace-Id, echo it on every response) lives in
+//     internal/serve; this package only defines the ID itself.
+//
+//   - Metrics. A Registry holds named families of counters, gauges and
+//     fixed-bound histograms — each optionally split by constant labels —
+//     plus read-on-scrape func metrics for values owned elsewhere, and
+//     renders them in the Prometheus text exposition format (WriteProm).
+//     Default() is the process-wide registry the verification layers
+//     (lcp, engine, dist) register on; internal/serve additionally keeps
+//     a per-server registry for its HTTP metrics and serves both at
+//     GET /metrics. The quantities exported are exactly the ones the
+//     paper bounds: communication rounds, messages exchanged, and the
+//     per-stage time a verification spends.
+//
+//   - Stage timelines. A Timeline accumulates named stage durations
+//     (view/cache build, partition, rounds, verdict work) as a check
+//     descends through the layers; ContextWithTimeline/TimelineFrom
+//     thread it without widening any API. All Timeline methods are
+//     nil-receiver-safe, so instrumented code paths cost two time.Now
+//     calls when observed and a nil check when not — the hot flooding
+//     loops of internal/dist are never touched either way.
+package obs

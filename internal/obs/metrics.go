@@ -1,0 +1,323 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Label is one constant name/value pair attached to a metric at
+// registration time. A family (one metric name) may hold many children
+// distinguished by their label values — the serve layer's per-route
+// counters, say — but a given child's labels never change.
+type Label struct {
+	Name  string
+	Value string
+}
+
+// Counter is a monotonically increasing float value. Callers must only
+// ever Add non-negative amounts; the type does not police it beyond a
+// panic, because a shrinking "counter" breaks every rate() a scraper
+// computes.
+type Counter struct {
+	bits atomic.Uint64 // float64 bits
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add increases the counter. Negative deltas panic.
+func (c *Counter) Add(delta float64) {
+	if delta < 0 {
+		panic("obs: counter decreased")
+	}
+	addFloat(&c.bits, delta)
+}
+
+// Value returns the current count.
+func (c *Counter) Value() float64 { return math.Float64frombits(c.bits.Load()) }
+
+// Gauge is a value that can go up and down.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add shifts the gauge by delta (negative allowed).
+func (g *Gauge) Add(delta float64) { addFloat(&g.bits, delta) }
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// addFloat atomically adds delta to a float64 stored as bits.
+func addFloat(bits *atomic.Uint64, delta float64) {
+	for {
+		old := bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Histogram is a fixed-bound histogram: observations land in the first
+// bucket whose upper bound is not exceeded (an implicit +Inf bucket
+// catches the rest), and the exact sum and count ride along. Bounds are
+// fixed at registration, so two scrapes subtract cleanly into a
+// tail-latency estimate — the generalization of serve's original
+// endpointStats.
+type Histogram struct {
+	bounds []float64
+	counts []atomic.Uint64 // len(bounds)+1, last is +Inf
+	total  atomic.Uint64
+	sum    atomic.Uint64 // float64 bits
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic("obs: histogram bounds not strictly increasing")
+		}
+	}
+	b := make([]float64, len(bounds))
+	copy(b, bounds)
+	return &Histogram{bounds: b, counts: make([]atomic.Uint64, len(b)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	h.counts[i].Add(1)
+	h.total.Add(1)
+	addFloat(&h.sum, v)
+}
+
+// Bounds returns the bucket upper bounds (without the implicit +Inf).
+func (h *Histogram) Bounds() []float64 { return h.bounds }
+
+// Counts returns the per-bucket observation counts; the final entry is
+// the +Inf overflow bucket. Counts are non-cumulative.
+func (h *Histogram) Counts() []uint64 {
+	out := make([]uint64, len(h.counts))
+	for i := range h.counts {
+		out[i] = h.counts[i].Load()
+	}
+	return out
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() uint64 { return h.total.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// metricKind is the Prometheus family type.
+type metricKind string
+
+const (
+	kindCounter   metricKind = "counter"
+	kindGauge     metricKind = "gauge"
+	kindHistogram metricKind = "histogram"
+)
+
+// child is one labelled member of a family: exactly one of the live
+// metric pointers or the read-on-scrape fn is set.
+type child struct {
+	labels  []Label
+	counter *Counter
+	gauge   *Gauge
+	hist    *Histogram
+	fn      func() float64
+}
+
+// family is every child sharing one metric name, help and type.
+type family struct {
+	name   string
+	help   string
+	kind   metricKind
+	bounds []float64 // histogram families only; children must agree
+
+	mu       sync.Mutex
+	children map[string]*child
+	order    []string
+}
+
+// Registry is a set of metric families. Registration is get-or-create:
+// asking twice for the same name and labels returns the same metric, so
+// call sites may resolve their counter on every use instead of holding
+// it. Name collisions across types (or histogram bound mismatches)
+// panic — they are programmer errors that would corrupt the exposition.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// defaultRegistry is the process-wide registry behind Default.
+var defaultRegistry = NewRegistry()
+
+// Default returns the process-wide registry. The verification layers
+// (lcp checker, engine, dist) register their cross-cutting metrics
+// here; internal/serve appends it to every GET /metrics scrape.
+func Default() *Registry { return defaultRegistry }
+
+// Counter returns the counter for name+labels, registering the family
+// (with the given help text) and the child on first use.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	ch := r.child(name, help, kindCounter, nil, nil, labels)
+	return ch.counter
+}
+
+// Gauge returns the gauge for name+labels, registering on first use.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	ch := r.child(name, help, kindGauge, nil, nil, labels)
+	return ch.gauge
+}
+
+// Histogram returns the fixed-bound histogram for name+labels,
+// registering on first use. Every child of one family must be created
+// with identical bounds.
+func (r *Registry) Histogram(name, help string, bounds []float64, labels ...Label) *Histogram {
+	ch := r.child(name, help, kindHistogram, bounds, nil, labels)
+	return ch.hist
+}
+
+// CounterFunc registers a counter whose value is read from fn at scrape
+// time — for monotone quantities owned elsewhere (a mutex-guarded
+// eviction count, say). fn must be safe to call from any goroutine.
+func (r *Registry) CounterFunc(name, help string, fn func() float64, labels ...Label) {
+	r.child(name, help, kindCounter, nil, fn, labels)
+}
+
+// GaugeFunc registers a gauge read from fn at scrape time.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...Label) {
+	r.child(name, help, kindGauge, nil, fn, labels)
+}
+
+func (r *Registry) child(name, help string, kind metricKind, bounds []float64, fn func() float64, labels []Label) *child {
+	if !validMetricName(name) {
+		panic(fmt.Sprintf("obs: invalid metric name %q", name))
+	}
+	for _, l := range labels {
+		if !validLabelName(l.Name) {
+			panic(fmt.Sprintf("obs: invalid label name %q on %q", l.Name, name))
+		}
+	}
+	r.mu.Lock()
+	fam, ok := r.families[name]
+	if !ok {
+		fam = &family{name: name, help: help, kind: kind, children: make(map[string]*child)}
+		if kind == kindHistogram {
+			fam.bounds = append([]float64(nil), bounds...)
+		}
+		r.families[name] = fam
+	}
+	r.mu.Unlock()
+	if fam.kind != kind {
+		panic(fmt.Sprintf("obs: metric %q registered as %s and %s", name, fam.kind, kind))
+	}
+	if kind == kindHistogram && !equalBounds(fam.bounds, bounds) {
+		panic(fmt.Sprintf("obs: metric %q registered with differing histogram bounds", name))
+	}
+	key := labelKey(labels)
+	fam.mu.Lock()
+	defer fam.mu.Unlock()
+	if ch, ok := fam.children[key]; ok {
+		if (ch.fn != nil) != (fn != nil) {
+			panic(fmt.Sprintf("obs: metric %q registered as both live and func-backed", name))
+		}
+		return ch
+	}
+	ch := &child{labels: append([]Label(nil), labels...), fn: fn}
+	if fn == nil {
+		switch kind {
+		case kindCounter:
+			ch.counter = &Counter{}
+		case kindGauge:
+			ch.gauge = &Gauge{}
+		case kindHistogram:
+			ch.hist = newHistogram(fam.bounds)
+		}
+	} else if kind == kindHistogram {
+		panic("obs: func-backed histograms are not supported")
+	}
+	fam.children[key] = ch
+	fam.order = append(fam.order, key)
+	return ch
+}
+
+// labelKey serializes labels into the child map key. Label order is
+// significant for the key but irrelevant for correctness: call sites
+// register a given metric with one spelling.
+func labelKey(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	for _, l := range labels {
+		b.WriteString(l.Name)
+		b.WriteByte(1)
+		b.WriteString(l.Value)
+		b.WriteByte(2)
+	}
+	return b.String()
+}
+
+func equalBounds(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func validMetricName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func validLabelName(name string) bool {
+	if name == "" || name == "le" { // le is reserved for histogram buckets
+		return false
+	}
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,169 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_total", "a counter")
+	c.Inc()
+	c.Add(2.5)
+	if got := c.Value(); got != 3.5 {
+		t.Fatalf("counter value = %v, want 3.5", got)
+	}
+	g := r.Gauge("test_gauge", "a gauge")
+	g.Set(10)
+	g.Add(-4)
+	if got := g.Value(); got != 6 {
+		t.Fatalf("gauge value = %v, want 6", got)
+	}
+}
+
+func TestCounterNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Add(-1) did not panic")
+		}
+	}()
+	c := NewRegistry().Counter("test_total", "")
+	c.Add(-1)
+}
+
+func TestRegistryGetOrCreate(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("dup_total", "", Label{"route", "/check"})
+	b := r.Counter("dup_total", "", Label{"route", "/check"})
+	if a != b {
+		t.Fatal("same name+labels returned distinct counters")
+	}
+	other := r.Counter("dup_total", "", Label{"route", "/prove"})
+	if a == other {
+		t.Fatal("distinct labels returned the same counter")
+	}
+}
+
+func TestRegistryTypeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-registering counter as gauge did not panic")
+		}
+	}()
+	r := NewRegistry()
+	r.Counter("mixed", "")
+	r.Gauge("mixed", "")
+}
+
+func TestRegistryInvalidNamePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid metric name did not panic")
+		}
+	}()
+	NewRegistry().Counter("bad-name", "")
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat_seconds", "", []float64{0.125, 1, 8})
+	for _, v := range []float64{0.0625, 0.125, 0.5, 4, 64} {
+		h.Observe(v)
+	}
+	want := []uint64{2, 1, 1, 1} // 0.125 is inclusive in le=0.125
+	got := h.Counts()
+	if len(got) != len(want) {
+		t.Fatalf("Counts len = %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("bucket %d = %d, want %d (all %v)", i, got[i], want[i], got)
+		}
+	}
+	if h.Count() != 5 {
+		t.Fatalf("Count = %d, want 5", h.Count())
+	}
+	if h.Sum() != 68.6875 { // all values exact in binary, so the sum is too
+		t.Fatalf("Sum = %v, want 68.6875", h.Sum())
+	}
+}
+
+func TestHistogramBoundsMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched histogram bounds did not panic")
+		}
+	}()
+	r := NewRegistry()
+	r.Histogram("h", "", []float64{1, 2}, Label{"a", "x"})
+	r.Histogram("h", "", []float64{1, 3}, Label{"a", "y"})
+}
+
+func TestConcurrentCounter(t *testing.T) {
+	c := NewRegistry().Counter("race_total", "")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != 8000 {
+		t.Fatalf("concurrent counter = %v, want 8000", got)
+	}
+}
+
+func TestWriteProm(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b_total", "requests seen", Label{"route", "/check"}).Add(3)
+	r.Gauge("a_gauge", "an example\nmultiline").Set(1.5)
+	r.GaugeFunc("c_fn", "func gauge", func() float64 { return 42 })
+	h := r.Histogram("lat_seconds", "latency", []float64{0.5, 1})
+	h.Observe(0.25)
+	h.Observe(0.75)
+	h.Observe(2)
+
+	var sb strings.Builder
+	if err := r.WriteProm(&sb); err != nil {
+		t.Fatal(err)
+	}
+	got := sb.String()
+	want := `# HELP a_gauge an example\nmultiline
+# TYPE a_gauge gauge
+a_gauge 1.5
+# HELP b_total requests seen
+# TYPE b_total counter
+b_total{route="/check"} 3
+# HELP c_fn func gauge
+# TYPE c_fn gauge
+c_fn 42
+# HELP lat_seconds latency
+# TYPE lat_seconds histogram
+lat_seconds_bucket{le="0.5"} 1
+lat_seconds_bucket{le="1"} 2
+lat_seconds_bucket{le="+Inf"} 3
+lat_seconds_sum 3
+lat_seconds_count 3
+`
+	if got != want {
+		t.Fatalf("WriteProm mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+func TestWritePromEscapesLabelValues(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("esc_total", "", Label{"v", `a"b\c` + "\n"}).Inc()
+	var sb strings.Builder
+	if err := r.WriteProm(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := `esc_total{v="a\"b\\c\n"} 1`
+	if !strings.Contains(sb.String(), want) {
+		t.Fatalf("escaped sample %q not found in:\n%s", want, sb.String())
+	}
+}

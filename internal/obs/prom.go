@@ -1,0 +1,147 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// PromContentType is the Content-Type for the text exposition format
+// WriteProm emits.
+const PromContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// WriteProm renders every family in the registry in the Prometheus text
+// exposition format (version 0.0.4): one # HELP and # TYPE line per
+// family, families sorted by name, children in registration order.
+// Histograms expand into cumulative le-bucketed _bucket samples plus
+// _sum and _count. The first write error aborts and is returned.
+func (r *Registry) WriteProm(w io.Writer) error {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.families))
+	for name := range r.families {
+		names = append(names, name)
+	}
+	fams := make([]*family, 0, len(names))
+	sort.Strings(names)
+	for _, name := range names {
+		fams = append(fams, r.families[name])
+	}
+	r.mu.Unlock()
+
+	for _, fam := range fams {
+		if err := fam.writeProm(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (f *family) writeProm(w io.Writer) error {
+	f.mu.Lock()
+	children := make([]*child, 0, len(f.order))
+	for _, key := range f.order {
+		children = append(children, f.children[key])
+	}
+	f.mu.Unlock()
+	if len(children) == 0 {
+		return nil
+	}
+	if f.help != "" {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.name, escapeHelp(f.help)); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.kind); err != nil {
+		return err
+	}
+	for _, ch := range children {
+		if err := f.writeChild(w, ch); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (f *family) writeChild(w io.Writer, ch *child) error {
+	switch f.kind {
+	case kindCounter, kindGauge:
+		v := 0.0
+		switch {
+		case ch.fn != nil:
+			v = ch.fn()
+		case ch.counter != nil:
+			v = ch.counter.Value()
+		case ch.gauge != nil:
+			v = ch.gauge.Value()
+		}
+		_, err := fmt.Fprintf(w, "%s%s %s\n", f.name, formatLabels(ch.labels, "", 0), formatFloat(v))
+		return err
+	case kindHistogram:
+		h := ch.hist
+		counts := h.Counts()
+		cum := uint64(0)
+		for i, bound := range h.Bounds() {
+			cum += counts[i]
+			if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", f.name, formatLabels(ch.labels, formatFloat(bound), 1), cum); err != nil {
+				return err
+			}
+		}
+		cum += counts[len(counts)-1]
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", f.name, formatLabels(ch.labels, "+Inf", 1), cum); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", f.name, formatLabels(ch.labels, "", 0), formatFloat(h.Sum())); err != nil {
+			return err
+		}
+		_, err := fmt.Fprintf(w, "%s_count%s %d\n", f.name, formatLabels(ch.labels, "", 0), h.Count())
+		return err
+	}
+	return nil
+}
+
+// formatLabels renders {a="x",b="y"} (empty string when no labels). With
+// withLE == 1 a histogram bucket's le label is appended after the
+// constant labels, le's value being the precomputed string in leValue.
+func formatLabels(labels []Label, leValue string, withLE int) string {
+	if len(labels) == 0 && withLE == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Name)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(l.Value))
+		b.WriteByte('"')
+	}
+	if withLE == 1 {
+		if len(labels) > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(`le="`)
+		b.WriteString(leValue)
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+func escapeLabelValue(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}

@@ -1,0 +1,95 @@
+package obs
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// StageTiming is one named stage's accumulated share of a timeline:
+// Total sums every observation, Count says how many there were (so an
+// average is derivable, and a stage summed across concurrent workers —
+// one flood per shard, say — is recognizable by Count > 1).
+type StageTiming struct {
+	Name  string
+	Total time.Duration
+	Count int64
+}
+
+// Timeline accumulates per-stage durations for one logical operation
+// (one check, one HTTP request). Stages with the same name merge by
+// summation; first-observation order is preserved in Snapshot. All
+// methods are safe for concurrent use and no-ops on a nil receiver, so
+// instrumented layers never have to branch on whether anyone is
+// watching.
+type Timeline struct {
+	mu    sync.Mutex
+	order []string
+	total map[string]time.Duration
+	count map[string]int64
+}
+
+// NewTimeline returns an empty timeline.
+func NewTimeline() *Timeline {
+	return &Timeline{total: make(map[string]time.Duration), count: make(map[string]int64)}
+}
+
+// Observe adds one duration to the named stage.
+func (t *Timeline) Observe(name string, d time.Duration) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	if _, ok := t.total[name]; !ok {
+		t.order = append(t.order, name)
+	}
+	t.total[name] += d
+	t.count[name]++
+	t.mu.Unlock()
+}
+
+// Start begins timing the named stage and returns the stop function
+// that records it. On a nil timeline the returned stop is a no-op.
+func (t *Timeline) Start(name string) func() {
+	if t == nil {
+		return func() {}
+	}
+	t0 := time.Now()
+	return func() { t.Observe(name, time.Since(t0)) }
+}
+
+// Snapshot lists the accumulated stages in first-observation order. A
+// nil timeline snapshots to nil.
+func (t *Timeline) Snapshot() []StageTiming {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]StageTiming, 0, len(t.order))
+	for _, name := range t.order {
+		out = append(out, StageTiming{Name: name, Total: t.total[name], Count: t.count[name]})
+	}
+	return out
+}
+
+type timelineKey struct{}
+
+// ContextWithTimeline attaches a timeline to the context. Layers below
+// record their stages into it via TimelineFrom; attaching a fresh
+// timeline shadows any outer one, which is how the checker façade keeps
+// each proof's breakdown separate inside a batch.
+func ContextWithTimeline(ctx context.Context, t *Timeline) context.Context {
+	return context.WithValue(ctx, timelineKey{}, t)
+}
+
+// TimelineFrom returns the context's timeline, or nil when the context
+// is nil or carries none. The nil result is directly usable: every
+// Timeline method no-ops on it.
+func TimelineFrom(ctx context.Context) *Timeline {
+	if ctx == nil {
+		return nil
+	}
+	t, _ := ctx.Value(timelineKey{}).(*Timeline)
+	return t
+}

@@ -1,0 +1,58 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+func TestTimelineObserveMergesAndOrders(t *testing.T) {
+	tl := NewTimeline()
+	tl.Observe("seed", 2*time.Millisecond)
+	tl.Observe("flood", 5*time.Millisecond)
+	tl.Observe("seed", 3*time.Millisecond)
+	got := tl.Snapshot()
+	if len(got) != 2 {
+		t.Fatalf("Snapshot len = %d, want 2", len(got))
+	}
+	if got[0].Name != "seed" || got[0].Total != 5*time.Millisecond || got[0].Count != 2 {
+		t.Fatalf("seed stage = %+v", got[0])
+	}
+	if got[1].Name != "flood" || got[1].Total != 5*time.Millisecond || got[1].Count != 1 {
+		t.Fatalf("flood stage = %+v", got[1])
+	}
+}
+
+func TestTimelineStart(t *testing.T) {
+	tl := NewTimeline()
+	stop := tl.Start("work")
+	time.Sleep(time.Millisecond)
+	stop()
+	got := tl.Snapshot()
+	if len(got) != 1 || got[0].Name != "work" || got[0].Total <= 0 {
+		t.Fatalf("Snapshot = %+v, want one positive 'work' stage", got)
+	}
+}
+
+func TestTimelineNilSafe(t *testing.T) {
+	var tl *Timeline
+	tl.Observe("x", time.Second) // must not panic
+	tl.Start("y")()
+	if got := tl.Snapshot(); got != nil {
+		t.Fatalf("nil timeline Snapshot = %v, want nil", got)
+	}
+}
+
+func TestTimelineContext(t *testing.T) {
+	if TimelineFrom(t.Context()) != nil {
+		t.Fatal("TimelineFrom(plain ctx) should be nil")
+	}
+	tl := NewTimeline()
+	ctx := ContextWithTimeline(t.Context(), tl)
+	if TimelineFrom(ctx) != tl {
+		t.Fatal("TimelineFrom did not return the attached timeline")
+	}
+	inner := NewTimeline()
+	if got := TimelineFrom(ContextWithTimeline(ctx, inner)); got != inner {
+		t.Fatal("inner timeline should shadow the outer one")
+	}
+}

@@ -1,0 +1,62 @@
+package obs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+)
+
+// TraceHeader is the HTTP header a trace ID travels in: adopted from the
+// request when present and valid, echoed on every response either way.
+const TraceHeader = "X-Trace-Id"
+
+// maxTraceIDLen bounds accepted trace IDs so a hostile client cannot
+// make the server log or echo arbitrarily large headers.
+const maxTraceIDLen = 128
+
+// NewTraceID mints a 128-bit random trace ID, hex-encoded (32 chars) —
+// the W3C trace-id shape. crypto/rand.Read never fails.
+func NewTraceID() string {
+	var b [16]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic("obs: crypto/rand failed: " + err.Error())
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// ValidTraceID reports whether a client-supplied trace ID is acceptable
+// to adopt: non-empty, bounded, and drawn from a conservative charset
+// (alphanumerics plus '.', '_', '-') so it is safe to echo into headers,
+// JSON bodies and log lines without escaping surprises.
+func ValidTraceID(id string) bool {
+	if len(id) == 0 || len(id) > maxTraceIDLen {
+		return false
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		switch {
+		case c >= '0' && c <= '9', c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z':
+		case c == '.' || c == '_' || c == '-':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+type traceKey struct{}
+
+// ContextWithTraceID attaches a trace ID to the context.
+func ContextWithTraceID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, traceKey{}, id)
+}
+
+// TraceIDFrom returns the context's trace ID, or "" when the context is
+// nil or carries none.
+func TraceIDFrom(ctx context.Context) string {
+	if ctx == nil {
+		return ""
+	}
+	id, _ := ctx.Value(traceKey{}).(string)
+	return id
+}

@@ -1,0 +1,45 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNewTraceID(t *testing.T) {
+	a, b := NewTraceID(), NewTraceID()
+	if len(a) != 32 || len(b) != 32 {
+		t.Fatalf("trace IDs %q, %q: want 32 hex chars", a, b)
+	}
+	if a == b {
+		t.Fatalf("two fresh trace IDs collided: %q", a)
+	}
+	if !ValidTraceID(a) {
+		t.Fatalf("generated trace ID %q not self-valid", a)
+	}
+}
+
+func TestValidTraceID(t *testing.T) {
+	for _, ok := range []string{"abc123", "a.b_c-d", strings.Repeat("f", 128)} {
+		if !ValidTraceID(ok) {
+			t.Errorf("ValidTraceID(%q) = false, want true", ok)
+		}
+	}
+	for _, bad := range []string{"", "has space", "semi;colon", `quo"te`, strings.Repeat("f", 129), "newline\n"} {
+		if ValidTraceID(bad) {
+			t.Errorf("ValidTraceID(%q) = true, want false", bad)
+		}
+	}
+}
+
+func TestTraceIDContext(t *testing.T) {
+	if got := TraceIDFrom(t.Context()); got != "" {
+		t.Fatalf("TraceIDFrom(plain ctx) = %q, want empty", got)
+	}
+	ctx := ContextWithTraceID(t.Context(), "deadbeef")
+	if got := TraceIDFrom(ctx); got != "deadbeef" {
+		t.Fatalf("TraceIDFrom = %q, want deadbeef", got)
+	}
+	if got := TraceIDFrom(nil); got != "" {
+		t.Fatalf("TraceIDFrom(nil) = %q, want empty", got)
+	}
+}

@@ -6,12 +6,16 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
+	"log"
 	"net/http"
+	"os"
+	"runtime"
+	"runtime/debug"
 	"sort"
 	"strconv"
 	"strings"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"lcp"
@@ -19,6 +23,7 @@ import (
 	"lcp/internal/config"
 	"lcp/internal/core"
 	"lcp/internal/engine"
+	"lcp/internal/obs"
 	"lcp/internal/textio"
 )
 
@@ -37,6 +42,13 @@ type Config struct {
 	// distinguish "never existed" from "aged out, re-register it".
 	// 0 means unbounded.
 	MaxInstances int
+	// LogRequests turns on structured request logging: one line per
+	// request carrying the trace ID, method, route, status, latency,
+	// and — where the handler resolved them — backend, verdict and error
+	// message. Errors log under the same trace ID the client received.
+	LogRequests bool
+	// LogWriter receives the request log lines. nil means os.Stderr.
+	LogWriter io.Writer
 }
 
 // Server is the HTTP verification service. Create with New; it
@@ -46,7 +58,15 @@ type Server struct {
 	base    config.Config
 	cfg     Config
 	mux     *http.ServeMux
-	stats   map[string]*endpointStats
+	// reg is the per-server metrics registry (HTTP histograms, build
+	// info, instance-store gauges); GET /metrics serves it followed by
+	// the process-wide obs.Default() (checker/engine/dist counters). Two
+	// registries keep concurrent Server values — the test suite runs
+	// many — from colliding on per-route state.
+	reg    *obs.Registry
+	routes map[string]*obs.Histogram // request pattern -> latency histogram
+	start  time.Time
+	logger *log.Logger // nil unless Config.LogRequests
 
 	mu           sync.Mutex
 	instances    map[string]*instanceEntry
@@ -81,32 +101,19 @@ type instanceEntry struct {
 // comparability beats per-endpoint tuning, and the range spans a cached
 // sub-millisecond /check up to a multi-second distributed batch. An
 // implicit overflow bucket catches everything beyond the last bound.
+// The obs histograms store seconds (the Prometheus convention); GET
+// /stats converts back to milliseconds, keeping its JSON shape stable.
 var latencyBoundsMS = [...]float64{0.25, 0.5, 1, 2.5, 5, 10, 25, 50, 100, 250, 500, 1000, 2500}
 
-// endpointStats is one endpoint's request counter, latency sum, and
-// fixed-bound latency histogram, updated lock-free on every call and
-// reported by GET /stats.
-type endpointStats struct {
-	requests  atomic.Int64
-	latencyNS atomic.Int64
-	buckets   [len(latencyBoundsMS) + 1]atomic.Int64
-}
-
-// observe records one request's latency in the counter, the sum, and
-// exactly one histogram bucket (the first whose bound is not exceeded,
-// or the overflow bucket).
-func (st *endpointStats) observe(d time.Duration) {
-	st.requests.Add(1)
-	st.latencyNS.Add(int64(d))
-	ms := float64(d) / float64(time.Millisecond)
-	for i, le := range latencyBoundsMS {
-		if ms <= le {
-			st.buckets[i].Add(1)
-			return
-		}
+// latencyBoundsSeconds is latencyBoundsMS in seconds, the unit the obs
+// histograms record.
+var latencyBoundsSeconds = func() []float64 {
+	out := make([]float64, len(latencyBoundsMS))
+	for i, ms := range latencyBoundsMS {
+		out[i] = ms / 1e3
 	}
-	st.buckets[len(st.buckets)-1].Add(1)
-}
+	return out
+}()
 
 // New builds a server over the given scheme registry (normally
 // lcp.BuiltinSchemes()). The base config applies to every instance the
@@ -124,11 +131,21 @@ func NewWith(schemes map[string]core.Scheme, base config.Config, cfg Config) *Se
 		base:      base,
 		cfg:       cfg,
 		mux:       http.NewServeMux(),
-		stats:     make(map[string]*endpointStats),
+		reg:       obs.NewRegistry(),
+		routes:    make(map[string]*obs.Histogram),
+		start:     time.Now(),
 		instances: make(map[string]*instanceEntry),
 		lru:       list.New(),
 		evicted:   make(map[string]struct{}),
 	}
+	if cfg.LogRequests {
+		out := cfg.LogWriter
+		if out == nil {
+			out = os.Stderr
+		}
+		s.logger = log.New(out, "", log.LstdFlags|log.LUTC)
+	}
+	s.registerServerMetrics()
 	s.handle("POST /instances", s.handleCreateInstance)
 	s.handle("GET /instances", s.handleListInstances)
 	s.handle("DELETE /instances/{id}", s.handleDeleteInstance)
@@ -138,22 +155,152 @@ func NewWith(schemes map[string]core.Scheme, base config.Config, cfg Config) *Se
 	s.handle("POST /check/stream", s.handleCheckStream)
 	s.handle("GET /schemes", s.handleSchemes)
 	s.handle("GET /stats", s.handleStats)
+	s.handle("GET /metrics", s.handleMetrics)
 	s.handle("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
 	})
 	return s
 }
 
-// handle registers a handler wrapped with per-endpoint metrics: a
-// request count and a latency sum, cheap enough to sit on every call.
+// registerServerMetrics wires the server-level families: build info,
+// uptime, and the instance store's occupancy/eviction counters. The
+// store metrics read the live values at scrape time under the server
+// mutex — the eviction count stays owned by the LRU bookkeeping and is
+// simply exposed, not duplicated.
+func (s *Server) registerServerMetrics() {
+	version := "unknown"
+	if bi, ok := debug.ReadBuildInfo(); ok && bi.Main.Version != "" {
+		version = bi.Main.Version
+	}
+	s.reg.Gauge("lcp_build_info",
+		"Constant 1, labelled with the Go toolchain and module version of the running binary.",
+		obs.Label{Name: "go_version", Value: runtime.Version()},
+		obs.Label{Name: "module_version", Value: version}).Set(1)
+	s.reg.GaugeFunc("lcp_uptime_seconds",
+		"Seconds since this server was constructed.",
+		func() float64 { return time.Since(s.start).Seconds() })
+	s.reg.GaugeFunc("lcp_instances",
+		"Registered instances currently in the store.",
+		func() float64 {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			return float64(len(s.instances))
+		})
+	s.reg.Gauge("lcp_instances_max",
+		"Configured instance-store bound (-max-instances); 0 means unbounded.").Set(float64(s.cfg.MaxInstances))
+	s.reg.CounterFunc("lcp_instances_evicted_total",
+		"Instances evicted by the LRU policy since process start.",
+		func() float64 {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			return float64(s.evictedTotal)
+		})
+}
+
+// traceWriter wraps the response writer for one request: it carries the
+// request's trace ID (so writeJSON can echo it into error bodies),
+// captures the status code for metrics and logging, and lets handlers
+// annotate the resolved backend and verdict for the request log line.
+// Flush passes through so the streaming endpoint keeps working.
+type traceWriter struct {
+	http.ResponseWriter
+	trace   string
+	status  int
+	backend string
+	verdict string
+	errMsg  string
+}
+
+func (tw *traceWriter) WriteHeader(code int) {
+	if tw.status == 0 {
+		tw.status = code
+	}
+	tw.ResponseWriter.WriteHeader(code)
+}
+
+func (tw *traceWriter) Write(b []byte) (int, error) {
+	if tw.status == 0 {
+		tw.status = http.StatusOK
+	}
+	return tw.ResponseWriter.Write(b)
+}
+
+func (tw *traceWriter) Flush() {
+	if f, ok := tw.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// note annotates the request's log line with the resolved backend and
+// verdict. Handlers call it with whatever they know; empty strings
+// leave the previous annotation in place.
+func note(w http.ResponseWriter, backend, verdict string) {
+	if tw, ok := w.(*traceWriter); ok {
+		if backend != "" {
+			tw.backend = backend
+		}
+		if verdict != "" {
+			tw.verdict = verdict
+		}
+	}
+}
+
+// handle registers a handler behind the observability middleware: the
+// request's trace ID is adopted from a valid X-Trace-Id header or
+// minted fresh, echoed on the response up front (so even error bodies
+// carry it), and threaded through the request context; the request is
+// then timed into the route's latency histogram and counted by status
+// code, and — when request logging is on — reported as one structured
+// line.
 func (s *Server) handle(pattern string, fn http.HandlerFunc) {
-	st := &endpointStats{}
-	s.stats[pattern] = st
+	hist := s.reg.Histogram("lcp_http_request_seconds",
+		"HTTP request latency by route.",
+		latencyBoundsSeconds, obs.Label{Name: "route", Value: pattern})
+	s.routes[pattern] = hist
 	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
-		fn(w, r)
-		st.observe(time.Since(start))
+		trace := r.Header.Get(obs.TraceHeader)
+		if !obs.ValidTraceID(trace) {
+			trace = obs.NewTraceID()
+		}
+		tw := &traceWriter{ResponseWriter: w, trace: trace}
+		tw.Header().Set(obs.TraceHeader, trace)
+		fn(tw, r.WithContext(obs.ContextWithTraceID(r.Context(), trace)))
+		if tw.status == 0 {
+			// The handler never wrote: net/http will send an implicit 200.
+			tw.status = http.StatusOK
+		}
+		elapsed := time.Since(start)
+		hist.Observe(elapsed.Seconds())
+		s.reg.Counter("lcp_http_requests_total",
+			"HTTP requests by route and status code.",
+			obs.Label{Name: "route", Value: pattern},
+			obs.Label{Name: "code", Value: strconv.Itoa(tw.status)}).Inc()
+		if s.logger != nil {
+			line := fmt.Sprintf("trace=%s method=%s route=%q status=%d dur_ms=%.3f",
+				trace, r.Method, pattern, tw.status, float64(elapsed)/float64(time.Millisecond))
+			if tw.backend != "" {
+				line += " backend=" + tw.backend
+			}
+			if tw.verdict != "" {
+				line += " verdict=" + tw.verdict
+			}
+			if tw.errMsg != "" {
+				line += fmt.Sprintf(" err=%q", tw.errMsg)
+			}
+			s.logger.Print(line)
+		}
 	})
+}
+
+// handleMetrics serves the Prometheus text exposition: the per-server
+// registry (HTTP, build info, instance store) followed by the process-
+// wide one (checker, engine, dist). The two hold disjoint family names,
+// so the concatenation is a single well-formed exposition.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", obs.PromContentType)
+	_ = s.reg.WriteProm(w)
+	_ = obs.Default().WriteProm(w)
 }
 
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
@@ -213,6 +360,10 @@ type errorResponse struct {
 	// an instance dropped by the -max-instances LRU policy (the client
 	// should re-register, not fix its id).
 	Code string `json:"code,omitempty"`
+	// TraceID is the request's trace ID — the same value as the
+	// X-Trace-Id response header — repeated in the body so a client
+	// that only kept the JSON can still quote it when reporting.
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 type instanceInfo struct {
@@ -226,6 +377,16 @@ type instanceInfo struct {
 // ---- helpers ----
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
+	// Error bodies pick up the request's trace ID on the way out, and
+	// the message is remembered for the request log line — the handler
+	// just writes the error; the middleware owns the correlation.
+	if er, ok := v.(errorResponse); ok {
+		if tw, ok := w.(*traceWriter); ok {
+			er.TraceID = tw.trace
+			tw.errMsg = er.Error
+			v = er
+		}
+	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	_ = json.NewEncoder(w).Encode(v)
@@ -660,10 +821,20 @@ func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) {
 	// goroutines on an answer nobody reads.
 	rep, err := chk.Check(r.Context(), p)
 	if err != nil {
+		note(w, string(cfg.ResolvedBackend()), "")
 		writeError(w, http.StatusInternalServerError, "check: %v", err)
 		return
 	}
+	note(w, rep.Backend, verdictWord(rep.Accepted()))
 	writeJSON(w, http.StatusOK, toResponse(entry.Doc.Instance.G.N(), p, rep))
+}
+
+// verdictWord renders a check's outcome for log lines.
+func verdictWord(accepted bool) string {
+	if accepted {
+		return "accepted"
+	}
+	return "rejected"
 }
 
 func (s *Server) handleCheckBatch(w http.ResponseWriter, r *http.Request) {
@@ -725,6 +896,7 @@ func (s *Server) handleCheckBatch(w http.ResponseWriter, r *http.Request) {
 			accepted++
 		}
 	}
+	note(w, string(cfg.ResolvedBackend()), fmt.Sprintf("accepted=%d/%d", accepted, len(out)))
 	writeJSON(w, http.StatusOK, map[string]any{
 		"results":  out,
 		"accepted": accepted,
@@ -815,6 +987,7 @@ func (s *Server) handleCheckStream(w http.ResponseWriter, r *http.Request) {
 	}
 	// Drain: the stream's workers exit on the cancelled context.
 	nodes := entry.Doc.Instance.G.N()
+	note(w, string(cfg.ResolvedBackend()), verdictWord(accepted && checked == nodes))
 	_ = enc.Encode(summaryLine{
 		Done:         true,
 		Accepted:     accepted && checked == nodes,
@@ -853,20 +1026,24 @@ type statsEntry struct {
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	endpoints := make(map[string]statsEntry, len(s.stats))
-	for pattern, st := range s.stats {
-		n := st.requests.Load()
+	// The rows derive from the same obs histograms /metrics exposes —
+	// one source of truth, two renderings — converted back to this
+	// endpoint's historical units (milliseconds bounds, nanosecond sum).
+	endpoints := make(map[string]statsEntry, len(s.routes))
+	for pattern, hist := range s.routes {
+		n := int64(hist.Count())
 		row := statsEntry{
 			Requests:          n,
-			LatencyNSTotal:    st.latencyNS.Load(),
+			LatencyNSTotal:    int64(hist.Sum() * float64(time.Second)),
 			LatencyBucketLEMS: latencyBoundsMS[:],
 		}
 		if n > 0 {
 			row.LatencyMSAvg = float64(row.LatencyNSTotal) / float64(n) / 1e6
 		}
-		counts := make([]int64, len(st.buckets))
-		for i := range st.buckets {
-			counts[i] = st.buckets[i].Load()
+		hcounts := hist.Counts()
+		counts := make([]int64, len(hcounts))
+		for i, c := range hcounts {
+			counts[i] = int64(c)
 		}
 		row.LatencyBucketCounts = counts
 		endpoints[pattern] = row
