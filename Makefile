@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: check build vet lint doclint test test-short race bench bench-smoke load-smoke obs-smoke
+.PHONY: check build vet lint doclint test test-short race bench bench-smoke load-smoke obs-smoke fuzz-smoke
 
-check: build vet lint test
+check: build vet lint test fuzz-smoke
 
 build:
 	$(GO) build ./...
@@ -58,6 +58,15 @@ bench-smoke:
 load-smoke:
 	$(GO) run ./cmd/lcpload -duration 2s -concurrency 4 -nodes 64 -batch 8
 	$(GO) run ./cmd/lcpload -duration 2s -concurrency 4 -nodes 64 -batch 8 -backend engine-dist -partitioner bfs
+
+# fuzz-smoke runs every native fuzz target for a short budget (one
+# target per invocation — the go tool's rule). The seed corpora under
+# testdata/fuzz/ run as plain tests in `make test` already; this step
+# buys a little fresh exploration on every check, so a parser panic or
+# a columns/core divergence surfaces in CI, not in production traffic.
+fuzz-smoke:
+	$(GO) test -run=NONE -fuzz=FuzzTextioRoundTrip -fuzztime=10s ./internal/textio/
+	$(GO) test -run=NONE -fuzz=FuzzBatchColumnsEquivalence -fuzztime=10s ./internal/engine/
 
 # obs-smoke exercises the observability contract end to end: a short
 # lcpload burst per backend family scrapes /metrics before and after the

@@ -11,6 +11,7 @@ package lcp_test
 // and see EXPERIMENTS.md for the paper-vs-measured record.
 
 import (
+	"context"
 	"fmt"
 	"testing"
 	"time"
@@ -371,6 +372,59 @@ func BenchmarkEngineAmortized(b *testing.B) {
 				if eng.CheckProof(p, v) == nil {
 					b.Fatal("nil result")
 				}
+			}
+		}
+		perProof(b, time.Since(start))
+	})
+}
+
+// BenchmarkEngineBatchColumns measures the column-wise batch path on
+// the exact workload of BenchmarkEngineAmortized (100 proofs — one
+// honest, 99 single-bit tamperings — on Cycle(255)), so its ns/proof is
+// directly comparable with the engine-cached-views number it has to
+// beat by ≥2× (BENCH_engine.json). The win is ball-restriction dedup:
+// near-identical columns collapse to roughly one verification per node
+// plus cheap compares. stop-on-reject additionally abandons tampered
+// columns at their first rejecting node.
+func BenchmarkEngineBatchColumns(b *testing.B) {
+	in := lcp.NewInstance(lcp.Cycle(255))
+	scheme := lcp.OddNScheme()
+	honest, err := scheme.Prove(in)
+	if err != nil {
+		b.Fatal(err)
+	}
+	v := scheme.Verifier()
+	proofs := make([]lcp.Proof, 100)
+	proofs[0] = honest
+	for i := 1; i < len(proofs); i++ {
+		proofs[i] = core.FlipBit(honest, int64(i))
+	}
+	perProof := func(b *testing.B, total time.Duration) {
+		b.Helper()
+		b.ReportMetric(float64(total.Nanoseconds())/float64(b.N*len(proofs)), "ns/proof")
+	}
+	b.Run("columns-full-outputs", func(b *testing.B) {
+		eng := lcp.NewEngine(in)
+		eng.CheckProof(proofs[0], v) // warm the radius cache
+		b.ResetTimer()
+		start := time.Now()
+		for i := 0; i < b.N; i++ {
+			res := eng.CheckBatchColumns(proofs, v)
+			if len(res) != len(proofs) || !res[0].Accepted() || res[1].Accepted() {
+				b.Fatal("unexpected verdicts")
+			}
+		}
+		perProof(b, time.Since(start))
+	})
+	b.Run("columns-stop-on-reject", func(b *testing.B) {
+		eng := lcp.NewEngine(in)
+		eng.CheckProof(proofs[0], v)
+		b.ResetTimer()
+		start := time.Now()
+		for i := 0; i < b.N; i++ {
+			res, err := eng.CheckBatchColumnsWith(context.Background(), proofs, v, lcp.ColumnsOptions{StopOnReject: true})
+			if err != nil || len(res) != len(proofs) || !res[0].Accepted() || res[1].Accepted() {
+				b.Fatalf("unexpected verdicts: %v", err)
 			}
 		}
 		perProof(b, time.Since(start))

@@ -244,6 +244,24 @@ func WithPartitioner(p Partitioner) CheckerOption {
 	return func(cc *checkerConfig) { cc.cfg.Partitioner = p }
 }
 
+// WithBatchColumns forces the engine backend's CheckBatch strategy: on
+// routes every batch through the column-wise path (one ball walk per
+// node feeding all k proofs, identical ball restrictions deduplicated),
+// off always runs the per-proof loop. Without this option the checker
+// auto-engages the columns path for batches of
+// config.BatchColumnsAutoThreshold proofs or more. The textual spelling
+// is config.Set("batch-columns", "auto"|"true"|"false"), the same knob
+// lcpserve flags and /check/batch request options resolve.
+func WithBatchColumns(on bool) CheckerOption {
+	return func(cc *checkerConfig) {
+		if on {
+			cc.cfg.BatchColumns = config.BatchColumnsOn
+		} else {
+			cc.cfg.BatchColumns = config.BatchColumnsOff
+		}
+	}
+}
+
 // WithEngine backs the engine and engine-dist backends with an existing
 // Engine instead of wiring a private one, so several checkers (one per
 // scheme, say) share one set of cached views and runtimes. The engine
@@ -390,7 +408,13 @@ func (c *checker) Check(ctx context.Context, p Proof) (*Report, error) {
 // metrics, labelled by backend — the scrapeable aggregate of what the
 // per-check Report.Stages break down individually.
 func (c *checker) record(tl *obs.Timeline, res *core.Result, err error) {
-	backend := obs.Label{Name: "backend", Value: string(c.backend())}
+	c.recordOutcome(res, err)
+	c.recordStages(tl)
+}
+
+// recordOutcome publishes one check's (or one batch column's) verdict
+// to lcp_checker_checks_total.
+func (c *checker) recordOutcome(res *core.Result, err error) {
 	outcome := "accepted"
 	switch {
 	case err != nil:
@@ -400,7 +424,15 @@ func (c *checker) record(tl *obs.Timeline, res *core.Result, err error) {
 	}
 	obs.Default().Counter("lcp_checker_checks_total",
 		"Façade checks by backend and outcome.",
-		backend, obs.Label{Name: "outcome", Value: outcome}).Inc()
+		obs.Label{Name: "backend", Value: string(c.backend())},
+		obs.Label{Name: "outcome", Value: outcome}).Inc()
+}
+
+// recordStages publishes a timeline's stage times to
+// lcp_checker_stage_seconds_total. A column-wise batch records its
+// shared timeline once, not once per column.
+func (c *checker) recordStages(tl *obs.Timeline) {
+	backend := obs.Label{Name: "backend", Value: string(c.backend())}
 	for _, st := range tl.Snapshot() {
 		obs.Default().Counter("lcp_checker_stage_seconds_total",
 			"Accumulated stage wall time of façade checks, by backend and stage.",
@@ -416,6 +448,10 @@ func (c *checker) CheckBatch(ctx context.Context, proofs []Proof) ([]*Report, er
 		// saturates the machine on a bounded pool instead of flooding
 		// one proof at a time.
 		return c.checkBatchConcurrent(ctx, proofs)
+	case config.BackendEngine:
+		if c.cfg.BatchColumns.Engaged(len(proofs)) {
+			return c.checkBatchColumns(ctx, proofs)
+		}
 	}
 	reports := make([]*Report, 0, len(proofs))
 	for i, p := range proofs {
@@ -424,6 +460,41 @@ func (c *checker) CheckBatch(ctx context.Context, proofs []Proof) ([]*Report, er
 			return nil, &BatchError{Index: i, Err: err}
 		}
 		reports = append(reports, rep)
+	}
+	return reports, nil
+}
+
+// checkBatchColumns serves the batch through the engine's column-wise
+// path: one walk over the cached skeletons feeds every proof, so the
+// batch shares a single timeline and wall clock — each Report carries
+// the batch's Elapsed and Stages, not a per-proof slice of them. The
+// walk fails (or is cancelled) as a unit: no column has a complete
+// verdict until it finishes, so the BatchError of a failed batch points
+// at index 0, the first proof without a report.
+func (c *checker) checkBatchColumns(ctx context.Context, proofs []Proof) ([]*Report, error) {
+	start := time.Now()
+	tl := obs.NewTimeline()
+	ctx = obs.ContextWithTimeline(ctx, tl)
+	results, err := c.eng.CheckBatchColumnsCtx(ctx, proofs, c.v)
+	c.recordStages(tl)
+	if err != nil {
+		c.recordOutcome(nil, err)
+		return nil, &BatchError{Index: 0, Err: err}
+	}
+	elapsed := time.Since(start)
+	stages := make([]Stage, 0, 4)
+	for _, st := range tl.Snapshot() {
+		stages = append(stages, Stage{Name: st.Name, Total: st.Total, Count: st.Count})
+	}
+	reports := make([]*Report, len(results))
+	for i, res := range results {
+		c.recordOutcome(res, nil)
+		reports[i] = &Report{
+			Backend: string(c.backend()),
+			Outputs: res.Outputs,
+			Elapsed: elapsed,
+			Stages:  stages,
+		}
 	}
 	return reports, nil
 }

@@ -35,6 +35,19 @@ func backendMatrix() []backendCase {
 			lcp.WithPartitioner(lcp.BFSChunksPartitioner()),
 		}},
 		{"engine", []lcp.CheckerOption{lcp.WithBackend(lcp.BackendEngine), lcp.WithWorkers(3)}},
+		// Forcing the column-wise batch strategy routes CheckBatch
+		// through ProofColumns + ball-restriction dedup whatever the
+		// batch size; Check and CheckStream stay on the per-proof paths,
+		// so the whole surface is exercised against the same reference.
+		{"engine-columns", []lcp.CheckerOption{
+			lcp.WithBackend(lcp.BackendEngine), lcp.WithWorkers(3), lcp.WithBatchColumns(true),
+		}},
+		// ...and forcing it off keeps the per-proof batch loop covered,
+		// since the plain "engine" case auto-engages columns at the
+		// matrix's four-proof batch size.
+		{"engine-batch-loop", []lcp.CheckerOption{
+			lcp.WithBackend(lcp.BackendEngine), lcp.WithWorkers(3), lcp.WithBatchColumns(false),
+		}},
 		{"engine-dist", []lcp.CheckerOption{
 			lcp.WithBackend(lcp.BackendEngineDist), lcp.WithRuntimes(3),
 			lcp.WithPartitioner(lcp.BFSChunksPartitioner()),
@@ -277,6 +290,38 @@ func TestCheckerBatchCancelMidway(t *testing.T) {
 	}
 	if be.Index != 1 {
 		t.Fatalf("BatchError.Index = %d, want 1 (cancelled between proofs 0 and 1)", be.Index)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("BatchError does not unwrap to context.Canceled: %v", err)
+	}
+}
+
+// TestCheckerBatchColumnsCancelMidway: the column-wise path fails the
+// batch as a unit — no column has a complete verdict until the walk
+// finishes — so a cancellation mid-walk reports BatchError.Index 0 (the
+// first proof without a report) and still unwraps to context.Canceled.
+func TestCheckerBatchColumnsCancelMidway(t *testing.T) {
+	in := lcp.NewInstance(lcp.Cycle(12))
+	ctx, cancel := context.WithCancel(context.Background())
+	v := core.VerifierFunc{R: 1, F: func(w *core.View) bool {
+		cancel() // fires during the first node's columns; the walk must abort at the next node
+		return true
+	}}
+	chk, err := lcp.NewChecker(in, lcp.WithVerifier(v),
+		lcp.WithBackend(lcp.BackendEngine), lcp.WithWorkers(1), lcp.WithBatchColumns(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	reps, err := chk.CheckBatch(ctx, []core.Proof{{}, {}, {}})
+	if reps != nil {
+		t.Fatalf("cancelled columns batch returned %d reports, want none", len(reps))
+	}
+	var be *lcp.BatchError
+	if !errors.As(err, &be) {
+		t.Fatalf("error = %v, want *BatchError", err)
+	}
+	if be.Index != 0 {
+		t.Fatalf("BatchError.Index = %d, want 0 (the columns walk fails as a unit)", be.Index)
 	}
 	if !errors.Is(err, context.Canceled) {
 		t.Fatalf("BatchError does not unwrap to context.Canceled: %v", err)

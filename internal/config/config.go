@@ -81,6 +81,57 @@ type Config struct {
 	// layout, shard count, free-running synchronization, port buffers).
 	// Its Partitioner field, when nil, inherits Config.Partitioner.
 	Dist dist.Options
+	// BatchColumns selects whether CheckBatch on the engine backend
+	// takes the column-wise batch path (one ball walk feeding all k
+	// proofs). The zero value auto-engages it at
+	// BatchColumnsAutoThreshold proofs and above.
+	BatchColumns BatchColumnsMode
+}
+
+// BatchColumnsMode is the tri-state batch-strategy knob behind the
+// "batch-columns" option key: auto (columns for large enough batches),
+// forced on, or forced off (the per-proof loop).
+type BatchColumnsMode int
+
+const (
+	// BatchColumnsAuto engages the columns path for batches of
+	// BatchColumnsAutoThreshold proofs or more.
+	BatchColumnsAuto BatchColumnsMode = iota
+	// BatchColumnsOn always takes the columns path on the engine
+	// backend, whatever the batch size.
+	BatchColumnsOn
+	// BatchColumnsOff always takes the per-proof loop.
+	BatchColumnsOff
+)
+
+// BatchColumnsAutoThreshold is the smallest batch the auto mode routes
+// through the columns path. Below it the table load and column
+// bookkeeping outweigh the shared ball walk.
+const BatchColumnsAutoThreshold = 4
+
+// Engaged reports whether a k-proof batch takes the columns path under
+// this mode.
+func (m BatchColumnsMode) Engaged(k int) bool {
+	switch m {
+	case BatchColumnsOn:
+		return k > 0
+	case BatchColumnsOff:
+		return false
+	default:
+		return k >= BatchColumnsAutoThreshold
+	}
+}
+
+// String renders the mode in the vocabulary Set accepts.
+func (m BatchColumnsMode) String() string {
+	switch m {
+	case BatchColumnsOn:
+		return "true"
+	case BatchColumnsOff:
+		return "false"
+	default:
+		return "auto"
+	}
 }
 
 // ResolvedBackend is Backend with the zero value defaulted.
@@ -155,6 +206,7 @@ func Options() []Option {
 		{Key: "sharded", Bool: true, Usage: "batch message-passing nodes onto shared scheduler goroutines instead of one goroutine per node"},
 		{Key: "shards", Usage: "scheduler goroutines per message-passing runtime in sharded mode (0 = GOMAXPROCS; implies sharded). NOTE: pre-facade releases spelled this -dist-shards and used -shards for what is now -runtimes"},
 		{Key: "free-running", Bool: true, Usage: "run message-passing runtimes without a global round barrier (α-synchronization)"},
+		{Key: "batch-columns", Usage: fmt.Sprintf("engine-backend batch strategy: auto (column-wise for batches of >= %d proofs), true (always column-wise), false (per-proof loop)", BatchColumnsAutoThreshold)},
 	}
 }
 
@@ -220,6 +272,20 @@ func (c *Config) Set(key, value string) error {
 			return fail(err)
 		}
 		c.Dist.FreeRunning = on
+	case "batch-columns":
+		if value == "auto" {
+			c.BatchColumns = BatchColumnsAuto
+			break
+		}
+		on, err := strconv.ParseBool(value)
+		if err != nil {
+			return fail(fmt.Errorf("want auto, true, or false: %v", err))
+		}
+		if on {
+			c.BatchColumns = BatchColumnsOn
+		} else {
+			c.BatchColumns = BatchColumnsOff
+		}
 	default:
 		return fmt.Errorf("unknown option %q", key)
 	}

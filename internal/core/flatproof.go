@@ -27,10 +27,30 @@ import (
 // A FlatProof is mutable via Load and therefore owned by a single check
 // at a time (internal/engine recycles them through a pool); the Views it
 // is attached to must not outlive the check.
+//
+// A FlatProof may also be a strided column view into a ProofColumns
+// table: stride > 1 means node index i lives at slot i*stride+off of a
+// node-major k-wide table shared with the other k-1 columns. The
+// zero-stride form (the common case) keeps the plain i indexing.
 type FlatProof struct {
 	g    *graph.Graph
 	bits []bitstr.String
 	has  []bool
+
+	// stride/off make the table a column of a ProofColumns batch:
+	// slot(i) = i*stride + off. stride <= 1 means the table is dense
+	// and off is ignored.
+	stride int
+	off    int
+}
+
+// slot maps a graph node index to its position in the backing arrays,
+// honouring the column stride when the table is a ProofColumns view.
+func (fp *FlatProof) slot(i int) int {
+	if fp.stride > 1 {
+		return i*fp.stride + fp.off
+	}
+	return i
 }
 
 // NewFlatProof allocates an empty flat table aligned with g.Nodes().
@@ -42,6 +62,9 @@ func NewFlatProof(g *graph.Graph) *FlatProof {
 // Proof entries addressing nodes outside the graph are ignored, exactly
 // as BuildView ignores them when restricting a map-backed proof.
 func (fp *FlatProof) Load(p Proof) {
+	if fp.stride > 1 {
+		panic("core: Load on a ProofColumns column view; load the ProofColumns instead")
+	}
 	clear(fp.bits)
 	clear(fp.has)
 	for id, s := range p {
@@ -56,7 +79,7 @@ func (fp *FlatProof) Load(p Proof) {
 // or outside the graph).
 func (fp *FlatProof) At(id int) bitstr.String {
 	if i, ok := fp.g.Lookup(id); ok {
-		return fp.bits[i]
+		return fp.bits[fp.slot(i)]
 	}
 	return bitstr.String{}
 }
@@ -65,8 +88,8 @@ func (fp *FlatProof) At(id int) bitstr.String {
 // explicitly assigns one — the flat analogue of a map lookup's comma-ok,
 // distinguishing "assigned ε" from "no entry".
 func (fp *FlatProof) Entry(id int) (bitstr.String, bool) {
-	if i, ok := fp.g.Lookup(id); ok && fp.has[i] {
-		return fp.bits[i], true
+	if i, ok := fp.g.Lookup(id); ok && fp.has[fp.slot(i)] {
+		return fp.bits[fp.slot(i)], true
 	}
 	return bitstr.String{}, false
 }

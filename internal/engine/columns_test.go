@@ -1,0 +1,188 @@
+package engine_test
+
+// Tests for the column-wise batch path: concurrent batches against one
+// shared Engine (the serve /check/batch fan-out, run under -race),
+// degenerate batch shapes, and cancellation semantics. The catalog-wide
+// equivalence lives in the checker matrix and the fuzz target; these
+// pin the concurrency and edge-shape behaviour.
+
+import (
+	"context"
+	"reflect"
+	"sync"
+	"testing"
+
+	"lcp/internal/core"
+	"lcp/internal/engine"
+	"lcp/internal/graph"
+	"lcp/internal/schemes"
+)
+
+// columnsFixture is a Cycle instance with a mixed batch: honest,
+// tampered, truncated, and entry-dropped proofs.
+func columnsFixture(t *testing.T, n, k int) (*core.Instance, []core.Proof, core.Verifier) {
+	t.Helper()
+	in := core.NewInstance(graph.Cycle(n))
+	scheme := schemes.ParityCount{WantOdd: n%2 == 1}
+	honest, err := scheme.Prove(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proofs := make([]core.Proof, k)
+	for j := range proofs {
+		switch j % 4 {
+		case 0:
+			proofs[j] = honest
+		case 1:
+			proofs[j] = core.FlipBit(honest, int64(j))
+		case 2:
+			proofs[j] = honest.Truncated(1)
+		default:
+			p := honest.Clone()
+			delete(p, in.G.Nodes()[j%n])
+			proofs[j] = p
+		}
+	}
+	return in, proofs, scheme.Verifier()
+}
+
+// TestCheckBatchColumnsConcurrentStress mirrors serve's batch fan-out:
+// many goroutines firing CheckBatchColumns at one shared Engine on one
+// instance, full-output and stop-on-reject interleaved. Run under
+// -race this pins that the pooled ProofColumns tables, the lazily built
+// ball-index cache, and the shared skeletons never alias across
+// concurrent batches.
+func TestCheckBatchColumnsConcurrentStress(t *testing.T) {
+	const (
+		goroutines = 8
+		iterations = 5
+	)
+	in, proofs, v := columnsFixture(t, 33, 12)
+	want := make([]*core.Result, len(proofs))
+	for j, p := range proofs {
+		want[j] = core.Check(in, p, v)
+	}
+	eng := engine.New(in, engine.Options{Workers: 4})
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for it := 0; it < iterations; it++ {
+				if g%2 == 0 {
+					got, err := eng.CheckBatchColumnsCtx(context.Background(), proofs, v)
+					if err != nil {
+						errs <- err
+						return
+					}
+					for j := range got {
+						if !reflect.DeepEqual(got[j].Outputs, want[j].Outputs) {
+							t.Errorf("goroutine %d iter %d proof %d: outputs diverged", g, it, j)
+							return
+						}
+					}
+				} else {
+					got, err := eng.CheckBatchColumnsWith(context.Background(), proofs, v, engine.ColumnsOptions{StopOnReject: true})
+					if err != nil {
+						errs <- err
+						return
+					}
+					for j := range got {
+						if got[j].Accepted() != want[j].Accepted() {
+							t.Errorf("goroutine %d iter %d proof %d: stop-on-reject verdict diverged", g, it, j)
+							return
+						}
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatalf("concurrent batch: %v", err)
+	}
+}
+
+// TestCheckBatchColumnsShapes sweeps the degenerate batch shapes: the
+// empty batch, a single column, more columns than nodes, and a batch
+// where every column rejects under stop-on-reject.
+func TestCheckBatchColumnsShapes(t *testing.T) {
+	t.Run("empty-batch", func(t *testing.T) {
+		in, _, v := columnsFixture(t, 9, 1)
+		eng := engine.New(in, engine.Options{})
+		for _, proofs := range [][]core.Proof{nil, {}} {
+			got, err := eng.CheckBatchColumnsCtx(context.Background(), proofs, v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != 0 {
+				t.Fatalf("empty batch returned %d results", len(got))
+			}
+		}
+	})
+	t.Run("single-column", func(t *testing.T) {
+		in, proofs, v := columnsFixture(t, 9, 1)
+		eng := engine.New(in, engine.Options{})
+		got, err := eng.CheckBatchColumnsCtx(context.Background(), proofs, v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := core.Check(in, proofs[0], v)
+		if !reflect.DeepEqual(got[0].Outputs, want.Outputs) {
+			t.Fatalf("k=1 outputs differ:\n got %v\nwant %v", got[0].Outputs, want.Outputs)
+		}
+	})
+	t.Run("more-columns-than-nodes", func(t *testing.T) {
+		in, proofs, v := columnsFixture(t, 5, 23)
+		eng := engine.New(in, engine.Options{Workers: 3})
+		got, err := eng.CheckBatchColumnsCtx(context.Background(), proofs, v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j, p := range proofs {
+			want := core.Check(in, p, v)
+			if !reflect.DeepEqual(got[j].Outputs, want.Outputs) {
+				t.Fatalf("k>n proof %d outputs differ", j)
+			}
+		}
+	})
+	t.Run("all-rejecting-stop-on-reject", func(t *testing.T) {
+		in, proofs, v := columnsFixture(t, 9, 6)
+		for j := range proofs {
+			proofs[j] = core.FlipBit(proofs[j], int64(100+j))
+		}
+		eng := engine.New(in, engine.Options{Workers: 2})
+		got, err := eng.CheckBatchColumnsWith(context.Background(), proofs, v, engine.ColumnsOptions{StopOnReject: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j, p := range proofs {
+			want := core.Check(in, p, v)
+			if want.Accepted() {
+				// A flipped spanning-tree certificate must reject
+				// somewhere; if not, the fixture is too weak to test.
+				t.Fatalf("fixture proof %d unexpectedly accepted", j)
+			}
+			if got[j].Accepted() {
+				t.Fatalf("proof %d accepted under stop-on-reject, reference rejects", j)
+			}
+			for node, out := range got[j].Outputs {
+				if wantOut, ok := want.Outputs[node]; !ok || out != wantOut {
+					t.Fatalf("proof %d node %d: reported %v, reference %v", j, node, out, wantOut)
+				}
+			}
+		}
+	})
+	t.Run("cancelled-context", func(t *testing.T) {
+		in, proofs, v := columnsFixture(t, 9, 4)
+		eng := engine.New(in, engine.Options{})
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		got, err := eng.CheckBatchColumnsCtx(ctx, proofs, v)
+		if err == nil || got != nil {
+			t.Fatalf("cancelled batch returned (%v, %v), want (nil, ctx error)", got, err)
+		}
+	})
+}

@@ -21,10 +21,16 @@
 // restriction enforced by View.ProofOf against the skeleton's distance
 // map. The per-proof cost is one O(n) load plus the verifier's own work.
 //
-// Three serving shapes are exposed:
+// Four serving shapes are exposed:
 //
 //   - CheckProof / CheckBatch: sharded over a bounded worker pool
 //     (contiguous node ranges, the shared-memory path);
+//   - CheckBatchColumns: the column-wise batch path — the k proofs of
+//     one batch load into a node-major core.ProofColumns table and a
+//     single walk over the cached skeletons evaluates all k columns per
+//     node, copying verdicts between columns whose ball-restrictions
+//     agree (sound by the locality contract) instead of re-running the
+//     verifier;
 //   - CheckStream: verdicts stream over a channel as each node decides,
 //     with early exit on context cancellation — callers stop paying the
 //     moment the first rejection arrives;

@@ -3,10 +3,12 @@ package engine
 import (
 	"context"
 	"runtime"
+	"sort"
 	"sync"
 
 	"lcp/internal/core"
 	"lcp/internal/dist"
+	"lcp/internal/graph"
 	"lcp/internal/obs"
 	"lcp/internal/partition"
 )
@@ -85,11 +87,45 @@ type Engine struct {
 	// proof and then shared read-only by every node's view. Pooling them
 	// keeps the per-check allocation at one Load instead of one table.
 	flats sync.Pool // *core.FlatProof aligned with in.G
+
+	// columns recycles the node-major batch tables of the column-wise
+	// path (CheckBatchColumns), one table per in-flight batch.
+	columns sync.Pool // *core.ProofColumns aligned with in.G
 }
 
 type viewCache struct {
 	once  sync.Once
 	views []*core.View
+
+	// balls is the per-node ball membership as sorted graph indices,
+	// derived lazily from the skeletons' distance maps for the
+	// column-wise batch path (it compares proof columns over exactly
+	// the entries a verifier can observe). Built once per radius.
+	ballsOnce sync.Once
+	balls     [][]int32
+}
+
+// ballIndexes returns, for each node index, the graph indices of its
+// radius-r ball members in ascending order. Must be called after the
+// cache's views are built.
+func (c *viewCache) ballIndexes(g *graph.Graph) [][]int32 {
+	c.ballsOnce.Do(func() {
+		balls := make([][]int32, len(c.views))
+		for i, w := range c.views {
+			ids := make([]int, 0, len(w.Dist))
+			for v := range w.Dist {
+				ids = append(ids, v)
+			}
+			sort.Ints(ids)
+			bi := make([]int32, len(ids))
+			for j, v := range ids {
+				bi[j] = int32(g.Index(v))
+			}
+			balls[i] = bi
+		}
+		c.balls = balls
+	})
+	return c.balls
 }
 
 type netCache struct {
@@ -146,6 +182,12 @@ func (e *Engine) InvalidateRadius(radius int) {
 // "engine.views" stage — near zero on a warm cache, the whole skeleton
 // build on a miss (or the wait for a concurrent builder).
 func (e *Engine) viewsFor(radius int, tl *obs.Timeline) []*core.View {
+	return e.cacheFor(radius, tl).views
+}
+
+// cacheFor is viewsFor returning the whole per-radius cache, for paths
+// that also need the derived ball-index lists (CheckBatchColumns).
+func (e *Engine) cacheFor(radius int, tl *obs.Timeline) *viewCache {
 	e.mu.Lock()
 	c, ok := e.views[radius]
 	if !ok {
@@ -175,7 +217,7 @@ func (e *Engine) viewsFor(radius int, tl *obs.Timeline) []*core.View {
 	} else {
 		engineViewHits.Inc()
 	}
-	return c.views
+	return c
 }
 
 // flatFor draws a pooled dense proof table and loads the proof into it.

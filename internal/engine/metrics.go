@@ -15,4 +15,7 @@ var (
 	engineHaloOwned   = obs.Default().Counter("lcp_engine_halo_nodes_total", "Nodes wired into sharded runtimes, split by role: owned nodes decide, carrier nodes are halo padding that only floods (duplicated work across shards).", obs.Label{Name: "kind", Value: "owned"})
 	engineHaloCarrier = obs.Default().Counter("lcp_engine_halo_nodes_total", "Nodes wired into sharded runtimes, split by role: owned nodes decide, carrier nodes are halo padding that only floods (duplicated work across shards).", obs.Label{Name: "kind", Value: "carrier"})
 	engineRuntimes    = obs.Default().Counter("lcp_engine_runtimes_wired_total", "Reusable dist runtimes wired by netsFor cache builds.")
+	// engineBatchColumns counts proofs served by the column-wise batch
+	// path, the unit the ≥2× ns/proof target is measured in.
+	engineBatchColumns = obs.Default().Counter("lcp_engine_batch_columns_total", "Proofs verified through the column-wise batch path (CheckBatchColumns).")
 )

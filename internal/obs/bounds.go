@@ -1,0 +1,21 @@
+package obs
+
+// LatencyBoundsMS is the canonical latency histogram bucket upper-bound
+// table, in milliseconds — one table for every consumer: serve's
+// per-endpoint request histograms and its GET /stats JSON both derive
+// from it, so the two surfaces can never drift. The range spans a
+// cached sub-millisecond /check up to a multi-second distributed batch;
+// an implicit overflow bucket catches everything beyond the last bound.
+// Treat it as read-only.
+var LatencyBoundsMS = []float64{0.25, 0.5, 1, 2.5, 5, 10, 25, 50, 100, 250, 500, 1000, 2500}
+
+// LatencyBoundsSeconds returns a fresh copy of the canonical table
+// converted to seconds, the unit Histogram records by the Prometheus
+// convention.
+func LatencyBoundsSeconds() []float64 {
+	out := make([]float64, len(LatencyBoundsMS))
+	for i, ms := range LatencyBoundsMS {
+		out[i] = ms / 1e3
+	}
+	return out
+}

@@ -1,0 +1,37 @@
+package obs_test
+
+import (
+	"testing"
+
+	"lcp/internal/obs"
+)
+
+// TestLatencyBounds pins the canonical-table contract: the bounds are
+// strictly increasing (a histogram with unordered bounds silently
+// misbuckets), and the seconds view is exactly the millisecond table
+// scaled — returned as a fresh copy so callers cannot corrupt the
+// shared table through it.
+func TestLatencyBounds(t *testing.T) {
+	ms := obs.LatencyBoundsMS
+	if len(ms) == 0 {
+		t.Fatal("empty canonical bounds table")
+	}
+	for i := 1; i < len(ms); i++ {
+		if ms[i] <= ms[i-1] {
+			t.Fatalf("bounds not strictly increasing at %d: %v", i, ms)
+		}
+	}
+	sec := obs.LatencyBoundsSeconds()
+	if len(sec) != len(ms) {
+		t.Fatalf("seconds view has %d bounds, ms table %d", len(sec), len(ms))
+	}
+	for i := range sec {
+		if sec[i] != ms[i]/1e3 {
+			t.Fatalf("bound %d: %g s, want %g", i, sec[i], ms[i]/1e3)
+		}
+	}
+	sec[0] = -1
+	if again := obs.LatencyBoundsSeconds(); again[0] == -1 {
+		t.Fatal("LatencyBoundsSeconds returned a shared slice, not a copy")
+	}
+}

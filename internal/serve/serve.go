@@ -97,23 +97,17 @@ type instanceEntry struct {
 }
 
 // latencyBoundsMS are the fixed per-endpoint histogram bucket upper
-// bounds, in milliseconds. One table for every endpoint: cross-endpoint
-// comparability beats per-endpoint tuning, and the range spans a cached
-// sub-millisecond /check up to a multi-second distributed batch. An
-// implicit overflow bucket catches everything beyond the last bound.
-// The obs histograms store seconds (the Prometheus convention); GET
-// /stats converts back to milliseconds, keeping its JSON shape stable.
-var latencyBoundsMS = [...]float64{0.25, 0.5, 1, 2.5, 5, 10, 25, 50, 100, 250, 500, 1000, 2500}
+// bounds, in milliseconds — the canonical obs.LatencyBoundsMS table,
+// shared with the obs histograms so GET /stats (which reports
+// milliseconds, keeping its JSON shape stable) and the Prometheus
+// exposition (which records seconds) can never drift. One table for
+// every endpoint: cross-endpoint comparability beats per-endpoint
+// tuning.
+var latencyBoundsMS = obs.LatencyBoundsMS
 
 // latencyBoundsSeconds is latencyBoundsMS in seconds, the unit the obs
 // histograms record.
-var latencyBoundsSeconds = func() []float64 {
-	out := make([]float64, len(latencyBoundsMS))
-	for i, ms := range latencyBoundsMS {
-		out[i] = ms / 1e3
-	}
-	return out
-}()
+var latencyBoundsSeconds = obs.LatencyBoundsSeconds()
 
 // New builds a server over the given scheme registry (normally
 // lcp.BuiltinSchemes()). The base config applies to every instance the
@@ -341,6 +335,13 @@ type checkRequest struct {
 	// StopOnReject makes /check/stream cancel remaining work as soon
 	// as the first rejection streams out.
 	StopOnReject bool `json:"stop_on_reject,omitempty"`
+	// BatchColumns overrides the engine backend's batch strategy for
+	// this request (/check/batch only): "auto", "true" (always take the
+	// column-wise path), or "false" (per-proof loop). It resolves
+	// through config.Set like every other option, so the spelling
+	// matches lcpserve's -batch-columns flag. Requires the engine
+	// backend. Empty means the server's configured default.
+	BatchColumns string `json:"batch_columns,omitempty"`
 }
 
 type checkResponse struct {
@@ -446,6 +447,9 @@ func rejectFields(w http.ResponseWriter, req *checkRequest, endpoint string) boo
 	}
 	if req.Partitioner != "" && (endpoint == "/prove" || endpoint == "/check/stream") {
 		return bad("partitioner")
+	}
+	if req.BatchColumns != "" && endpoint != "/check/batch" {
+		return bad("batch_columns")
 	}
 	// Whether a partitioner override is honored depends on the
 	// *resolved* backend (the server default counts, not just the
@@ -608,6 +612,18 @@ func (s *Server) requestConfig(req *checkRequest) (config.Config, error) {
 			return cfg, err
 		}
 	}
+	if req.BatchColumns != "" {
+		// The columns path is the engine backend's batch strategy; on
+		// every other backend the knob would be silently ignored, the
+		// same client bug the partitioner guard catches.
+		if b := cfg.ResolvedBackend(); b != config.BackendEngine {
+			return cfg, fmt.Errorf("%q requires the %q backend, resolved backend is %q",
+				"batch_columns", config.BackendEngine, b)
+		}
+		if err := cfg.Set("batch-columns", req.BatchColumns); err != nil {
+			return cfg, err
+		}
+	}
 	return cfg, nil
 }
 
@@ -653,6 +669,15 @@ func (s *Server) checkerFor(entry *instanceEntry, cfg config.Config, scheme core
 	switch cfg.ResolvedBackend() {
 	case config.BackendEngine, config.BackendEngineDist:
 		opts = append(opts, lcp.WithEngine(s.engineFor(entry, cfg)))
+		// The batch strategy rides the config, not the shared engine:
+		// auto is the checker default, so only a forced mode needs an
+		// option.
+		switch cfg.BatchColumns {
+		case config.BatchColumnsOn:
+			opts = append(opts, lcp.WithBatchColumns(true))
+		case config.BatchColumnsOff:
+			opts = append(opts, lcp.WithBatchColumns(false))
+		}
 	case config.BackendDist:
 		d := cfg.DistOptions()
 		opts = append(opts,
@@ -1035,7 +1060,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		row := statsEntry{
 			Requests:          n,
 			LatencyNSTotal:    int64(hist.Sum() * float64(time.Second)),
-			LatencyBucketLEMS: latencyBoundsMS[:],
+			LatencyBucketLEMS: latencyBoundsMS,
 		}
 		if n > 0 {
 			row.LatencyMSAvg = float64(row.LatencyNSTotal) / float64(n) / 1e6

@@ -429,6 +429,9 @@ func TestServeRejectsMisdirectedFields(t *testing.T) {
 		{"/check/stream", map[string]any{"instance": id, "proofs": []map[string]string{{}}}},
 		{"/prove", map[string]any{"instance": id, "proof": map[string]string{}}},
 		{"/prove", map[string]any{"instance": id, "distributed": true}},
+		{"/check", map[string]any{"instance": id, "proof": map[string]string{}, "batch_columns": "true"}},
+		{"/check/stream", map[string]any{"instance": id, "proof": map[string]string{}, "batch_columns": "auto"}},
+		{"/prove", map[string]any{"instance": id, "batch_columns": "true"}},
 	} {
 		resp, body := postJSON(t, ts.URL+tc.endpoint, tc.req)
 		if resp.StatusCode != http.StatusBadRequest {

@@ -1,0 +1,66 @@
+package textio_test
+
+// Native fuzz target for the wire format: Parse must never panic on
+// arbitrary input (it fronts POST /instances, so "crash" means a remote
+// DoS), and printing must be a fixed point — Parse(Write(doc)) yields a
+// document that Writes to the same bytes, which is what makes the
+// canonical form canonical. The seed corpus under
+// testdata/fuzz/FuzzTextioRoundTrip covers every directive and the
+// historical panic (edge endpoints fed straight to graph.Builder).
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"lcp/internal/textio"
+)
+
+func FuzzTextioRoundTrip(f *testing.F) {
+	f.Add("node 1\n")
+	f.Add("graph undirected\nedge 1 2\nedge 2 3 mark\nproof 1 0110\n")
+	f.Add("graph directed\nnode 4 label=leader\nedge 4 5 weight=-3\nglobal n 5\nscheme bipartite\nproof 5\n")
+	f.Add("# comment\n\nedge 1 2 weight=7\nproof 2 1\nproof 2 0\n")
+	f.Add("edge 1 1\n")
+	f.Add("edge 0 2\nedge -1 2\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		doc, err := textio.Parse(strings.NewReader(input))
+		if err != nil {
+			// Invalid input is fine; crashing on it is what this target
+			// exists to rule out.
+			return
+		}
+		var first bytes.Buffer
+		if err := textio.Write(&first, doc); err != nil {
+			t.Fatalf("Write of parsed document: %v", err)
+		}
+		doc2, err := textio.Parse(bytes.NewReader(first.Bytes()))
+		if err != nil {
+			t.Fatalf("reparse of canonical form: %v\ninput: %q\ncanonical: %q", err, input, first.String())
+		}
+		var second bytes.Buffer
+		if err := textio.Write(&second, doc2); err != nil {
+			t.Fatalf("Write of reparsed document: %v", err)
+		}
+		if first.String() != second.String() {
+			t.Fatalf("canonical form is not a fixed point\ninput: %q\nfirst:  %q\nsecond: %q", input, first.String(), second.String())
+		}
+		// The round trip must preserve the semantic content, not just
+		// restabilize: same graph shape, scheme, and proof entries.
+		if doc2.Instance.G.N() != doc.Instance.G.N() || doc2.Instance.G.M() != doc.Instance.G.M() {
+			t.Fatalf("round trip changed the graph: %d/%d nodes, %d/%d edges",
+				doc.Instance.G.N(), doc2.Instance.G.N(), doc.Instance.G.M(), doc2.Instance.G.M())
+		}
+		if doc2.SchemeName != doc.SchemeName {
+			t.Fatalf("round trip changed the scheme: %q vs %q", doc.SchemeName, doc2.SchemeName)
+		}
+		if len(doc2.Proof) != len(doc.Proof) {
+			t.Fatalf("round trip changed the proof: %d vs %d entries", len(doc.Proof), len(doc2.Proof))
+		}
+		for v, s := range doc.Proof {
+			if got, ok := doc2.Proof[v]; !ok || !got.Equal(s) {
+				t.Fatalf("round trip changed proof entry %d: %v vs %v (present=%v)", v, s, got, ok)
+			}
+		}
+	})
+}

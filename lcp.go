@@ -219,6 +219,10 @@ type (
 	EngineOptions = engine.Options
 	// Verdict is one node's decision as streamed by Engine.CheckStream.
 	Verdict = engine.Verdict
+	// ColumnsOptions tunes one Engine.CheckBatchColumnsWith call: the
+	// column-wise batch path that walks each cached skeleton once while
+	// evaluating all k proofs of a batch against it.
+	ColumnsOptions = engine.ColumnsOptions
 )
 
 // NewEngine builds a default-configured engine for the instance. Pair
