@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: check build vet lint doclint test test-short race bench bench-smoke load-smoke obs-smoke fuzz-smoke
+.PHONY: check build vet lint doclint test test-short race bench bench-smoke bench-diff load-smoke obs-smoke fuzz-smoke scale-smoke sweep
 
-check: build vet lint test fuzz-smoke
+check: build vet lint test fuzz-smoke scale-smoke
 
 build:
 	$(GO) build ./...
@@ -67,6 +67,27 @@ load-smoke:
 fuzz-smoke:
 	$(GO) test -run=NONE -fuzz=FuzzTextioRoundTrip -fuzztime=10s ./internal/textio/
 	$(GO) test -run=NONE -fuzz=FuzzBatchColumnsEquivalence -fuzztime=10s ./internal/engine/
+
+# scale-smoke runs one n=10^5 sweep cell per backend through cmd/lcpsweep
+# — the full generate -> textio write -> parse -> prove -> check pipeline
+# on a power-law instance — so "the hot paths hold up at scale" is
+# re-proved on every check, not only in the recorded BENCH_sweep.json.
+# Seconds per cell; the full grid (plus the n=10^6 tier) is `make sweep`.
+scale-smoke:
+	$(GO) run ./cmd/lcpsweep -n 100000 -families power-law -backends core,engine,dist,engine-dist
+
+# sweep reproduces BENCH_sweep.json: the full n=10^5 grid over family x
+# backend x partitioner x shards, plus the n=10^6 tier on the
+# shared-memory backends (the message-passing backends are capped by
+# -max-dist-n). Minutes, not seconds.
+sweep:
+	$(GO) run ./cmd/lcpsweep -n 100000,1000000 -partitioners contiguous,bfs -shards 0,4 -out BENCH_sweep.json
+
+# bench-diff re-runs the benchmarks each BENCH_*.json baseline records
+# and prints fresh/baseline ratios, flagging anything 1.20x over. The
+# ledger comparison every perf-relevant PR owes — measured, not eyeballed.
+bench-diff:
+	$(GO) run ./cmd/lcpsweep -bench-diff
 
 # obs-smoke exercises the observability contract end to end: a short
 # lcpload burst per backend family scrapes /metrics before and after the

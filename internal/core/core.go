@@ -312,8 +312,10 @@ func (w *View) Degree(v int) int { return w.G.Degree(v) }
 // produces identical views via message passing (a property test asserts
 // agreement).
 func BuildView(in *Instance, p Proof, center, radius int) *View {
-	nodes, dist := in.G.BallAround(center, radius)
-	ball := in.G.Induced(nodes)
+	// One fused pass: the BFS and the induced-subgraph assembly share a
+	// pooled epoch-stamped scratch (graph.InducedBall), so the only maps
+	// built here are the ones the View API itself carries.
+	ball, nodes, dist := in.G.InducedBall(center, radius)
 	w := &View{
 		Center: center,
 		Radius: radius,

@@ -3,7 +3,7 @@ package engine
 import (
 	"context"
 	"runtime"
-	"sort"
+	"slices"
 	"sync"
 
 	"lcp/internal/core"
@@ -107,20 +107,21 @@ type viewCache struct {
 
 // ballIndexes returns, for each node index, the graph indices of its
 // radius-r ball members in ascending order. Must be called after the
-// cache's views are built.
+// cache's views are built. Membership is re-walked with the pooled
+// ball scratch (one reused id buffer, no per-node map iteration); the
+// result is identical to the skeletons' distance maps because both
+// come from the same BFS.
 func (c *viewCache) ballIndexes(g *graph.Graph) [][]int32 {
 	c.ballsOnce.Do(func() {
 		balls := make([][]int32, len(c.views))
+		var ids []int
 		for i, w := range c.views {
-			ids := make([]int, 0, len(w.Dist))
-			for v := range w.Dist {
-				ids = append(ids, v)
-			}
-			sort.Ints(ids)
+			ids = g.AppendBallIDs(ids[:0], w.Center, w.Radius)
 			bi := make([]int32, len(ids))
 			for j, v := range ids {
 				bi[j] = int32(g.Index(v))
 			}
+			slices.Sort(bi)
 			balls[i] = bi
 		}
 		c.balls = balls

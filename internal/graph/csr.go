@@ -1,0 +1,128 @@
+package graph
+
+import (
+	"fmt"
+	"slices"
+)
+
+// Trusted bulk constructors for the scale tier. Builder pays a node map
+// and an edge map per graph to dedup untrusted input; at n=10^5–10^6
+// that dominates construction. Generators and loaders that can vouch for
+// their edges (or accept a single sort+dedup pass over a flat slice)
+// build the CSR arrays directly through these instead.
+
+// FromSortedEdges assembles a graph from a trusted edge list: sorted by
+// (U, V), deduplicated, self-loop-free, with positive identifiers, and
+// normalized U < V for undirected kinds. ids, when non-nil, is the
+// strictly ascending node identifier list and must cover every endpoint
+// (extra entries add isolated nodes); when nil, the identifier list is
+// derived from the endpoints. The Graph takes ownership of both slices.
+// Invariants are the caller's responsibility — use FromEdges for input
+// that still needs normalizing, Builder for incremental construction.
+func FromSortedEdges(kind Kind, ids []int, edges []Edge) *Graph {
+	if ids == nil {
+		ids = endpointIDs(edges)
+	}
+	return assemble(kind, ids, edges)
+}
+
+// FromEdges assembles a graph from an edge list in any order, possibly
+// with duplicates: it normalizes (for undirected kinds), sorts, and
+// dedups the slice in place, then builds the CSR arrays directly — one
+// O(m log m) pass instead of Builder's per-edge map insertions. Node
+// identifiers must be positive and edges self-loop-free (it panics
+// otherwise, like Builder); nodes lists extra identifiers to include as
+// isolated nodes (nil is fine, duplicates are allowed). The Graph takes
+// ownership of both slices.
+func FromEdges(kind Kind, nodes []int, edges []Edge) *Graph {
+	if kind != Directed {
+		kind = Undirected
+	}
+	for i, e := range edges {
+		if e.U == e.V {
+			panic(fmt.Sprintf("graph: self-loop at node %d", e.U))
+		}
+		if e.U <= 0 || e.V <= 0 {
+			panic(fmt.Sprintf("graph: node identifier %d is not positive", min(e.U, e.V)))
+		}
+		if kind != Directed {
+			edges[i] = NormEdge(e.U, e.V)
+		}
+	}
+	sortEdges(edges)
+	edges = slices.Compact(edges)
+	ids := endpointIDs(edges)
+	if len(nodes) > 0 {
+		for _, id := range nodes {
+			if id <= 0 {
+				panic(fmt.Sprintf("graph: node identifier %d is not positive", id))
+			}
+		}
+		ids = append(ids, nodes...)
+		slices.Sort(ids)
+		ids = slices.Compact(ids)
+	}
+	return assemble(kind, ids, edges)
+}
+
+// endpointIDs derives the sorted, deduplicated identifier list from the
+// edge endpoints.
+func endpointIDs(edges []Edge) []int {
+	ids := make([]int, 0, 2*len(edges))
+	for _, e := range edges {
+		ids = append(ids, e.U, e.V)
+	}
+	slices.Sort(ids)
+	return slices.Compact(ids)
+}
+
+// FromCSR assembles a graph over the dense identifiers 1..n directly
+// from its compressed-sparse-row adjacency: targets[offsets[i]:
+// offsets[i+1]] are the neighbour identifiers of node i+1, each row
+// ascending. For undirected kinds every edge must appear in both
+// endpoint rows (so len(targets) is 2m); for directed kinds targets is
+// the out-adjacency and the in-adjacency is derived by a counting
+// transpose. This is the zero-copy trusted constructor: the Graph takes
+// ownership of offsets and targets and performs no validation beyond
+// shape checks.
+func FromCSR(kind Kind, n int, offsets []int32, targets []int) *Graph {
+	if kind != Directed {
+		kind = Undirected
+	}
+	if len(offsets) != n+1 {
+		panic(fmt.Sprintf("graph: FromCSR needs %d offsets, got %d", n+1, len(offsets)))
+	}
+	if n > 0 && int(offsets[n]) != len(targets) {
+		panic(fmt.Sprintf("graph: FromCSR offsets end at %d, targets has %d", offsets[n], len(targets)))
+	}
+	checkCSRBounds(len(targets))
+	ids := make([]int, n)
+	for i := range ids {
+		ids[i] = i + 1
+	}
+	g := &Graph{kind: kind, ids: ids, off: offsets, adj: targets}
+	g.dense = n > 0
+	if kind != Directed {
+		g.m = len(targets) / 2
+		return g
+	}
+	g.m = len(targets)
+	g.inOff = make([]int32, n+1)
+	for _, v := range targets {
+		g.inOff[v]++ // v's index is v-1; count into slot v = (v-1)+1
+	}
+	for i := 0; i < n; i++ {
+		g.inOff[i+1] += g.inOff[i]
+	}
+	g.inAdj = make([]int, len(targets))
+	cur := make([]int32, n)
+	for i := 0; i < n; i++ {
+		u := i + 1
+		for _, v := range g.row(i) {
+			iv := v - 1
+			g.inAdj[g.inOff[iv]+cur[iv]] = u
+			cur[iv]++
+		}
+	}
+	return g
+}

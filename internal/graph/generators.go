@@ -8,39 +8,65 @@ import (
 // Generators for the graph families used throughout the paper's catalogue:
 // cycles, paths, trees, bipartite graphs, planar grids, and random graphs.
 // All generators are deterministic given their arguments (random ones take
-// an explicit seed), so experiments are reproducible.
+// an explicit seed), so experiments are reproducible. Degenerate sizes
+// (n = 0, 1, 2) degrade gracefully — the empty graph, a single node, a
+// single edge — instead of panicking, so sweeps over size grids need no
+// special-casing at the bottom. Families with a hard structural minimum
+// document what the degenerate result is.
+//
+// The bulk generators assemble a flat edge slice and freeze it through
+// FromEdges/FromSortedEdges instead of a Builder, skipping the node and
+// edge maps entirely; see scale.go for the n=10^5–10^6 tier.
 
-// Path returns the path 1–2–…–n.
-func Path(n int) *Graph {
-	if n < 1 {
-		panic(fmt.Sprintf("graph: Path(%d)", n))
+// denseIDs returns the identifier list 1..n.
+func denseIDs(n int) []int {
+	ids := make([]int, n)
+	for i := range ids {
+		ids[i] = i + 1
 	}
-	b := NewBuilder(Undirected)
-	b.AddNode(1)
-	for i := 2; i <= n; i++ {
-		b.AddEdge(i-1, i)
-	}
-	return b.Graph()
+	return ids
 }
 
-// Cycle returns the cycle 1–2–…–n–1. It requires n ≥ 3 (simple graphs).
+// Path returns the path 1–2–…–n. Path(0) is the empty graph.
+func Path(n int) *Graph {
+	if n <= 0 {
+		return &Graph{}
+	}
+	edges := make([]Edge, 0, n-1)
+	for i := 2; i <= n; i++ {
+		edges = append(edges, Edge{U: i - 1, V: i})
+	}
+	return FromSortedEdges(Undirected, denseIDs(n), edges)
+}
+
+// Cycle returns the cycle 1–2–…–n–1 for n ≥ 3. Smaller sizes degrade to
+// Path(n): simple graphs have no 1- or 2-cycles.
 func Cycle(n int) *Graph {
 	if n < 3 {
-		panic(fmt.Sprintf("graph: Cycle(%d): need n ≥ 3", n))
+		return Path(n)
 	}
-	b := NewBuilder(Undirected)
-	for i := 1; i <= n; i++ {
-		b.AddEdge(i, i%n+1)
+	edges := make([]Edge, 0, n)
+	edges = append(edges, Edge{U: 1, V: 2}, Edge{U: 1, V: n})
+	for i := 2; i < n; i++ {
+		edges = append(edges, Edge{U: i, V: i + 1})
 	}
-	return b.Graph()
+	return FromSortedEdges(Undirected, denseIDs(n), edges)
 }
 
 // CycleOf returns the cycle visiting the given identifiers in order.
+// Fewer than 3 identifiers degrade to the path over them.
 func CycleOf(ids ...int) *Graph {
-	if len(ids) < 3 {
-		panic("graph: CycleOf needs ≥ 3 nodes")
-	}
 	b := NewBuilder(Undirected)
+	if len(ids) == 0 {
+		return b.Graph()
+	}
+	if len(ids) <= 2 {
+		b.AddNode(ids[0])
+		if len(ids) == 2 {
+			b.AddEdge(ids[0], ids[1])
+		}
+		return b.Graph()
+	}
 	for i := range ids {
 		b.AddEdge(ids[i], ids[(i+1)%len(ids)])
 	}
@@ -49,49 +75,57 @@ func CycleOf(ids ...int) *Graph {
 
 // Complete returns the complete graph K_n on identifiers 1..n.
 func Complete(n int) *Graph {
-	b := NewBuilder(Undirected)
+	if n <= 0 {
+		return &Graph{}
+	}
+	edges := make([]Edge, 0, n*(n-1)/2)
 	for i := 1; i <= n; i++ {
-		b.AddNode(i)
 		for j := i + 1; j <= n; j++ {
-			b.AddEdge(i, j)
+			edges = append(edges, Edge{U: i, V: j})
 		}
 	}
-	return b.Graph()
+	return FromSortedEdges(Undirected, denseIDs(n), edges)
 }
 
 // CompleteBipartite returns K_{a,b} with left part 1..a and right part
 // a+1..a+b.
 func CompleteBipartite(a, b int) *Graph {
-	bld := NewBuilder(Undirected)
-	for i := 1; i <= a; i++ {
-		bld.AddNode(i)
+	if a < 0 {
+		a = 0
 	}
-	for j := a + 1; j <= a+b; j++ {
-		bld.AddNode(j)
+	if b < 0 {
+		b = 0
 	}
+	if a+b == 0 {
+		return &Graph{}
+	}
+	edges := make([]Edge, 0, a*b)
 	for i := 1; i <= a; i++ {
 		for j := a + 1; j <= a+b; j++ {
-			bld.AddEdge(i, j)
+			edges = append(edges, Edge{U: i, V: j})
 		}
 	}
-	return bld.Graph()
+	return FromSortedEdges(Undirected, denseIDs(a+b), edges)
 }
 
 // Star returns the star K_{1,n}: center 1 with leaves 2..n+1.
 func Star(n int) *Graph {
-	b := NewBuilder(Undirected)
-	b.AddNode(1)
-	for i := 2; i <= n+1; i++ {
-		b.AddEdge(1, i)
+	if n < 0 {
+		n = 0
 	}
-	return b.Graph()
+	edges := make([]Edge, 0, n)
+	for i := 2; i <= n+1; i++ {
+		edges = append(edges, Edge{U: 1, V: i})
+	}
+	return FromSortedEdges(Undirected, denseIDs(n+1), edges)
 }
 
-// Wheel returns the wheel W_n: an n-cycle 2..n+1 plus a hub 1 adjacent to
-// every cycle node. Requires n ≥ 3.
+// Wheel returns the wheel W_n for n ≥ 3: an n-cycle 2..n+1 plus a hub 1
+// adjacent to every cycle node. Smaller n degrade to Star(n) — a rim of
+// fewer than 3 nodes has no simple cycle.
 func Wheel(n int) *Graph {
 	if n < 3 {
-		panic(fmt.Sprintf("graph: Wheel(%d)", n))
+		return Star(n)
 	}
 	b := NewBuilder(Undirected)
 	for i := 0; i < n; i++ {
@@ -105,45 +139,48 @@ func Wheel(n int) *Graph {
 
 // Grid returns the rows×cols planar grid; node (r, c) has identifier
 // r*cols + c + 1 for 0-based r, c. Grids are our stand-in planar family
-// for the planar connectivity scheme (§4.2).
+// for the planar connectivity scheme (§4.2). A non-positive dimension
+// yields the empty graph.
 func Grid(rows, cols int) *Graph {
 	if rows < 1 || cols < 1 {
-		panic(fmt.Sprintf("graph: Grid(%d,%d)", rows, cols))
+		return &Graph{}
 	}
-	b := NewBuilder(Undirected)
 	id := func(r, c int) int { return r*cols + c + 1 }
+	edges := make([]Edge, 0, 2*rows*cols)
 	for r := 0; r < rows; r++ {
 		for c := 0; c < cols; c++ {
-			b.AddNode(id(r, c))
-			if r+1 < rows {
-				b.AddEdge(id(r, c), id(r+1, c))
-			}
 			if c+1 < cols {
-				b.AddEdge(id(r, c), id(r, c+1))
+				edges = append(edges, Edge{U: id(r, c), V: id(r, c+1)})
+			}
+			if r+1 < rows {
+				edges = append(edges, Edge{U: id(r, c), V: id(r+1, c)})
 			}
 		}
 	}
-	return b.Graph()
+	return FromSortedEdges(Undirected, denseIDs(rows*cols), edges)
 }
 
 // Hypercube returns the d-dimensional hypercube Q_d on 2^d nodes with
-// identifiers 1..2^d (node i+1 corresponds to bit pattern i).
+// identifiers 1..2^d (node i+1 corresponds to bit pattern i). Negative d
+// yields the empty graph.
 func Hypercube(d int) *Graph {
-	if d < 0 || d > 20 {
+	if d < 0 {
+		return &Graph{}
+	}
+	if d > 20 {
 		panic(fmt.Sprintf("graph: Hypercube(%d)", d))
 	}
-	b := NewBuilder(Undirected)
 	n := 1 << uint(d)
-	b.AddNode(1)
+	edges := make([]Edge, 0, n*d/2)
 	for i := 0; i < n; i++ {
 		for bit := 0; bit < d; bit++ {
 			j := i ^ (1 << uint(bit))
 			if i < j {
-				b.AddEdge(i+1, j+1)
+				edges = append(edges, Edge{U: i + 1, V: j + 1})
 			}
 		}
 	}
-	return b.Graph()
+	return FromEdges(Undirected, denseIDs(n), edges)
 }
 
 // Petersen returns the Petersen graph (outer cycle 1..5, inner pentagram
@@ -160,19 +197,16 @@ func Petersen() *Graph {
 }
 
 // RandomTree returns a uniformly random labelled tree on 1..n via a random
-// Prüfer sequence.
+// Prüfer sequence. RandomTree(0) is the empty graph.
 func RandomTree(n int, seed int64) *Graph {
-	if n < 1 {
-		panic(fmt.Sprintf("graph: RandomTree(%d)", n))
+	if n <= 0 {
+		return &Graph{}
 	}
-	b := NewBuilder(Undirected)
 	if n == 1 {
-		b.AddNode(1)
-		return b.Graph()
+		return FromSortedEdges(Undirected, denseIDs(1), nil)
 	}
 	if n == 2 {
-		b.AddEdge(1, 2)
-		return b.Graph()
+		return FromSortedEdges(Undirected, denseIDs(2), []Edge{{U: 1, V: 2}})
 	}
 	rng := rand.New(rand.NewSource(seed))
 	prufer := make([]int, n-2)
@@ -186,6 +220,7 @@ func RandomTree(n int, seed int64) *Graph {
 	for _, v := range prufer {
 		degree[v]++
 	}
+	edges := make([]Edge, 0, n-1)
 	// Standard Prüfer decoding with a pointer-and-leaf scan.
 	ptr := 1
 	for degree[ptr] != 1 {
@@ -193,7 +228,7 @@ func RandomTree(n int, seed int64) *Graph {
 	}
 	leaf := ptr
 	for _, v := range prufer {
-		b.AddEdge(leaf, v)
+		edges = append(edges, NormEdge(leaf, v))
 		degree[v]--
 		if degree[v] == 1 && v < ptr {
 			leaf = v
@@ -205,65 +240,68 @@ func RandomTree(n int, seed int64) *Graph {
 			leaf = ptr
 		}
 	}
-	b.AddEdge(leaf, n)
-	return b.Graph()
+	edges = append(edges, NormEdge(leaf, n))
+	return FromEdges(Undirected, denseIDs(n), edges)
 }
 
 // RandomGNP returns an Erdős–Rényi G(n, p) graph on 1..n.
 func RandomGNP(n int, p float64, seed int64) *Graph {
-	rng := rand.New(rand.NewSource(seed))
-	b := NewBuilder(Undirected)
-	for i := 1; i <= n; i++ {
-		b.AddNode(i)
+	if n <= 0 {
+		return &Graph{}
 	}
+	rng := rand.New(rand.NewSource(seed))
+	var edges []Edge
 	for i := 1; i <= n; i++ {
 		for j := i + 1; j <= n; j++ {
 			if rng.Float64() < p {
-				b.AddEdge(i, j)
+				edges = append(edges, Edge{U: i, V: j})
 			}
 		}
 	}
-	return b.Graph()
+	return FromSortedEdges(Undirected, denseIDs(n), edges)
 }
 
 // RandomConnected returns a connected random graph on 1..n: a random
 // spanning tree plus each remaining edge independently with probability p.
 func RandomConnected(n int, p float64, seed int64) *Graph {
 	tree := RandomTree(n, seed)
+	if n <= 1 {
+		return tree
+	}
 	rng := rand.New(rand.NewSource(seed + 1))
-	b := NewBuilder(Undirected)
-	for _, id := range tree.Nodes() {
-		b.AddNode(id)
-	}
-	for _, e := range tree.Edges() {
-		b.AddEdge(e.U, e.V)
-	}
+	edges := tree.Edges()
 	for i := 1; i <= n; i++ {
 		for j := i + 1; j <= n; j++ {
 			if !tree.HasEdge(i, j) && rng.Float64() < p {
-				b.AddEdge(i, j)
+				edges = append(edges, Edge{U: i, V: j})
 			}
 		}
 	}
-	return b.Graph()
+	return FromEdges(Undirected, denseIDs(n), edges)
 }
 
 // RandomBipartite returns a random bipartite graph with left part 1..a,
 // right part a+1..a+b, and each cross edge present with probability p.
 func RandomBipartite(a, b int, p float64, seed int64) *Graph {
-	rng := rand.New(rand.NewSource(seed))
-	bld := NewBuilder(Undirected)
-	for i := 1; i <= a+b; i++ {
-		bld.AddNode(i)
+	if a < 0 {
+		a = 0
 	}
+	if b < 0 {
+		b = 0
+	}
+	if a+b == 0 {
+		return &Graph{}
+	}
+	rng := rand.New(rand.NewSource(seed))
+	var edges []Edge
 	for i := 1; i <= a; i++ {
 		for j := a + 1; j <= a+b; j++ {
 			if rng.Float64() < p {
-				bld.AddEdge(i, j)
+				edges = append(edges, Edge{U: i, V: j})
 			}
 		}
 	}
-	return bld.Graph()
+	return FromSortedEdges(Undirected, denseIDs(a+b), edges)
 }
 
 // LineGraphOf returns the line graph L(g): one node per edge of g, with
@@ -271,19 +309,16 @@ func RandomBipartite(a, b int, p float64, seed int64) *Graph {
 // identifiers are 1..m in the order of g.Edges().
 func LineGraphOf(g *Graph) *Graph {
 	edges := g.Edges()
-	b := NewBuilder(Undirected)
-	for i := range edges {
-		b.AddNode(i + 1)
-	}
+	var ledges []Edge
 	for i := range edges {
 		for j := i + 1; j < len(edges); j++ {
 			a, c := edges[i], edges[j]
 			if a.U == c.U || a.U == c.V || a.V == c.U || a.V == c.V {
-				b.AddEdge(i+1, j+1)
+				ledges = append(ledges, Edge{U: i + 1, V: j + 1})
 			}
 		}
 	}
-	return b.Graph()
+	return FromSortedEdges(Undirected, denseIDs(len(edges)), ledges)
 }
 
 // RandomPermutationIDs returns a relabeling of g by a random permutation

@@ -2,6 +2,7 @@ package graph
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 )
 
@@ -29,15 +30,150 @@ func NormEdge(u, v int) Edge {
 	return Edge{U: u, V: v}
 }
 
-// Graph is an immutable simple graph. The zero value is an empty
-// undirected graph.
+// sortEdges orders edges by (U, V) — the canonical order of Edges() and
+// the order every CSR assembly step expects.
+func sortEdges(edges []Edge) {
+	slices.SortFunc(edges, func(a, b Edge) int {
+		if a.U != b.U {
+			return a.U - b.U
+		}
+		return a.V - b.V
+	})
+}
+
+// idxMapThreshold is the node count above which a non-dense graph builds
+// an id→index hash map. Below it, Index/Lookup binary-search the sorted
+// identifier list: for the small ball graphs the verification hot paths
+// construct per node, the search is faster than paying a map allocation
+// at construction time.
+const idxMapThreshold = 64
+
+// Graph is an immutable simple graph in compressed-sparse-row form: one
+// flat adjacency array plus per-node row offsets, instead of a slice per
+// node. The zero value is an empty undirected graph.
+//
+// Identifier lookup has three tiers: contiguous identifiers 1..n resolve
+// arithmetically (the dense fast path — every generator and FromCSR graph
+// takes it), small graphs binary-search the sorted identifier list, and
+// large sparse identifier sets fall back to a hash map.
 type Graph struct {
-	kind Kind
-	ids  []int       // node identifiers, ascending
-	idx  map[int]int // identifier -> position in ids
-	out  [][]int     // out[i] = identifiers adjacent from ids[i], ascending
-	in   [][]int     // directed only: in[i] = identifiers adjacent to ids[i]
-	m    int         // number of edges
+	kind  Kind
+	ids   []int       // node identifiers, ascending
+	dense bool        // ids are exactly 1..n: Index(id) = id-1, no map
+	idx   map[int]int // identifier -> position; nil when dense or small
+	off   []int32     // row offsets into adj, len n+1
+	adj   []int       // flat out-adjacency (identifiers), each row ascending
+	inOff []int32     // directed only: row offsets into inAdj
+	inAdj []int       // directed only: flat in-adjacency
+	m     int         // number of edges
+}
+
+// row returns the out-adjacency row of node index i.
+func (g *Graph) row(i int) []int { return g.adj[g.off[i]:g.off[i+1]] }
+
+// inRow returns the in-adjacency row of node index i (directed graphs).
+func (g *Graph) inRow(i int) []int { return g.inAdj[g.inOff[i]:g.inOff[i+1]] }
+
+// lookup resolves an identifier to its position in ids, through whichever
+// of the three lookup tiers the graph uses.
+func (g *Graph) lookup(id int) (int, bool) {
+	if g.dense {
+		if id >= 1 && id <= len(g.ids) {
+			return id - 1, true
+		}
+		return 0, false
+	}
+	if g.idx != nil {
+		i, ok := g.idx[id]
+		return i, ok
+	}
+	i := sort.SearchInts(g.ids, id)
+	if i < len(g.ids) && g.ids[i] == id {
+		return i, true
+	}
+	return 0, false
+}
+
+// initLookup decides the lookup tier for a frozen identifier list.
+func (g *Graph) initLookup() {
+	n := len(g.ids)
+	g.dense = n > 0 && g.ids[0] == 1 && g.ids[n-1] == n
+	if g.dense || n < idxMapThreshold {
+		return
+	}
+	g.idx = make(map[int]int, n)
+	for i, id := range g.ids {
+		g.idx[id] = i
+	}
+}
+
+// assemble freezes validated parts into a CSR graph. ids must be strictly
+// ascending and cover every edge endpoint; edges must be sorted by (U, V),
+// deduplicated, and normalized (U < V) for undirected kinds. Sorted edge
+// input is what keeps every adjacency row ascending without a per-row
+// sort: row v first receives the partners u < v (edges (u, v) arrive in
+// ascending u) and then the partners w > v (edges (v, w) arrive in
+// ascending w).
+func assemble(kind Kind, ids []int, edges []Edge) *Graph {
+	if kind != Directed {
+		kind = Undirected
+	}
+	g := &Graph{kind: kind, ids: ids, m: len(edges)}
+	g.initLookup()
+	n := len(ids)
+	slots := len(edges)
+	if kind != Directed {
+		slots *= 2
+	}
+	checkCSRBounds(slots)
+	g.off = make([]int32, n+1)
+	g.adj = make([]int, slots)
+	if kind == Directed {
+		g.inOff = make([]int32, n+1)
+		g.inAdj = make([]int, len(edges))
+	}
+	for _, e := range edges {
+		g.off[g.mustIndex(e.U)+1]++
+		if kind == Directed {
+			g.inOff[g.mustIndex(e.V)+1]++
+		} else {
+			g.off[g.mustIndex(e.V)+1]++
+		}
+	}
+	for i := 0; i < n; i++ {
+		g.off[i+1] += g.off[i]
+	}
+	cur := make([]int32, n)
+	if kind == Directed {
+		for i := 0; i < n; i++ {
+			g.inOff[i+1] += g.inOff[i]
+		}
+		inCur := make([]int32, n)
+		for _, e := range edges {
+			iu, iv := g.mustIndex(e.U), g.mustIndex(e.V)
+			g.adj[g.off[iu]+cur[iu]] = e.V
+			cur[iu]++
+			g.inAdj[g.inOff[iv]+inCur[iv]] = e.U
+			inCur[iv]++
+		}
+		return g
+	}
+	for _, e := range edges {
+		iu, iv := g.mustIndex(e.U), g.mustIndex(e.V)
+		g.adj[g.off[iu]+cur[iu]] = e.V
+		cur[iu]++
+		g.adj[g.off[iv]+cur[iv]] = e.U
+		cur[iv]++
+	}
+	return g
+}
+
+func (g *Graph) mustIndex(id int) int {
+	i, ok := g.lookup(id)
+	if !ok {
+		panic(fmt.Sprintf("graph: unknown node %d", id))
+	}
+	return i
 }
 
 // Builder accumulates a graph. The zero value builds an undirected graph;
@@ -98,39 +234,17 @@ func (b *Builder) AddPath(ids ...int) *Builder {
 // Graph freezes the builder into an immutable Graph. The builder may be
 // reused afterwards; the Graph does not alias its storage.
 func (b *Builder) Graph() *Graph {
-	kind := b.kind
-	if kind != Directed {
-		kind = Undirected
-	}
 	ids := make([]int, 0, len(b.nodes))
 	for id := range b.nodes {
 		ids = append(ids, id)
 	}
 	sort.Ints(ids)
-	idx := make(map[int]int, len(ids))
-	for i, id := range ids {
-		idx[id] = i
-	}
-	out := make([][]int, len(ids))
-	var in [][]int
-	if kind == Directed {
-		in = make([][]int, len(ids))
-	}
+	edges := make([]Edge, 0, len(b.edges))
 	for e := range b.edges {
-		out[idx[e.U]] = append(out[idx[e.U]], e.V)
-		if kind == Directed {
-			in[idx[e.V]] = append(in[idx[e.V]], e.U)
-		} else {
-			out[idx[e.V]] = append(out[idx[e.V]], e.U)
-		}
+		edges = append(edges, e)
 	}
-	for i := range out {
-		sort.Ints(out[i])
-	}
-	for i := range in {
-		sort.Ints(in[i])
-	}
-	return &Graph{kind: kind, ids: ids, idx: idx, out: out, in: in, m: len(b.edges)}
+	sortEdges(edges)
+	return assemble(b.kind, ids, edges)
 }
 
 // FromParts assembles a frozen Graph directly from its parts: a strictly
@@ -140,37 +254,12 @@ func (b *Builder) Graph() *Graph {
 // maps entirely, which makes it the allocation-lean constructor behind
 // the dist runtime's incremental view assembly — one call per node per
 // run on the hottest path in the repository. The Graph takes ownership
-// of ids; the caller must not modify it afterwards, and must uphold the
-// invariants itself. Use Builder when the input is untrusted, unordered,
-// or still needed.
+// of ids and edges (the edge slice is sorted in place); the caller must
+// not modify either afterwards, and must uphold the invariants itself.
+// Use Builder when the input is untrusted, unordered, or still needed.
 func FromParts(kind Kind, ids []int, edges []Edge) *Graph {
-	if kind != Directed {
-		kind = Undirected
-	}
-	idx := make(map[int]int, len(ids))
-	for i, id := range ids {
-		idx[id] = i
-	}
-	out := make([][]int, len(ids))
-	var in [][]int
-	if kind == Directed {
-		in = make([][]int, len(ids))
-	}
-	for _, e := range edges {
-		out[idx[e.U]] = append(out[idx[e.U]], e.V)
-		if kind == Directed {
-			in[idx[e.V]] = append(in[idx[e.V]], e.U)
-		} else {
-			out[idx[e.V]] = append(out[idx[e.V]], e.U)
-		}
-	}
-	for i := range out {
-		sort.Ints(out[i])
-	}
-	for i := range in {
-		sort.Ints(in[i])
-	}
-	return &Graph{kind: kind, ids: ids, idx: idx, out: out, in: in, m: len(edges)}
+	sortEdges(edges)
+	return assemble(kind, ids, edges)
 }
 
 // Kind returns whether the graph is directed or undirected.
@@ -196,18 +285,15 @@ func (g *Graph) Nodes() []int { return g.ids }
 
 // Has reports whether node id exists.
 func (g *Graph) Has(id int) bool {
-	_, ok := g.idx[id]
+	_, ok := g.lookup(id)
 	return ok
 }
 
 // Neighbors returns the neighbours of id in ascending order (out-neighbours
-// for directed graphs). The caller must not modify the returned slice.
+// for directed graphs). The caller must not modify the returned slice: it
+// aliases the graph's flat adjacency array.
 func (g *Graph) Neighbors(id int) []int {
-	i, ok := g.idx[id]
-	if !ok {
-		panic(fmt.Sprintf("graph: unknown node %d", id))
-	}
-	return g.out[i]
+	return g.row(g.mustIndex(id))
 }
 
 // InNeighbors returns the in-neighbours of id for a directed graph, and
@@ -216,11 +302,7 @@ func (g *Graph) InNeighbors(id int) []int {
 	if g.kind != Directed {
 		return g.Neighbors(id)
 	}
-	i, ok := g.idx[id]
-	if !ok {
-		panic(fmt.Sprintf("graph: unknown node %d", id))
-	}
-	return g.in[i]
+	return g.inRow(g.mustIndex(id))
 }
 
 // Degree returns the degree of id (out-degree for directed graphs).
@@ -228,7 +310,8 @@ func (g *Graph) Degree(id int) int { return len(g.Neighbors(id)) }
 
 // UndirectedNeighbors returns the neighbours of id in the underlying
 // undirected graph: Neighbors(id) as-is for undirected graphs, the
-// sorted union of out- and in-neighbours for directed ones. This is the
+// sorted union of out- and in-neighbours for directed ones (a single
+// merge of the two ascending rows — no map, no sort). This is the
 // adjacency of the LOCAL model's communication graph (§2.1: views and
 // message passing follow undirected reachability even on directed
 // instances); BallAround, the dist runtime's port wiring, and the
@@ -237,21 +320,32 @@ func (g *Graph) UndirectedNeighbors(id int) []int {
 	if g.kind != Directed {
 		return g.Neighbors(id)
 	}
-	seen := make(map[int]bool)
-	var out []int
-	for _, w := range g.Neighbors(id) {
-		if !seen[w] {
-			seen[w] = true
-			out = append(out, w)
+	i := g.mustIndex(id)
+	a, b := g.row(i), g.inRow(i)
+	if len(b) == 0 {
+		return a
+	}
+	if len(a) == 0 {
+		return b
+	}
+	out := make([]int, 0, len(a)+len(b))
+	x, y := 0, 0
+	for x < len(a) && y < len(b) {
+		switch {
+		case a[x] < b[y]:
+			out = append(out, a[x])
+			x++
+		case a[x] > b[y]:
+			out = append(out, b[y])
+			y++
+		default:
+			out = append(out, a[x])
+			x++
+			y++
 		}
 	}
-	for _, w := range g.InNeighbors(id) {
-		if !seen[w] {
-			seen[w] = true
-			out = append(out, w)
-		}
-	}
-	sort.Ints(out)
+	out = append(out, a[x:]...)
+	out = append(out, b[y:]...)
 	return out
 }
 
@@ -259,33 +353,28 @@ func (g *Graph) UndirectedNeighbors(id int) []int {
 // the order of u and v is irrelevant. Unknown endpoints simply yield
 // false: verifiers probe views with arbitrary identifiers.
 func (g *Graph) HasEdge(u, v int) bool {
-	i, ok := g.idx[u]
+	i, ok := g.lookup(u)
 	if !ok {
 		return false
 	}
-	adj := g.out[i]
+	adj := g.row(i)
 	j := sort.SearchInts(adj, v)
 	return j < len(adj) && adj[j] == v
 }
 
 // Edges returns all edges. For undirected graphs each edge appears once,
 // normalized; for directed graphs each arc appears once. The result is
-// sorted for determinism.
+// sorted: the CSR rows are ascending and scanned in ascending node order,
+// so the edges fall out sorted without a final sort pass.
 func (g *Graph) Edges() []Edge {
 	edges := make([]Edge, 0, g.m)
 	for i, u := range g.ids {
-		for _, v := range g.out[i] {
+		for _, v := range g.row(i) {
 			if g.kind == Directed || u < v {
 				edges = append(edges, Edge{U: u, V: v})
 			}
 		}
 	}
-	sort.Slice(edges, func(a, b int) bool {
-		if edges[a].U != edges[b].U {
-			return edges[a].U < edges[b].U
-		}
-		return edges[a].V < edges[b].V
-	})
 	return edges
 }
 
@@ -298,83 +387,103 @@ func (g *Graph) MaxID() int {
 }
 
 // Index returns the position of id in Nodes(), for dense indexing.
-func (g *Graph) Index(id int) int {
-	i, ok := g.idx[id]
-	if !ok {
-		panic(fmt.Sprintf("graph: unknown node %d", id))
-	}
-	return i
-}
+func (g *Graph) Index(id int) int { return g.mustIndex(id) }
 
 // Lookup returns the position of id in Nodes() and whether the node
 // exists — the non-panicking Index used by array-backed structures
 // (core.FlatProof) that are probed with arbitrary identifiers.
-func (g *Graph) Lookup(id int) (int, bool) {
-	i, ok := g.idx[id]
-	return i, ok
-}
+func (g *Graph) Lookup(id int) (int, bool) { return g.lookup(id) }
 
 // Induced returns the subgraph induced by keep: its nodes are the known
 // identifiers in keep and its edges are all edges of g with both endpoints
-// kept. This is the G[v,r] operation of §2.1 when keep is a ball.
+// kept. This is the G[v,r] operation of §2.1 when keep is a ball. The
+// membership test runs on a pooled epoch-stamped scratch and the result
+// is assembled row-filter by row-filter into CSR form, so no Builder maps
+// are built.
 func (g *Graph) Induced(keep []int) *Graph {
-	b := NewBuilder(g.Kind())
-	in := make(map[int]bool, len(keep))
+	s := getScratch(len(g.ids))
+	defer putScratch(s)
+	idxs := make([]int32, 0, len(keep))
 	for _, id := range keep {
-		if g.Has(id) {
-			in[id] = true
-			b.AddNode(id)
+		if i, ok := g.lookup(id); ok && s.stamp[i] != s.epoch {
+			s.stamp[i] = s.epoch
+			idxs = append(idxs, int32(i))
 		}
 	}
-	for id := range in {
-		for _, v := range g.Neighbors(id) {
-			if in[v] {
-				b.AddEdge(id, v)
-			}
-		}
+	slices.Sort(idxs)
+	ids := make([]int, len(idxs))
+	for j, i := range idxs {
+		ids[j] = g.ids[i]
 	}
-	return b.Graph()
+	return g.inducedFromStamped(ids, idxs, s)
 }
 
-// BallAround returns the set of nodes within distance radius of center
-// (V[v,r] in the paper) along with their distances from the center.
-// Distances follow undirected reachability even in directed graphs,
-// because the LOCAL model's communication graph is the underlying
-// undirected graph.
-func (g *Graph) BallAround(center int, radius int) (nodes []int, dist map[int]int) {
-	if !g.Has(center) {
-		panic(fmt.Sprintf("graph: unknown node %d", center))
+// inducedFromStamped builds the subgraph over the stamped node set: ids
+// is the sorted kept identifiers, idxs the matching sorted positions in
+// g, and s the scratch whose current epoch marks membership. Two passes
+// over the kept rows — an exact count, then the fill — produce the CSR
+// arrays with no per-row slices and no overshoot.
+func (g *Graph) inducedFromStamped(ids []int, idxs []int32, s *scratch) *Graph {
+	n := len(ids)
+	sub := &Graph{kind: g.Kind(), ids: ids}
+	sub.initLookup()
+	sub.off = make([]int32, n+1)
+	directed := g.kind == Directed
+	if directed {
+		sub.inOff = make([]int32, n+1)
 	}
-	dist = map[int]int{center: 0}
-	frontier := []int{center}
-	nodes = []int{center}
-	for d := 1; d <= radius && len(frontier) > 0; d++ {
-		var next []int
-		visit := func(v int) {
-			if _, seen := dist[v]; !seen {
-				dist[v] = d
-				next = append(next, v)
-				nodes = append(nodes, v)
+	kept := func(v int) bool {
+		i, ok := g.lookup(v)
+		return ok && s.stamp[i] == s.epoch
+	}
+	for j, i := range idxs {
+		for _, v := range g.row(int(i)) {
+			if kept(v) {
+				sub.off[j+1]++
 			}
 		}
-		// Iterate out- and in-adjacency directly instead of going
-		// through UndirectedNeighbors: the dist map already dedupes, and
-		// this BFS runs once per node per view construction — the
-		// per-call map+sort of UndirectedNeighbors is measurable there.
-		for _, u := range frontier {
-			for _, v := range g.Neighbors(u) {
-				visit(v)
-			}
-			if g.kind == Directed {
-				for _, v := range g.InNeighbors(u) {
-					visit(v)
+		if directed {
+			for _, v := range g.inRow(int(i)) {
+				if kept(v) {
+					sub.inOff[j+1]++
 				}
 			}
 		}
-		frontier = next
 	}
-	sort.Ints(nodes)
-	return nodes, dist
+	for j := 0; j < n; j++ {
+		sub.off[j+1] += sub.off[j]
+	}
+	sub.adj = make([]int, sub.off[n])
+	if directed {
+		for j := 0; j < n; j++ {
+			sub.inOff[j+1] += sub.inOff[j]
+		}
+		sub.inAdj = make([]int, sub.inOff[n])
+	}
+	for j, i := range idxs {
+		w := sub.off[j]
+		for _, v := range g.row(int(i)) {
+			if kept(v) {
+				sub.adj[w] = v
+				w++
+			}
+		}
+		if directed {
+			w = sub.inOff[j]
+			for _, v := range g.inRow(int(i)) {
+				if kept(v) {
+					sub.inAdj[w] = v
+					w++
+				}
+			}
+		}
+	}
+	if directed {
+		sub.m = len(sub.adj)
+	} else {
+		sub.m = len(sub.adj) / 2
+	}
+	return sub
 }
 
 // Relabel returns a copy of g with every node id replaced by m[id]. The
@@ -382,23 +491,37 @@ func (g *Graph) BallAround(center int, radius int) (nodes []int, dist map[int]in
 // Relabeling realizes the paper's notion that properties are closed under
 // re-assigning identifiers.
 func (g *Graph) Relabel(m map[int]int) *Graph {
-	b := NewBuilder(g.Kind())
-	seen := make(map[int]bool, len(g.ids))
-	for _, id := range g.ids {
+	ids := make([]int, len(g.ids))
+	for i, id := range g.ids {
 		nid, ok := m[id]
 		if !ok {
 			panic(fmt.Sprintf("graph: relabel mapping missing node %d", id))
 		}
-		if seen[nid] {
-			panic(fmt.Sprintf("graph: relabel mapping not injective at %d", nid))
+		if nid <= 0 {
+			panic(fmt.Sprintf("graph: node identifier %d is not positive", nid))
 		}
-		seen[nid] = true
-		b.AddNode(nid)
+		ids[i] = nid
 	}
-	for _, e := range g.Edges() {
-		b.AddEdge(m[e.U], m[e.V])
+	sorted := slices.Clone(ids)
+	slices.Sort(sorted)
+	for i := 1; i < len(sorted); i++ {
+		if sorted[i] == sorted[i-1] {
+			panic(fmt.Sprintf("graph: relabel mapping not injective at %d", sorted[i]))
+		}
 	}
-	return b.Graph()
+	edges := make([]Edge, 0, g.m)
+	for i, u := range g.ids {
+		nu := ids[i]
+		for _, v := range g.row(i) {
+			if g.kind == Directed {
+				edges = append(edges, Edge{U: nu, V: m[v]})
+			} else if u < v {
+				edges = append(edges, NormEdge(nu, m[v]))
+			}
+		}
+	}
+	sortEdges(edges)
+	return assemble(g.Kind(), sorted, edges)
 }
 
 // ShiftIDs returns a copy of g with every identifier increased by delta.
@@ -480,8 +603,8 @@ func Equal(g, h *Graph) bool {
 			return false
 		}
 	}
-	for i, adj := range g.out {
-		hadj := h.out[h.idx[g.ids[i]]]
+	for i := range g.ids {
+		adj, hadj := g.row(i), h.row(i)
 		if len(adj) != len(hadj) {
 			return false
 		}

@@ -1,0 +1,142 @@
+package graph
+
+import "math/rand"
+
+// Scale-tier generators: graph families meant for n=10^5–10^6 instances,
+// where verification cost should scale with ball size rather than n
+// (the whole point of the paper's local schemes). All three build a flat
+// edge slice and freeze it through FromEdges — no Builder maps — so
+// generating a million-node instance costs one sort over the edge list.
+// Each family stresses a different ball shape:
+//
+//   - PowerLaw: preferential attachment; a few hubs with enormous
+//     radius-1 balls, most nodes with tiny ones.
+//   - RandomRegular: near-uniform degree, expander-like; balls grow
+//     exponentially with the radius.
+//   - RoadNetwork: a planar lattice with a sprinkling of long-range
+//     shortcuts; balls grow polynomially, like real road graphs.
+//
+// All are deterministic for a fixed seed (pinned by tests) and degrade
+// gracefully at n = 0, 1, 2.
+
+// PowerLaw returns a preferential-attachment (Barabási–Albert) graph on
+// 1..n: starting from a complete seed graph on m+1 nodes, every new node
+// attaches to m distinct existing nodes chosen with probability
+// proportional to their current degree. The result is connected with a
+// power-law degree tail. n ≤ m+1 degrades to Complete(n); m < 1 is
+// treated as 1.
+func PowerLaw(n, m int, seed int64) *Graph {
+	if m < 1 {
+		m = 1
+	}
+	if n <= m+1 {
+		return Complete(n)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	edges := make([]Edge, 0, (m+1)*m/2+(n-m-1)*m)
+	// Repeat-endpoint list: each edge contributes both endpoints, so a
+	// uniform draw from it is a degree-proportional draw over nodes.
+	endpoints := make([]int32, 0, 2*cap(edges))
+	addEdge := func(u, v int) {
+		edges = append(edges, NormEdge(u, v))
+		endpoints = append(endpoints, int32(u), int32(v))
+	}
+	for i := 1; i <= m+1; i++ {
+		for j := i + 1; j <= m+1; j++ {
+			addEdge(i, j)
+		}
+	}
+	targets := make([]int, 0, m)
+	for t := m + 2; t <= n; t++ {
+		targets = targets[:0]
+		for len(targets) < m {
+			c := int(endpoints[rng.Intn(len(endpoints))])
+			fresh := true
+			for _, prev := range targets {
+				if prev == c {
+					fresh = false
+					break
+				}
+			}
+			if fresh {
+				targets = append(targets, c)
+			}
+		}
+		for _, c := range targets {
+			addEdge(c, t)
+		}
+	}
+	return FromEdges(Undirected, denseIDs(n), edges)
+}
+
+// RandomRegular returns a random (near-)d-regular graph on 1..n: the
+// union of ⌊d/2⌋ random Hamiltonian cycles plus, for odd d, a random
+// perfect matching. The first cycle keeps the graph connected for d ≥ 2,
+// and the cycle union is an expander with high probability. Collisions
+// between layers (vanishingly likely at scale) are deduplicated, so a
+// few degrees can dip below d; when n·d is odd the matching leaves one
+// node a degree short. d ≥ n is clamped to n-1; d < 1 yields n isolated
+// nodes.
+func RandomRegular(n, d int, seed int64) *Graph {
+	if n <= 0 {
+		return &Graph{}
+	}
+	if d >= n {
+		d = n - 1
+	}
+	if d < 1 || n == 1 {
+		return FromSortedEdges(Undirected, denseIDs(n), nil)
+	}
+	if n == 2 {
+		return FromSortedEdges(Undirected, denseIDs(2), []Edge{{U: 1, V: 2}})
+	}
+	rng := rand.New(rand.NewSource(seed))
+	edges := make([]Edge, 0, n*d/2+n)
+	for layer := 0; layer < d/2; layer++ {
+		perm := rng.Perm(n)
+		for i := range perm {
+			edges = append(edges, NormEdge(perm[i]+1, perm[(i+1)%n]+1))
+		}
+	}
+	if d%2 == 1 {
+		perm := rng.Perm(n)
+		for i := 0; i+1 < len(perm); i += 2 {
+			edges = append(edges, NormEdge(perm[i]+1, perm[i+1]+1))
+		}
+	}
+	return FromEdges(Undirected, denseIDs(n), edges)
+}
+
+// RoadNetwork returns a rows×cols lattice (same identifier scheme as
+// Grid) augmented with the given number of random long-range shortcut
+// edges — a stand-in for real road graphs: overwhelmingly planar and
+// low-degree, with the occasional highway. Shortcut endpoints are drawn
+// uniformly; self-pairs and duplicates are dropped, so the shortcut
+// count is an upper bound. Non-positive dimensions yield the empty
+// graph.
+func RoadNetwork(rows, cols, shortcuts int, seed int64) *Graph {
+	if rows < 1 || cols < 1 {
+		return &Graph{}
+	}
+	n := rows * cols
+	id := func(r, c int) int { return r*cols + c + 1 }
+	edges := make([]Edge, 0, 2*n+shortcuts)
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				edges = append(edges, Edge{U: id(r, c), V: id(r, c+1)})
+			}
+			if r+1 < rows {
+				edges = append(edges, Edge{U: id(r, c), V: id(r+1, c)})
+			}
+		}
+	}
+	rng := rand.New(rand.NewSource(seed))
+	for s := 0; s < shortcuts; s++ {
+		u, v := rng.Intn(n)+1, rng.Intn(n)+1
+		if u != v {
+			edges = append(edges, NormEdge(u, v))
+		}
+	}
+	return FromEdges(Undirected, denseIDs(n), edges)
+}

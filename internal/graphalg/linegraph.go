@@ -139,8 +139,7 @@ func IsLineGraph(g *graph.Graph) bool {
 // every connected induced subgraph with at most 6 vertices containing v is
 // a line graph. All such subgraphs live inside the radius-5 ball of v.
 func LineGraphLocalCheck(g *graph.Graph, v int) bool {
-	ballNodes, _ := g.BallAround(v, BeinekeBound-1)
-	ball := g.Induced(ballNodes)
+	ball, _, _ := g.InducedBall(v, BeinekeBound-1)
 	ok := true
 	connectedSubsetsThrough(ball, v, BeinekeBound, func(subset []int) bool {
 		h := ball.Induced(subset)

@@ -215,12 +215,12 @@ func buildTreeProof(in *core.Instance, root int,
 	withC2 bool, contrib2 func(v int) uint64,
 	decorate func(v int, w *bitstr.Writer)) core.Proof {
 
-	parent, depth := spanningTreeOf(in, root)
-	// Subtree aggregation in reverse-BFS order.
+	parent, depth, order := spanningTreeOf(in, root)
+	// Subtree aggregation in reverse-BFS order (children before
+	// parents, since BFS order is non-decreasing in depth).
 	counts1 := map[int]uint64{}
 	counts2 := map[int]uint64{}
 	if withC1 || withC2 {
-		order := nodesByDepth(parent, depth)
 		for i := len(order) - 1; i >= 0; i-- {
 			v := order[i]
 			if withC1 {
@@ -260,42 +260,30 @@ func buildTreeProof(in *core.Instance, root int,
 	return proof
 }
 
-// spanningTreeOf wraps graphalg.SpanningTree (avoiding a direct import
-// cycle is not an issue, but keeping the call sites uniform is nice).
-func spanningTreeOf(in *core.Instance, root int) (parent, depth map[int]int) {
-	parent = map[int]int{root: root}
-	depth = map[int]int{root: 0}
-	queue := []int{root}
-	for len(queue) > 0 {
-		u := queue[0]
-		queue = queue[1:]
+// spanningTreeOf BFS-builds the spanning tree rooted at root. The
+// returned order is the BFS visit order — non-decreasing depth — which
+// is exactly what reverse-order subtree aggregation needs; a former
+// insertion sort by depth here was quadratic and would not survive the
+// n=10^6 scale tier. Maps are presized to the node count so tree
+// construction costs no rehash at scale.
+func spanningTreeOf(in *core.Instance, root int) (parent, depth map[int]int, order []int) {
+	n := in.G.N()
+	parent = make(map[int]int, n)
+	depth = make(map[int]int, n)
+	order = make([]int, 0, n)
+	parent[root] = root
+	depth[root] = 0
+	order = append(order, root)
+	for i := 0; i < len(order); i++ {
+		u := order[i]
+		du := depth[u]
 		for _, v := range in.G.Neighbors(u) {
 			if _, ok := parent[v]; !ok {
 				parent[v] = u
-				depth[v] = depth[u] + 1
-				queue = append(queue, v)
+				depth[v] = du + 1
+				order = append(order, v)
 			}
 		}
 	}
-	return parent, depth
-}
-
-// nodesByDepth returns the nodes ordered by increasing tree depth.
-func nodesByDepth(parent, depth map[int]int) []int {
-	order := make([]int, 0, len(parent))
-	for v := range parent {
-		order = append(order, v)
-	}
-	// Insertion sort by depth then id — deterministic and n is small.
-	for i := 1; i < len(order); i++ {
-		for j := i; j > 0; j-- {
-			a, b := order[j-1], order[j]
-			if depth[a] > depth[b] || (depth[a] == depth[b] && a > b) {
-				order[j-1], order[j] = b, a
-			} else {
-				break
-			}
-		}
-	}
-	return order
+	return parent, depth, order
 }

@@ -74,7 +74,7 @@ func (Reachability) Prove(in *core.Instance) (core.Proof, error) {
 		return nil, err
 	}
 	// Shortest path via BFS parents.
-	parent, _ := spanningTreeOf(in, s)
+	parent, _, _ := spanningTreeOf(in, s)
 	if _, ok := parent[t]; !ok {
 		return nil, core.ErrNotInProperty
 	}

@@ -171,7 +171,7 @@ func (Forest) Prove(in *core.Instance) (core.Proof, error) {
 	p := make(core.Proof, in.G.N())
 	for _, comp := range graphalg.Components(in.G) {
 		root := comp[0]
-		parent, depth := spanningTreeOf(in, root)
+		parent, depth, _ := spanningTreeOf(in, root)
 		for _, v := range comp {
 			p[v] = treeLabel{Root: root, Parent: parent[v], Dist: uint64(depth[v])}.encode()
 		}

@@ -99,6 +99,9 @@ var (
 	RandomGNP         = graph.RandomGNP
 	RandomConnected   = graph.RandomConnected
 	RandomBipartite   = graph.RandomBipartite
+	PowerLaw          = graph.PowerLaw
+	RandomRegular     = graph.RandomRegular
+	RoadNetwork       = graph.RoadNetwork
 	LineGraphOf       = graph.LineGraphOf
 	DisjointUnion     = graph.DisjointUnion
 	NormEdge          = graph.NormEdge
