@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet lint doclint test test-short race bench bench-smoke bench-diff load-smoke obs-smoke fuzz-smoke scale-smoke sweep
+.PHONY: check build vet lint doclint test test-short race bench bench-smoke bench-diff load-smoke obs-smoke fuzz-smoke scale-smoke transport-smoke sweep
 
 check: build vet lint test fuzz-smoke scale-smoke
 
@@ -75,6 +75,18 @@ fuzz-smoke:
 # Seconds per cell; the full grid (plus the n=10^6 tier) is `make sweep`.
 scale-smoke:
 	$(GO) run ./cmd/lcpsweep -n 100000 -families power-law -backends core,engine,dist,engine-dist
+
+# transport-smoke is the multi-process scale-out check: cmd/lcpfleet
+# spawns two real worker subprocesses (its own binary in -as-worker
+# mode), registers every catalog scheme's instance over the dist-tcp
+# control plane, floods the shards over actual TCP sockets, asserts
+# verdict equality with the sequential reference, and SIGTERMs the
+# fleet insisting on clean exits. The built binary is used (not `go
+# run`) because the harness re-executes os.Executable() to spawn its
+# workers.
+transport-smoke:
+	$(GO) build -o bin/lcpfleet ./cmd/lcpfleet
+	./bin/lcpfleet -workers 2
 
 # sweep reproduces BENCH_sweep.json: the full n=10^5 grid over family x
 # backend x partitioner x shards, plus the n=10^6 tier on the

@@ -14,6 +14,7 @@ package lcp
 import (
 	"context"
 	"fmt"
+	"os"
 	"runtime"
 	"sort"
 	"sync"
@@ -25,6 +26,7 @@ import (
 	"lcp/internal/dist"
 	"lcp/internal/engine"
 	"lcp/internal/obs"
+	"lcp/internal/remote"
 )
 
 // Backend names accepted by WithBackend. Each selects one execution
@@ -45,6 +47,13 @@ const (
 	// into WithRuntimes radius-r halos (by WithPartitioner), each owned
 	// by a reusable message-passing runtime.
 	BackendEngineDist = string(config.BackendEngineDist)
+	// BackendDistTCP: the multi-process scale-out — the instance is
+	// partitioned across external lcpworker processes (WithWorkerAddrs),
+	// each flooding its shard over TCP, with this process acting as the
+	// fan-out coordinator. Requires WithScheme (the workers resolve the
+	// scheme by name in their own registries; verifier code does not
+	// travel).
+	BackendDistTCP = string(config.BackendDistTCP)
 )
 
 // Checker is the unified verification interface over one instance and
@@ -157,10 +166,11 @@ func (e *BatchError) Unwrap() error { return e.Err }
 // checkerConfig accumulates the functional options before NewChecker
 // compiles them into a checker.
 type checkerConfig struct {
-	cfg      config.Config
-	verifier core.Verifier
-	engine   *engine.Engine
-	err      error
+	cfg        config.Config
+	verifier   core.Verifier
+	schemeName string
+	engine     *engine.Engine
+	err        error
 }
 
 func (cc *checkerConfig) fail(err error) {
@@ -191,10 +201,23 @@ func WithVerifier(v Verifier) CheckerOption {
 	return func(cc *checkerConfig) { cc.verifier = v }
 }
 
-// WithScheme binds the scheme's verifier (shorthand for
-// WithVerifier(s.Verifier())).
+// WithScheme binds the scheme's verifier and records the scheme's name.
+// On the in-process backends it is shorthand for
+// WithVerifier(s.Verifier()); the dist-tcp backend requires it, because
+// the workers resolve the scheme by name in their own registries.
 func WithScheme(s Scheme) CheckerOption {
-	return func(cc *checkerConfig) { cc.verifier = s.Verifier() }
+	return func(cc *checkerConfig) {
+		cc.verifier = s.Verifier()
+		cc.schemeName = s.Name()
+	}
+}
+
+// WithWorkerAddrs lists the lcpworker control addresses (host:port) the
+// dist-tcp backend fans out to, one shard per worker. The textual
+// spelling is the "worker-addrs" option key (comma-separated), the same
+// knob lcpserve flags and HTTP request options resolve.
+func WithWorkerAddrs(addrs ...string) CheckerOption {
+	return func(cc *checkerConfig) { cc.cfg.WorkerAddrs = addrs }
 }
 
 // WithWorkers bounds the engine backends' shared-memory worker pool
@@ -281,14 +304,20 @@ func withDistOptions(opt DistOptions) CheckerOption {
 // verifier, state amortized per backend (cached engine, prewired
 // message-passing network).
 type checker struct {
-	in  *core.Instance
-	v   core.Verifier
-	cfg config.Config
-	eng *engine.Engine // engine backends
+	in         *core.Instance
+	v          core.Verifier
+	cfg        config.Config
+	schemeName string         // dist-tcp backend: resolved on the workers
+	eng        *engine.Engine // engine backends
 
-	mu  sync.Mutex
-	net *dist.Network // dist backend, wired lazily on first check
+	mu    sync.Mutex
+	net   *dist.Network       // dist backend, wired lazily on first check
+	coord *remote.Coordinator // dist-tcp backend, dialed and registered lazily
 }
+
+// checkerSeq distinguishes concurrently-registered instances of this
+// process on a shared worker fleet.
+var checkerSeq atomic.Uint64
 
 // NewChecker compiles the options into a Checker for the instance. The
 // verifier is required (WithScheme or WithVerifier); everything else
@@ -308,8 +337,18 @@ func NewChecker(in *Instance, opts ...CheckerOption) (Checker, error) {
 	if cc.verifier == nil {
 		return nil, fmt.Errorf("lcp: checker needs a verifier: pass WithScheme or WithVerifier")
 	}
-	c := &checker{in: in, v: cc.verifier, cfg: cc.cfg}
+	c := &checker{in: in, v: cc.verifier, cfg: cc.cfg, schemeName: cc.schemeName}
 	switch c.backend() {
+	case config.BackendDistTCP:
+		if cc.engine != nil {
+			return nil, fmt.Errorf("lcp: WithEngine requires the engine or engine-dist backend, not %q", c.backend())
+		}
+		if len(c.cfg.WorkerAddrs) == 0 {
+			return nil, fmt.Errorf("lcp: %v", c.cfg.Validate())
+		}
+		if c.schemeName == "" {
+			return nil, fmt.Errorf("lcp: backend %q needs WithScheme (workers resolve the scheme by name; a bare WithVerifier cannot travel)", c.backend())
+		}
 	case config.BackendEngine, config.BackendEngineDist:
 		if cc.engine != nil {
 			if cc.engine.Instance() != in {
@@ -345,15 +384,53 @@ func (c *checker) network() (*dist.Network, error) {
 	return c.net, nil
 }
 
+// coordinator dials the worker fleet and registers the instance on
+// first use — the expensive part of the dist-tcp path (halo cutting,
+// instance shipping), paid once per checker, not once per proof.
+func (c *checker) coordinator(ctx context.Context) (*remote.Coordinator, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.coord != nil {
+		return c.coord, nil
+	}
+	id := fmt.Sprintf("lcp-%d-%d", os.Getpid(), checkerSeq.Add(1))
+	coord, err := remote.DialCoordinator(ctx, id, c.cfg.WorkerAddrs, remote.Options{Partitioner: c.cfg.Partitioner})
+	if err != nil {
+		return nil, err
+	}
+	if err := coord.Register(ctx, c.in, c.schemeName); err != nil {
+		_ = coord.Close() // registration failed; the dial error above is what matters
+		return nil, err
+	}
+	c.coord = coord
+	return coord, nil
+}
+
 // close releases the dist backend's wirings back to the runtime's node
-// pool. Used by the one-shot legacy wrappers; long-lived checkers can
-// simply be garbage collected.
+// pool and tells a dist-tcp worker fleet to forget the instance. Used
+// by the one-shot legacy wrappers and CloseChecker; long-lived
+// in-process checkers can simply be garbage collected.
 func (c *checker) close() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.net != nil {
 		c.net.Close()
 		c.net = nil
+	}
+	if c.coord != nil {
+		_ = c.coord.Close() // best effort: the fleet reaps abandoned instances
+		c.coord = nil
+	}
+}
+
+// CloseChecker releases a checker's amortized state eagerly: the dist
+// backend's node wirings, and — on the dist-tcp backend — the worker
+// fleet's registration and control connections. Safe on every Checker
+// this package constructs and on every backend; a checker that holds no
+// such state is a no-op. The checker must not be used afterwards.
+func CloseChecker(c Checker) {
+	if impl, ok := c.(*checker); ok {
+		impl.close()
 	}
 }
 
@@ -390,6 +467,12 @@ func (c *checker) Check(ctx context.Context, p Proof) (*Report, error) {
 		res, err = c.eng.CheckProofCtx(ctx, p, c.v)
 	case config.BackendEngineDist:
 		res, err = c.eng.CheckDistributedCtx(ctx, p, c.v)
+	case config.BackendDistTCP:
+		var coord *remote.Coordinator
+		coord, err = c.coordinator(ctx)
+		if err == nil {
+			res, _, err = coord.Check(ctx, p)
+		}
 	default:
 		err = fmt.Errorf("lcp: unknown backend %q", c.backend())
 	}

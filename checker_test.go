@@ -11,12 +11,45 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"net"
 	"reflect"
+	"sync"
 	"testing"
 
 	"lcp"
 	"lcp/internal/core"
+	"lcp/internal/remote"
 )
+
+// tcpFleet lazily starts the in-process lcpworker fleet the dist-tcp
+// matrix row fans out to: three workers on loopback listeners, serving
+// every catalog scheme, shared by all matrix subtests and reaped with
+// the test process.
+var tcpFleet struct {
+	once  sync.Once
+	addrs []string
+}
+
+func tcpFleetAddrs() []string {
+	tcpFleet.once.Do(func() {
+		schemes := lcp.BuiltinSchemes()
+		for _, exp := range lcp.Catalog() {
+			schemes[exp.Scheme.Name()] = exp.Scheme
+		}
+		for i := 0; i < 3; i++ {
+			ln, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				panic(fmt.Sprintf("tcp fleet: %v", err))
+			}
+			w := remote.NewWorker(ln, schemes)
+			tcpFleet.addrs = append(tcpFleet.addrs, w.Addr())
+			go func() {
+				_ = w.Serve(context.Background())
+			}()
+		}
+	})
+	return tcpFleet.addrs
+}
 
 // backendMatrix enumerates every backend reachable through NewChecker,
 // including scheduler variants of the message-passing paths.
@@ -50,6 +83,15 @@ func backendMatrix() []backendCase {
 		}},
 		{"engine-dist", []lcp.CheckerOption{
 			lcp.WithBackend(lcp.BackendEngineDist), lcp.WithRuntimes(3),
+			lcp.WithPartitioner(lcp.BFSChunksPartitioner()),
+		}},
+		// The multi-process path: real lcpworker fleet on loopback TCP,
+		// the checker acting as fan-out coordinator. Same matrix, same
+		// reference — the verdicts cross process boundaries and come
+		// back identical.
+		{"dist-tcp", []lcp.CheckerOption{
+			lcp.WithBackend(lcp.BackendDistTCP),
+			lcp.WithWorkerAddrs(tcpFleetAddrs()...),
 			lcp.WithPartitioner(lcp.BFSChunksPartitioner()),
 		}},
 	}

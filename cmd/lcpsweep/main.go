@@ -24,7 +24,9 @@
 // The dist backends spin up message-passing automata per node; above
 // -max-dist-n (default 10^5) those cells are skipped rather than left
 // to thrash, and the skip is reported in the table so a reader never
-// mistakes an absent row for a measured one.
+// mistakes an absent row for a measured one. The ceiling is a
+// single-process limit: past it, the dist-tcp backend spreads the same
+// check over lcpworker processes (see "Scaling out" in the README).
 package main
 
 import (
@@ -97,7 +99,7 @@ func main() {
 		backends     = flag.String("backends", "core,dist,engine,engine-dist", "comma-separated checker backends: "+fmt.Sprint(config.Backends()))
 		partitioners = flag.String("partitioners", "contiguous", "comma-separated partitioners for the dist backends: "+strings.Join(partition.Names(), ", "))
 		shardsList   = flag.String("shards", "0", "comma-separated shard counts for the dist backends (0 = GOMAXPROCS, goroutine-per-node layout)")
-		maxDistN     = flag.Int("max-dist-n", 100000, "largest n the message-passing backends attempt; bigger cells are skipped")
+		maxDistN     = flag.Int("max-dist-n", 100000, "largest n the message-passing backends attempt in-process; bigger cells are skipped (the dist-tcp backend scales past this ceiling by spreading shards over lcpworker processes)")
 		seed         = flag.Int64("seed", 1, "base generator seed")
 		out          = flag.String("out", "", "write BENCH_sweep.json-style output to this path")
 		timeout      = flag.Duration("timeout", 10*time.Minute, "per-cell timeout")
@@ -290,7 +292,7 @@ func expandGrid(ns []int, families, backends, parts []string, shardCounts []int,
 				}
 				skip := ""
 				if n > maxDistN {
-					skip = fmt.Sprintf("n > -max-dist-n=%d", maxDistN)
+					skip = fmt.Sprintf("n > -max-dist-n=%d (single-process cap; dist-tcp + lcpworker fleet scales past it)", maxDistN)
 				}
 				for _, p := range parts {
 					for _, s := range shardCounts {

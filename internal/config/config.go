@@ -39,17 +39,23 @@ const (
 	// into Runtimes radius-r halos (by Partitioner), each owned by a
 	// reusable message-passing runtime.
 	BackendEngineDist Backend = "engine-dist"
+	// BackendDistTCP is the multi-process scale-out: the instance is
+	// partitioned across external lcpworker processes (WorkerAddrs), each
+	// flooding its shard over TCP, with the local checker acting as the
+	// fan-out coordinator. The only backend whose memory footprint is
+	// spread over multiple processes — and hence multiple machines.
+	BackendDistTCP Backend = "dist-tcp"
 )
 
 // Backends lists the valid backend names, in documentation order.
 func Backends() []string {
-	return []string{string(BackendCore), string(BackendDist), string(BackendEngine), string(BackendEngineDist)}
+	return []string{string(BackendCore), string(BackendDist), string(BackendEngine), string(BackendEngineDist), string(BackendDistTCP)}
 }
 
 // ParseBackend resolves a backend name.
 func ParseBackend(name string) (Backend, error) {
 	switch Backend(name) {
-	case BackendCore, BackendDist, BackendEngine, BackendEngineDist:
+	case BackendCore, BackendDist, BackendEngine, BackendEngineDist, BackendDistTCP:
 		return Backend(name), nil
 	}
 	return "", fmt.Errorf("unknown backend %q (valid: %s)", name, strings.Join(Backends(), ", "))
@@ -86,6 +92,10 @@ type Config struct {
 	// proofs). The zero value auto-engages it at
 	// BatchColumnsAutoThreshold proofs and above.
 	BatchColumns BatchColumnsMode
+	// WorkerAddrs lists the lcpworker control addresses
+	// (host:port) the dist-tcp backend fans out to, one shard per
+	// worker. Required by — and only meaningful on — that backend.
+	WorkerAddrs []string
 }
 
 // BatchColumnsMode is the tri-state batch-strategy knob behind the
@@ -152,15 +162,19 @@ func (c Config) PartitionerName() string {
 	return c.Partitioner.Name()
 }
 
-// Validate rejects impossible configurations (currently: an unknown
-// backend name assigned directly to the field; Set-fed configs are
-// always valid).
+// Validate rejects impossible configurations: an unknown backend name
+// assigned directly to the field, or the dist-tcp backend with no
+// worker fleet to fan out to.
 func (c Config) Validate() error {
-	if c.Backend == "" {
-		return nil
+	if c.Backend != "" {
+		if _, err := ParseBackend(string(c.Backend)); err != nil {
+			return err
+		}
 	}
-	_, err := ParseBackend(string(c.Backend))
-	return err
+	if c.Backend == BackendDistTCP && len(c.WorkerAddrs) == 0 {
+		return fmt.Errorf("backend %q needs worker addresses (the worker-addrs option: host:port,...); start lcpworker processes and list them", BackendDistTCP)
+	}
+	return nil
 }
 
 // DistOptions derives the message-passing scheduler options: the Dist
@@ -207,6 +221,7 @@ func Options() []Option {
 		{Key: "shards", Usage: "scheduler goroutines per message-passing runtime in sharded mode (0 = GOMAXPROCS; implies sharded). NOTE: pre-facade releases spelled this -dist-shards and used -shards for what is now -runtimes"},
 		{Key: "free-running", Bool: true, Usage: "run message-passing runtimes without a global round barrier (α-synchronization)"},
 		{Key: "batch-columns", Usage: fmt.Sprintf("engine-backend batch strategy: auto (column-wise for batches of >= %d proofs), true (always column-wise), false (per-proof loop)", BatchColumnsAutoThreshold)},
+		{Key: "worker-addrs", Usage: "comma-separated lcpworker control addresses (host:port,...) for the dist-tcp backend, one shard per worker"},
 	}
 }
 
@@ -272,6 +287,19 @@ func (c *Config) Set(key, value string) error {
 			return fail(err)
 		}
 		c.Dist.FreeRunning = on
+	case "worker-addrs":
+		var addrs []string
+		for _, a := range strings.Split(value, ",") {
+			a = strings.TrimSpace(a)
+			if a == "" {
+				continue
+			}
+			addrs = append(addrs, a)
+		}
+		if len(addrs) == 0 {
+			return fail(fmt.Errorf("no addresses in %q", value))
+		}
+		c.WorkerAddrs = addrs
 	case "batch-columns":
 		if value == "auto" {
 			c.BatchColumns = BatchColumnsAuto

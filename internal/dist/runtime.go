@@ -9,11 +9,11 @@ import (
 	"sync/atomic"
 	"time"
 
-	"lcp/internal/bitstr"
 	"lcp/internal/core"
 	"lcp/internal/graph"
 	"lcp/internal/obs"
 	"lcp/internal/partition"
+	"lcp/internal/transport"
 )
 
 // The message-passing machinery: a network of node automata, channels as
@@ -34,49 +34,41 @@ import (
 // a single node knows at round 0 — its identifier, proof string, input
 // label, and incident edges with their labels and weights. Records are
 // immutable once built, so forwarding shares them freely across ports.
-type record struct {
-	id       int
-	proof    bitstr.String
-	hasProof bool
-	label    string
-	hasLabel bool
-	edges    []edgeRec
-}
+//
+// The type lives in internal/transport — it is also what the wire
+// format of the multi-process transports serializes — and the scheduler
+// aliases it, so handing a batch to a Transport is free: no conversion,
+// no copy, the exact slices the channel ports carry.
+type record = transport.Record
 
 // edgeRec is one incident edge as the owning node sees it: the edge key
 // exactly as the frozen graph stores it (normalized for undirected
 // graphs, the ordered arc for directed ones) plus its input labelling.
-type edgeRec struct {
-	e         graph.Edge
-	label     string
-	hasLabel  bool
-	weight    int64
-	hasWeight bool
-}
+type edgeRec = transport.EdgeRec
 
 // batch is the per-round message payload on one port: the records the
 // sender learned in the previous round. An empty batch still gets sent —
 // message counting is what keeps the rounds synchronized.
-type batch []record
+type batch = transport.Batch
 
 // initialRecord builds node v's round-0 knowledge from the instance,
 // except for the proof string, which changes between runs of a reusable
 // network and is injected by node.seed. The edges slice is appended onto
 // buf so a pooled node reuses its previous backing array.
 func initialRecord(in *core.Instance, v int, buf []edgeRec) record {
-	rec := record{id: v, edges: buf[:0]}
+	rec := record{ID: v, Edges: buf[:0]}
 	if l, ok := in.NodeLabel[v]; ok {
-		rec.label, rec.hasLabel = l, true
+		rec.Label, rec.HasLabel = l, true
 	}
 	addEdge := func(e graph.Edge) {
-		er := edgeRec{e: e}
+		er := edgeRec{E: e}
 		if l, ok := in.EdgeLabel[e]; ok {
-			er.label, er.hasLabel = l, true
+			er.Label, er.HasLabel = l, true
 		}
 		if w, ok := in.Weights[e]; ok {
-			er.weight, er.hasWeight = w, true
+			er.Weight, er.HasWeight = w, true
 		}
-		rec.edges = append(rec.edges, er)
+		rec.Edges = append(rec.Edges, er)
 	}
 	if in.G.Directed() {
 		for _, w := range in.G.Neighbors(v) {
@@ -136,7 +128,7 @@ func newNode(in *core.Instance, id int) *node {
 	//lint:ignore poolput ownership transfer: the run that wired this node returns it via node.release (one-shot runners after the verdict, Networks on Close)
 	nd := nodePool.Get().(*node)
 	nd.id = id
-	nd.base = initialRecord(in, id, nd.base.edges)
+	nd.base = initialRecord(in, id, nd.base.Edges)
 	if nd.known == nil {
 		nd.known = make(map[int]record)
 		nd.dist = make(map[int]int)
@@ -150,7 +142,7 @@ func newNode(in *core.Instance, id int) *node {
 func (nd *node) seed(p core.Proof) {
 	rec := nd.base
 	if s, ok := p[nd.id]; ok {
-		rec.proof, rec.hasProof = s, true
+		rec.Proof, rec.HasProof = s, true
 	}
 	clear(nd.known)
 	clear(nd.dist)
@@ -190,7 +182,7 @@ func (nd *node) release() {
 // are dropped.
 func (nd *node) merge(b batch, round int) {
 	for _, rec := range b {
-		if _, seen := nd.known[rec.id]; !seen {
+		if _, seen := nd.known[rec.ID]; !seen {
 			nd.learn(rec, round)
 		}
 	}
@@ -202,12 +194,12 @@ func (nd *node) merge(b batch, round int) {
 // reported by both endpoints and arrivals are sequential per automaton,
 // so exactly the second endpoint's merge appends it — no dedupe map.
 func (nd *node) learn(rec record, round int) {
-	nd.known[rec.id] = rec
-	nd.dist[rec.id] = round
+	nd.known[rec.ID] = rec
+	nd.dist[rec.ID] = round
 	nd.next = append(nd.next, rec)
-	for _, er := range rec.edges {
-		other := er.e.U + er.e.V - rec.id
-		if _, inBall := nd.known[other]; inBall && other != rec.id {
+	for _, er := range rec.Edges {
+		other := er.E.U + er.E.V - rec.ID
+		if _, inBall := nd.known[other]; inBall && other != rec.ID {
 			nd.indEdges = append(nd.indEdges, er)
 		}
 	}
@@ -265,7 +257,7 @@ func (nd *node) assemble(in *core.Instance, radius int) *core.View {
 
 	edges := make([]graph.Edge, len(nd.indEdges))
 	for i, er := range nd.indEdges {
-		edges[i] = er.e
+		edges[i] = er.E
 	}
 
 	w := &core.View{
@@ -281,15 +273,15 @@ func (nd *node) assemble(in *core.Instance, radius int) *core.View {
 	}
 	for _, id := range ids {
 		rec := nd.known[id]
-		if rec.hasProof {
-			w.Proof[id] = rec.proof
+		if rec.HasProof {
+			w.Proof[id] = rec.Proof
 		}
 	}
 	if in.NodeLabel != nil {
 		w.NodeLabel = make(map[int]string)
 		for _, id := range ids {
-			if rec := nd.known[id]; rec.hasLabel {
-				w.NodeLabel[id] = rec.label
+			if rec := nd.known[id]; rec.HasLabel {
+				w.NodeLabel[id] = rec.Label
 			}
 		}
 	}
@@ -297,11 +289,11 @@ func (nd *node) assemble(in *core.Instance, radius int) *core.View {
 		w.EdgeLabel = make(map[graph.Edge]string)
 		w.Weights = make(map[graph.Edge]int64)
 		for _, er := range nd.indEdges {
-			if er.hasLabel {
-				w.EdgeLabel[er.e] = er.label
+			if er.HasLabel {
+				w.EdgeLabel[er.E] = er.Label
 			}
-			if er.hasWeight {
-				w.Weights[er.e] = er.weight
+			if er.HasWeight {
+				w.Weights[er.E] = er.Weight
 			}
 		}
 	}

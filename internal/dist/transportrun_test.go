@@ -1,0 +1,123 @@
+package dist_test
+
+// The transport-backed runner's contract: CheckTransport (the sharded
+// four-phase round executed over transport.InProc) is verdict-identical
+// to core.Check across the whole catalog — honest, tampered, and
+// truncated proofs, every partitioner, shard counts that force real
+// cut-edge traffic — and cancellation unblocks the whole group within
+// bounded time instead of deadlocking a gate.
+
+import (
+	"context"
+	"fmt"
+	"reflect"
+	"testing"
+	"time"
+
+	"lcp"
+	"lcp/internal/core"
+	"lcp/internal/dist"
+	"lcp/internal/partition"
+)
+
+func TestCheckTransportMatchesCoreOnCatalog(t *testing.T) {
+	const n = 12
+	ctx := context.Background()
+	partitioners := []partition.Partitioner{partition.Contiguous{}, partition.BFSChunks{}}
+	for _, exp := range lcp.Catalog() {
+		exp := exp
+		t.Run(exp.ID, func(t *testing.T) {
+			t.Parallel()
+			size := n
+			if size < exp.MinN {
+				size = exp.MinN
+			}
+			in := exp.MakeYes(size, 1)
+			honest, err := exp.Scheme.Prove(in)
+			if err != nil {
+				t.Fatalf("prove: %v", err)
+			}
+			v := exp.Scheme.Verifier()
+			proofs := []core.Proof{honest, core.FlipBit(honest, 0), honest.Truncated(1)}
+			labels := []string{"honest", "tampered", "truncated"}
+			for pi, p := range proofs {
+				want := core.Check(in, p, v)
+				for _, shards := range []int{1, 3, 4} {
+					for _, pt := range partitioners {
+						got, err := dist.CheckTransport(ctx, in, p, v, shards, pt)
+						if err != nil {
+							t.Fatalf("%s/%d-shards/%s: %v", labels[pi], shards, pt.Name(), err)
+						}
+						if !reflect.DeepEqual(got.Outputs, want.Outputs) {
+							t.Fatalf("%s/%d-shards/%s: outputs differ:\n got %v\nwant %v",
+								labels[pi], shards, pt.Name(), got.Outputs, want.Outputs)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestCheckTransportCancellation: a cancelled context aborts the group
+// between rounds with the context's error, promptly, on every shard.
+func TestCheckTransportCancellation(t *testing.T) {
+	exp := widestExperiment(t)
+	in := exp.MakeYes(64, 1)
+	p, err := exp.Scheme.Prove(in)
+	if err != nil {
+		t.Fatalf("prove: %v", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	done := make(chan error, 1)
+	go func() {
+		_, err := dist.CheckTransport(ctx, in, p, exp.Scheme.Verifier(), 4, partition.BFSChunks{})
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("cancelled transport check succeeded")
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("cancelled transport check hung")
+	}
+}
+
+// widestExperiment picks the catalog experiment with the largest
+// verifier radius, so multi-round flooding (and with it mid-run
+// cancellation windows) actually happens.
+func widestExperiment(t *testing.T) lcp.Experiment {
+	t.Helper()
+	var best lcp.Experiment
+	bestR := -1
+	for _, exp := range lcp.Catalog() {
+		if r := exp.Scheme.Verifier().Radius(); r > bestR {
+			best, bestR = exp, r
+		}
+	}
+	if bestR < 1 {
+		t.Fatal("catalog has no scheme with radius >= 1")
+	}
+	return best
+}
+
+// TestCheckTransportPropagatesVerifierPanic: a panicking verifier on
+// one shard becomes an error for the whole check, and the poisoned
+// group still unwinds every other shard.
+func TestCheckTransportPropagatesVerifierPanic(t *testing.T) {
+	exp := widestExperiment(t)
+	in := exp.MakeYes(24, 1)
+	p, err := exp.Scheme.Prove(in)
+	if err != nil {
+		t.Fatalf("prove: %v", err)
+	}
+	bomb := core.VerifierFunc{
+		R: exp.Scheme.Verifier().Radius(),
+		F: func(w *core.View) bool { panic(fmt.Sprintf("bomb at %d", w.Center)) },
+	}
+	if _, err := dist.CheckTransport(context.Background(), in, p, bomb, 3, nil); err == nil {
+		t.Fatal("panicking verifier produced no error")
+	}
+}

@@ -106,6 +106,17 @@ func (e *Engine) netsFor(radius int, tl *obs.Timeline) (*shardedNets, error) {
 	return c.sn, c.err
 }
 
+// HaloInstance restricts the instance to the union of radius-r balls
+// around the owned nodes — the exported surface of the engine's halo
+// cutter, used by the multi-process coordinator to ship each worker its
+// shard's slice: at radius 1 the halo contains every owned node with
+// all incident edges and their endpoints, which is exactly the round-0
+// knowledge the transport-backed shard runner needs (everything deeper
+// arrives over the wire).
+func HaloInstance(in *core.Instance, owned []int, radius int) *core.Instance {
+	return haloInstance(in, owned, radius)
+}
+
 // haloInstance restricts the instance to the union of radius-r balls
 // around the owned nodes. The graph is induced on the halo; the
 // labelling maps are shared with the parent (records only ever read

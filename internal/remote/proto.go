@@ -1,0 +1,139 @@
+// Package remote implements the multi-process scale-out of the
+// verification stack: worker processes each owning one shard of a
+// partitioned instance, and a coordinator that registers instances on
+// every worker, fans each check out, and merges the per-shard verdicts.
+//
+// The control plane is JSON request/response frames over one TCP
+// connection per coordinator/worker pair (length-prefixed framing from
+// internal/transport, which also supplies the binary data plane the
+// workers speak among themselves — see transport/wire.go for the frame
+// layout). A check proceeds as:
+//
+//	coordinator                worker i                 worker j
+//	  |-- register(halo_i) ---->|                          |
+//	  |-- register(halo_j) ---------------------------->   |
+//	  |-- check(seq, proof_i) ->|                          |
+//	  |-- check(seq, proof_j) ----------------------->     |
+//	  |                        |<== data conns (seq) ==>   |
+//	  |                        |   flood radius rounds     |
+//	  |<-- verdicts_i ---------|                           |
+//	  |<-- verdicts_j --------------------------------     |
+//	  merge; every node decided exactly once
+//
+// Failure is bounded everywhere: every request, handshake, and flood
+// round runs under a deadline, a worker death surfaces as a transport
+// error within it, and a failed check poisons nothing durable — the
+// next check opens fresh data connections under a fresh sequence
+// number.
+package remote
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net"
+	"time"
+
+	"lcp/internal/transport"
+)
+
+// Request operations.
+const (
+	// OpRegister installs an instance shard on a worker.
+	OpRegister = "register"
+	// OpCheck runs one proof over a registered instance shard.
+	OpCheck = "check"
+	// OpClose forgets a registered instance shard.
+	OpClose = "close"
+)
+
+// Request is one control-plane request from coordinator to worker.
+type Request struct {
+	// Op selects the operation (OpRegister, OpCheck, OpClose).
+	Op string `json:"op"`
+	// Seq numbers the request; the response echoes it, and data-plane
+	// frames of a check carry it so traffic of an abandoned check can
+	// never be mistaken for the current one.
+	Seq uint64 `json:"seq"`
+	// Instance names the registered instance the request addresses.
+	Instance string `json:"instance"`
+
+	// Scheme names the verification scheme (register). The worker
+	// resolves it in its own registry — code does not travel.
+	Scheme string `json:"scheme,omitempty"`
+	// Doc is the textio-serialized radius-1 halo instance (register).
+	Doc string `json:"doc,omitempty"`
+	// Me is the shard index this worker owns (register).
+	Me int `json:"me,omitempty"`
+	// Workers lists every worker's data address, indexed by shard
+	// (register).
+	Workers []string `json:"workers,omitempty"`
+	// Owned lists the node ids this worker decides (register).
+	Owned []int `json:"owned,omitempty"`
+	// Assign maps node id -> owning shard for every halo node
+	// (register).
+	Assign map[int]int `json:"assign,omitempty"`
+	// HasNodeLabels, HasEdgeLabels, and HasWeights ship the full
+	// instance's nil-map conventions (register): a halo that happens to
+	// contain no labelled member must still assemble views with the
+	// labelling maps present, or flooded remote labels would be
+	// dropped and verdicts diverge from core.Check.
+	HasNodeLabels bool `json:"has_node_labels,omitempty"`
+	// HasEdgeLabels: see HasNodeLabels.
+	HasEdgeLabels bool `json:"has_edge_labels,omitempty"`
+	// HasWeights: see HasNodeLabels.
+	HasWeights bool `json:"has_weights,omitempty"`
+	// RoundTimeoutMS bounds each flood round's network wait (register).
+	RoundTimeoutMS int64 `json:"round_timeout_ms,omitempty"`
+
+	// Proof carries the proof bits of this worker's owned nodes, as
+	// "0101" strings (check). Remote nodes' proofs ride the data plane
+	// inside their records.
+	Proof map[int]string `json:"proof,omitempty"`
+}
+
+// Response is one control-plane response from worker to coordinator.
+type Response struct {
+	// OK reports success; on false, Error says why.
+	OK bool `json:"ok"`
+	// Seq echoes the request's sequence number.
+	Seq uint64 `json:"seq"`
+	// Error is the failure description when OK is false.
+	Error string `json:"error,omitempty"`
+	// Outputs is the per-owned-node verdict map (check).
+	Outputs map[int]bool `json:"outputs,omitempty"`
+	// Stats reports the shard's data-plane traffic for the check.
+	Stats transport.Stats `json:"stats,omitempty"`
+}
+
+// writeJSONFrame marshals v into one frame of the given type under a
+// write deadline.
+func writeJSONFrame(conn net.Conn, w *bufio.Writer, typ byte, v any, deadline time.Time) error {
+	payload, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	if err := conn.SetWriteDeadline(deadline); err != nil {
+		return err
+	}
+	if _, err := transport.WriteFrame(w, typ, payload); err != nil {
+		return err
+	}
+	return w.Flush()
+}
+
+// readJSONFrame reads one frame under a read deadline and unmarshals
+// it into v, insisting on the expected frame type.
+func readJSONFrame(conn net.Conn, r *bufio.Reader, wantTyp byte, v any, deadline time.Time) error {
+	if err := conn.SetReadDeadline(deadline); err != nil {
+		return err
+	}
+	typ, payload, _, err := transport.ReadFrame(r)
+	if err != nil {
+		return err
+	}
+	if typ != wantTyp {
+		return fmt.Errorf("remote: unexpected frame type %d, want %d", typ, wantTyp)
+	}
+	return json.Unmarshal(payload, v)
+}

@@ -94,6 +94,24 @@ type instanceEntry struct {
 	// mutex. They share the entry's instance; only the distributed-shard
 	// cut differs, so each warms its own runtime caches on first use.
 	alt map[string]*engine.Engine
+	// remote holds the entry's dist-tcp checkers, keyed by scheme and
+	// partitioner and guarded by the server mutex. Each one dialed the
+	// worker fleet and registered the instance on first use — the
+	// expensive part of the multi-process path — so repeated requests
+	// reuse the registration like the engine paths reuse cached views.
+	// Evicting or deleting the entry closes them, which tells the fleet
+	// to forget the instance.
+	remote map[string]lcp.Checker
+}
+
+// closeRemote closes the entry's dist-tcp checkers (fleet
+// deregistration + control connections). Caller holds the server mutex
+// or owns the entry exclusively.
+func (entry *instanceEntry) closeRemote() {
+	for _, chk := range entry.remote {
+		lcp.CloseChecker(chk)
+	}
+	entry.remote = nil
 }
 
 // latencyBoundsMS are the fixed per-endpoint histogram bucket upper
@@ -604,9 +622,9 @@ func (s *Server) requestConfig(req *checkRequest) (config.Config, error) {
 		// exact client bug this guard exists for. The check runs against
 		// the resolved backend, so a server whose *default* backend is
 		// distributed honors partitioner-only requests.
-		if b := cfg.ResolvedBackend(); b != config.BackendDist && b != config.BackendEngineDist {
-			return cfg, fmt.Errorf("%q requires a distributed backend (%q or %q), resolved backend is %q",
-				"partitioner", config.BackendDist, config.BackendEngineDist, b)
+		if b := cfg.ResolvedBackend(); b != config.BackendDist && b != config.BackendEngineDist && b != config.BackendDistTCP {
+			return cfg, fmt.Errorf("%q requires a distributed backend (%q, %q, or %q), resolved backend is %q",
+				"partitioner", config.BackendDist, config.BackendEngineDist, config.BackendDistTCP, b)
 		}
 		if err := cfg.Set("partitioner", req.Partitioner); err != nil {
 			return cfg, err
@@ -623,6 +641,10 @@ func (s *Server) requestConfig(req *checkRequest) (config.Config, error) {
 		if err := cfg.Set("batch-columns", req.BatchColumns); err != nil {
 			return cfg, err
 		}
+	}
+	if cfg.ResolvedBackend() == config.BackendDistTCP && len(cfg.WorkerAddrs) == 0 {
+		return cfg, fmt.Errorf("backend %q needs a worker fleet, and this server was started without one: run lcpworker processes and restart lcpserve with -worker-addrs host:port,...",
+			config.BackendDistTCP)
 	}
 	return cfg, nil
 }
@@ -662,6 +684,9 @@ func (s *Server) engineFor(entry *instanceEntry, cfg config.Config) *engine.Engi
 // shims over the shared engine; the core and dist reference backends
 // carry their own (per-request) state.
 func (s *Server) checkerFor(entry *instanceEntry, cfg config.Config, scheme core.Scheme) (lcp.Checker, error) {
+	if cfg.ResolvedBackend() == config.BackendDistTCP {
+		return s.remoteCheckerFor(entry, cfg, scheme)
+	}
 	opts := []lcp.CheckerOption{
 		lcp.WithBackend(string(cfg.ResolvedBackend())),
 		lcp.WithVerifier(safeVerifier{scheme.Verifier()}),
@@ -688,6 +713,36 @@ func (s *Server) checkerFor(entry *instanceEntry, cfg config.Config, scheme core
 		)
 	}
 	return lcp.NewChecker(entry.Doc.Instance, opts...)
+}
+
+// remoteCheckerFor returns the entry's dist-tcp checker for the
+// request's scheme and partitioner, building it on first use. The
+// checker registers the instance on the worker fleet lazily (at first
+// check), so a cached checker amortizes the halo shipping across
+// requests; eviction closes it, deregistering fleet-side. The verifier
+// is not wrapped in safeVerifier — it runs in the worker process, whose
+// shard runner already converts verifier panics to errors.
+func (s *Server) remoteCheckerFor(entry *instanceEntry, cfg config.Config, scheme core.Scheme) (lcp.Checker, error) {
+	key := scheme.Name() + "\x00" + cfg.PartitionerName()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if chk, ok := entry.remote[key]; ok {
+		return chk, nil
+	}
+	chk, err := lcp.NewChecker(entry.Doc.Instance,
+		lcp.WithBackend(string(config.BackendDistTCP)),
+		lcp.WithScheme(scheme),
+		lcp.WithWorkerAddrs(cfg.WorkerAddrs...),
+		lcp.WithPartitioner(cfg.Partitioner),
+	)
+	if err != nil {
+		return nil, err
+	}
+	if entry.remote == nil {
+		entry.remote = make(map[string]lcp.Checker)
+	}
+	entry.remote[key] = chk
+	return chk, nil
 }
 
 // requestProof picks the proof for a single-proof request: the inline
@@ -719,9 +774,11 @@ func (s *Server) handleCreateInstance(w http.ResponseWriter, r *http.Request) {
 	// Evict from the cold end until the newcomer fits. In-flight checks
 	// on an evicted engine finish on the caches they resolved; the
 	// engine is garbage once they drain.
+	var evictedEntries []*instanceEntry
 	for s.cfg.MaxInstances > 0 && s.lru.Len() >= s.cfg.MaxInstances {
 		old := s.lru.Remove(s.lru.Back()).(*instanceEntry)
 		delete(s.instances, old.ID)
+		evictedEntries = append(evictedEntries, old)
 		s.evicted[old.ID] = struct{}{}
 		s.evictedTotal++
 		s.evictedQ = append(s.evictedQ, old.ID)
@@ -733,6 +790,12 @@ func (s *Server) handleCreateInstance(w http.ResponseWriter, r *http.Request) {
 	entry.elem = s.lru.PushFront(entry)
 	s.instances[entry.ID] = entry
 	s.mu.Unlock()
+	// Deregister evicted entries' dist-tcp instances from the worker
+	// fleet off the request path: an in-flight remote check holds its
+	// coordinator's lock, so closing waits for it to drain.
+	for _, old := range evictedEntries {
+		go old.closeRemote()
+	}
 	writeJSON(w, http.StatusCreated, s.info(entry))
 }
 
@@ -779,7 +842,11 @@ func (s *Server) handleDeleteInstance(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	// Checks already in flight finish on the engine they resolved; the
-	// engine and its caches are garbage collected once they drain.
+	// engine and its caches are garbage collected once they drain. The
+	// dist-tcp checkers hold fleet registrations, so those are closed
+	// explicitly — off the response path, since close waits for any
+	// in-flight remote check to drain.
+	go entry.closeRemote()
 	writeJSON(w, http.StatusOK, map[string]string{"deleted": id})
 }
 
@@ -835,6 +902,12 @@ func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	if entry.elem == nil {
+		// Inline one-shot entry: nothing caches it, so a dist-tcp
+		// checker must deregister from the fleet when the request ends
+		// (a no-op on the in-process backends).
+		defer entry.closeRemote()
+	}
 	p, err := requestProof(entry.Doc.Instance, entry.Doc, &req)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
@@ -881,6 +954,12 @@ func (s *Server) handleCheckBatch(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
+	}
+	if entry.elem == nil {
+		// Inline one-shot entry: nothing caches it, so a dist-tcp
+		// checker must deregister from the fleet when the request ends
+		// (a no-op on the in-process backends).
+		defer entry.closeRemote()
 	}
 	if len(req.Proofs) == 0 {
 		writeError(w, http.StatusBadRequest, "batch request needs a \"proofs\" array")
@@ -973,6 +1052,12 @@ func (s *Server) handleCheckStream(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
+	}
+	if entry.elem == nil {
+		// Inline one-shot entry: nothing caches it, so a dist-tcp
+		// checker must deregister from the fleet when the request ends
+		// (a no-op on the in-process backends).
+		defer entry.closeRemote()
 	}
 	p, err := requestProof(entry.Doc.Instance, entry.Doc, &req)
 	if err != nil {

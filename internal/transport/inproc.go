@@ -1,0 +1,191 @@
+package transport
+
+// The in-process implementation: shared-memory mailboxes plus
+// channel-based round gates. It is the transport the equivalence tests
+// pin against TCP, and the reference for the round contract.
+//
+// Zero-copy is the point and the hazard: Send stages the caller's
+// batch slice by reference, and the receiving shard's merge reads it
+// in place. Two gates per round make that safe, mirroring the phase
+// argument of dist's floodShard:
+//
+//   - the Exchange gate (all shards have published round r's frames)
+//     orders every publish before any read;
+//   - the Barrier gate (all shards have merged round r) orders every
+//     read before any round-r+1 rewind of the same buffers.
+//
+// The gates cannot use sync.Cond — a cancelled context must be able to
+// interrupt the wait — so they are one-shot channels closed by the
+// last arriver, with an aborted channel racing them. A close or cancel
+// poisons the whole group: every waiter (current and future) returns
+// ErrClosed or the context error instead of deadlocking on a peer that
+// quit. The poison dies with the group — a fresh check builds a fresh
+// group — so one aborted check can never wedge the next.
+
+import (
+	"context"
+	"sync"
+)
+
+// InProc is one shard's handle on an in-process transport group built
+// by NewInProcGroup.
+type InProc struct {
+	hub    *inprocHub
+	me     int
+	peers  []int
+	staged map[int][]Delivery // peer -> deliveries staged this round
+	stats  Stats
+}
+
+// NewInProcGroup builds a group of n in-process transports sharing one
+// hub, one per shard. Closing any member unblocks every other.
+func NewInProcGroup(n int) []*InProc {
+	hub := &inprocHub{
+		n:       n,
+		boxes:   make([][]Delivery, n*n),
+		gates:   make(map[int64]*gate),
+		aborted: make(chan struct{}),
+	}
+	group := make([]*InProc, n)
+	for i := range group {
+		peers := make([]int, 0, n-1)
+		for j := 0; j < n; j++ {
+			if j != i {
+				peers = append(peers, j)
+			}
+		}
+		group[i] = &InProc{hub: hub, me: i, peers: peers, staged: make(map[int][]Delivery)}
+	}
+	return group
+}
+
+// Name identifies the implementation.
+func (t *InProc) Name() string { return "inproc" }
+
+// Shard is the index this transport speaks for.
+func (t *InProc) Shard() int { return t.me }
+
+// Peers lists the other shard indices, ascending.
+func (t *InProc) Peers() []int { return t.peers }
+
+// Send stages recs for node dst on shard peer. The slice is staged by
+// reference; the caller must keep it frozen until Barrier returns for
+// the current round (the same contract the channel scheduler's cur
+// buffers live by).
+func (t *InProc) Send(peer, dst int, recs Batch) {
+	t.staged[peer] = append(t.staged[peer], Delivery{Dst: dst, Recs: recs})
+}
+
+// Exchange publishes this shard's staged traffic, waits until every
+// shard has published round's traffic, and collects the deliveries
+// addressed here.
+func (t *InProc) Exchange(ctx context.Context, round int) ([]Delivery, error) {
+	h := t.hub
+	h.mu.Lock()
+	for _, p := range t.peers {
+		t.stats.FramesOut++
+		h.boxes[t.me*h.n+p] = t.staged[p]
+		t.staged[p] = nil
+	}
+	h.mu.Unlock()
+	if err := h.gate(ctx, gateKey(round, 0)); err != nil {
+		return nil, &Error{Transport: t.Name(), Round: round, Err: err}
+	}
+	var dels []Delivery
+	h.mu.Lock()
+	for _, p := range t.peers {
+		t.stats.FramesIn++
+		dels = append(dels, h.boxes[p*h.n+t.me]...)
+		h.boxes[p*h.n+t.me] = nil
+	}
+	h.mu.Unlock()
+	t.stats.Rounds++
+	metricRounds(t.Name()).Inc()
+	metricFrames(t.Name(), "in").Add(float64(len(t.peers)))
+	metricFrames(t.Name(), "out").Add(float64(len(t.peers)))
+	return dels, nil
+}
+
+// Barrier waits until every shard has merged the round's deliveries,
+// licensing the next round's buffer rewinds.
+func (t *InProc) Barrier(ctx context.Context, round int) error {
+	if err := t.hub.gate(ctx, gateKey(round, 1)); err != nil {
+		return &Error{Transport: t.Name(), Round: round, Err: err}
+	}
+	return nil
+}
+
+// Stats reports traffic totals since construction. Bytes stay zero:
+// nothing is serialized in process.
+func (t *InProc) Stats() Stats { return t.stats }
+
+// Close poisons the group, unblocking every member still waiting at a
+// gate. Closing after a completed run is a no-op for the peers — they
+// are all past their last gate.
+func (t *InProc) Close() error {
+	t.hub.abort()
+	return nil
+}
+
+// inprocHub is the state shared by one transport group: the mailbox
+// matrix, the round gates, and the poison channel.
+type inprocHub struct {
+	n       int
+	mu      sync.Mutex
+	boxes   [][]Delivery // [src*n+dst] staged deliveries
+	gates   map[int64]*gate
+	aborted chan struct{}
+	abort1  sync.Once
+}
+
+func (h *inprocHub) abort() {
+	h.abort1.Do(func() { close(h.aborted) })
+}
+
+func gateKey(round, phase int) int64 { return int64(round)<<1 | int64(phase) }
+
+// gate blocks until all n members have arrived at the keyed gate, the
+// hub is aborted, or ctx is cancelled (which aborts the hub so the
+// poison reaches every other member).
+func (h *inprocHub) gate(ctx context.Context, key int64) error {
+	h.mu.Lock()
+	g := h.gates[key]
+	if g == nil {
+		g = &gate{done: make(chan struct{})}
+		h.gates[key] = g
+	}
+	g.arrived++
+	if g.arrived == h.n {
+		close(g.done)
+		delete(h.gates, key)
+	}
+	h.mu.Unlock()
+	select {
+	case <-g.done:
+		return nil
+	case <-h.aborted:
+		// The gate may have opened in the same instant the poison
+		// landed; a completed rendezvous wins over a stale abort.
+		select {
+		case <-g.done:
+			return nil
+		default:
+			return ErrClosed
+		}
+	case <-ctx.Done():
+		h.abort()
+		select {
+		case <-g.done:
+			return nil
+		default:
+			return ctx.Err()
+		}
+	}
+}
+
+// gate is a one-shot n-party rendezvous: the last arriver opens it for
+// everyone.
+type gate struct {
+	arrived int
+	done    chan struct{}
+}

@@ -1,0 +1,30 @@
+package transport
+
+// Process-level traffic metrics, exposed through the shared obs
+// registry as lcp_transport_{bytes,frames,rounds}_total — the
+// scrapeable aggregate of what each transport's Stats() reports per
+// check. Bytes and frames are labelled by direction, everything by
+// transport implementation, so a coordinator's /metrics shows the
+// paper's message complexity as wire traffic per backend.
+
+import "lcp/internal/obs"
+
+func metricBytes(transport, dir string) *obs.Counter {
+	return obs.Default().Counter("lcp_transport_bytes_total",
+		"Wire bytes moved by shard transports, by implementation and direction.",
+		obs.Label{Name: "transport", Value: transport},
+		obs.Label{Name: "dir", Value: dir})
+}
+
+func metricFrames(transport, dir string) *obs.Counter {
+	return obs.Default().Counter("lcp_transport_frames_total",
+		"Data frames moved by shard transports, by implementation and direction.",
+		obs.Label{Name: "transport", Value: transport},
+		obs.Label{Name: "dir", Value: dir})
+}
+
+func metricRounds(transport string) *obs.Counter {
+	return obs.Default().Counter("lcp_transport_rounds_total",
+		"Completed exchange rounds, by transport implementation.",
+		obs.Label{Name: "transport", Value: transport})
+}

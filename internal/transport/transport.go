@@ -1,0 +1,176 @@
+// Package transport abstracts the shard-to-shard edge of the
+// message-passing runtime: per-round batched record delivery plus the
+// round synchronization that keeps the flooding protocol in lockstep.
+//
+// The dist scheduler's sharded layout always had this edge — cur
+// batches handed over cross-shard channel ports, rounds aligned by a
+// barrier — but it was welded to one process. Transport names the edge
+// so two implementations can stand behind it: InProc (shared-memory
+// mailboxes and gates, the zero-serialization default) and TCP
+// (length-prefixed binary frames between worker processes, one
+// connection per shard pair, per-round batch coalescing). The paper's
+// message complexity — every cut edge carries one batch per round —
+// becomes measured bytes on the wire without the round semantics
+// changing, which is what keeps verdicts identical to core.Check.
+//
+// A round over a Transport has exactly the shape of the in-process
+// scheduler's four phases (see dist/shard.go): freeze and stage the
+// outgoing batches (Send), exchange one coalesced frame with every
+// peer (Exchange — the delivery barrier), merge, then close the round
+// (Barrier — the reuse barrier that licenses buffer rewinding). TCP
+// needs no explicit barrier: frames are copied at staging time and
+// per-peer message counting bounds round skew by one, exactly the
+// α-synchronization argument of the free-running scheduler.
+package transport
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"lcp/internal/bitstr"
+	"lcp/internal/graph"
+)
+
+// Record is the unit of knowledge flooded through the network:
+// everything a single node knows at round 0 — its identifier, proof
+// string, input label, and incident edges with their labels and
+// weights. Records are immutable once built and self-contained, so
+// multi-hop forwarding ships them unchanged across any number of shard
+// boundaries.
+type Record struct {
+	// ID is the node the record describes.
+	ID int
+	// Proof is the node's proof string; meaningful iff HasProof.
+	Proof bitstr.String
+	// HasProof distinguishes the empty proof ε from no proof at all.
+	HasProof bool
+	// Label is the node's input label; meaningful iff HasLabel.
+	Label string
+	// HasLabel reports whether the node carries an input label.
+	HasLabel bool
+	// Edges lists every edge incident to ID, as ID sees them.
+	Edges []EdgeRec
+}
+
+// EdgeRec is one incident edge as the owning node sees it: the edge key
+// exactly as the frozen graph stores it (normalized for undirected
+// graphs, the ordered arc for directed ones) plus its input labelling.
+type EdgeRec struct {
+	// E is the edge key.
+	E graph.Edge
+	// Label is the edge's input label; meaningful iff HasLabel.
+	Label string
+	// HasLabel reports whether the edge carries an input label.
+	HasLabel bool
+	// Weight is the edge's weight; meaningful iff HasWeight.
+	Weight int64
+	// HasWeight reports whether the edge carries a weight.
+	HasWeight bool
+}
+
+// Batch is the per-round payload for one destination node: the records
+// the sender learned in the previous round. An empty batch is still
+// delivered — message counting is what keeps the rounds synchronized.
+type Batch []Record
+
+// Delivery is one destination node's share of a round's incoming
+// traffic, already demultiplexed from the per-peer frames.
+type Delivery struct {
+	// Dst is the receiving node (owned by this transport's shard).
+	Dst int
+	// Recs is the batch addressed to Dst.
+	Recs Batch
+}
+
+// Stats counts a transport's traffic since construction. Bytes and
+// frames are zero on the in-process implementation — nothing is
+// serialized — which is exactly the baseline the TCP numbers are
+// measured against.
+type Stats struct {
+	// BytesIn / BytesOut count wire bytes received and sent.
+	BytesIn, BytesOut uint64
+	// FramesIn / FramesOut count data frames received and sent.
+	FramesIn, FramesOut uint64
+	// Rounds counts completed Exchange rounds.
+	Rounds uint64
+}
+
+// Add accumulates other into s.
+func (s *Stats) Add(other Stats) {
+	s.BytesIn += other.BytesIn
+	s.BytesOut += other.BytesOut
+	s.FramesIn += other.FramesIn
+	s.FramesOut += other.FramesOut
+	s.Rounds += other.Rounds
+}
+
+// Transport is one shard's handle on the shard-to-shard edge. A
+// transport belongs to exactly one shard of one check; it is not safe
+// for concurrent use by multiple goroutines (the shard runner is
+// single-threaded), but its Close may race an in-flight Exchange —
+// that is how a cancelled or crashed peer unblocks everyone else.
+//
+// The per-round contract, in call order:
+//
+//  1. Send stages records for a destination node owned by a peer
+//     shard. Staging never blocks and never fails; errors surface at
+//     Exchange.
+//  2. Exchange flushes the staged traffic as one coalesced frame per
+//     peer (empty frames included), collects exactly one frame per
+//     peer for the same round, and returns the demultiplexed
+//     deliveries. It is the delivery synchronization point: after
+//     Exchange returns, every peer has handed over its round-r
+//     traffic.
+//  3. Barrier closes the round. In-process it is the reuse barrier —
+//     no shard starts round r+1 before every shard has merged round r,
+//     which is what licenses the zero-copy handover of cur buffers.
+//     Over TCP it is a no-op: frames are copied at staging time.
+type Transport interface {
+	// Name identifies the implementation ("inproc", "tcp") for
+	// metrics and error messages.
+	Name() string
+	// Shard is the index this transport speaks for.
+	Shard() int
+	// Peers lists the other shard indices, ascending.
+	Peers() []int
+	// Send stages recs for delivery to node dst on shard peer in the
+	// current round.
+	Send(peer, dst int, recs Batch)
+	// Exchange flushes staged traffic and gathers every peer's frame
+	// for the given round. It honours ctx: cancellation aborts the
+	// wait and poisons the transport.
+	Exchange(ctx context.Context, round int) ([]Delivery, error)
+	// Barrier closes the round (see the interface comment). It honours
+	// ctx like Exchange.
+	Barrier(ctx context.Context, round int) error
+	// Stats reports traffic totals since construction.
+	Stats() Stats
+	// Close releases the transport and unblocks any peer still waiting
+	// on it. Closing twice is allowed.
+	Close() error
+}
+
+// ErrClosed is returned by Exchange and Barrier after the transport —
+// or, in-process, any member of its group — has been closed.
+var ErrClosed = errors.New("transport: closed")
+
+// Error wraps a transport failure with the implementation name and the
+// round it happened in, so a coordinator can report "tcp: round 3:
+// connection reset" instead of a bare I/O error.
+type Error struct {
+	// Transport is the implementation name.
+	Transport string
+	// Round is the round the failure surfaced in (0 = setup).
+	Round int
+	// Err is the underlying failure.
+	Err error
+}
+
+// Error renders the failure with its transport and round context.
+func (e *Error) Error() string {
+	return fmt.Sprintf("transport %s: round %d: %v", e.Transport, e.Round, e.Err)
+}
+
+// Unwrap exposes the underlying failure to errors.Is/As.
+func (e *Error) Unwrap() error { return e.Err }
